@@ -1,0 +1,22 @@
+"""Ablation: NetMsgServer fragment size (DESIGN.md §5.4).
+
+The testbed fragments physical shipments into 576-byte pieces (one
+page plus descriptors).  Larger fragments amortise the per-hop fixed
+cost over more bytes, cutting bulk-copy time — at the price of a
+coarser unit of loss/interleaving.  This sweep quantifies the knob on
+the PM-Start pure-copy transfer.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.ablations import fragment_size_study
+from repro.experiments.tables import render
+
+
+def test_ablation_fragment_size(benchmark, artifact):
+    rows = run_once(benchmark, fragment_size_study)
+    # Bigger fragments -> faster bulk copy, monotonically.
+    times = [row["copy_transfer_s"] for row in rows]
+    assert times == sorted(times, reverse=True)
+    # The default sits where doubling buys less than 2x.
+    assert times[1] / times[3] < 2.5
+    artifact("ablation_fragment", render(rows))

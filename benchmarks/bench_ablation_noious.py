@@ -1,0 +1,29 @@
+"""Ablation: the NoIOUs bit / NetMsgServer IOU caching (DESIGN.md §5.2).
+
+Pure-IOU migration leans entirely on the sending NetMsgServer's
+initiative to cache RealMem and substitute IOUs (paper §2.4).  This
+ablation compares the same migration with caching allowed (NoIOUs
+clear) and inhibited (NoIOUs set — which *is* pure-copy), quantifying
+what the single header bit is worth.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.ablations import noious_study
+from repro.experiments.tables import render
+from repro.testbed import Testbed
+
+
+def trial():
+    return Testbed(seed=1987).migrate("pm-mid", strategy="pure-iou")
+
+
+def test_ablation_noious(benchmark, artifact, matrix):
+    result = run_once(benchmark, trial)
+    assert result.verified
+
+    rows = noious_study(matrix)
+    # Caching always slashes the transfer phase...
+    assert all(row["transfer_ratio"] > 30 for row in rows)
+    # ...by up to three orders of magnitude for the Lisp giants.
+    assert max(row["transfer_ratio"] for row in rows) > 500
+    artifact("ablation_noious", render(rows))

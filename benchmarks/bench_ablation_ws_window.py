@@ -1,0 +1,21 @@
+"""Ablation: the working-set window τ (extension, DESIGN.md §4b).
+
+τ→0 degenerates to pure-IOU shipment (nothing pre-shipped); τ→∞ ships
+every page ever referenced.  The calibrated τ=10 s forms a local sweet
+spot for mid-utilisation workloads.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.ablations import ws_window_study
+from repro.experiments.tables import render
+
+
+def test_ablation_ws_window(benchmark, artifact):
+    rows = run_once(
+        benchmark, lambda: ws_window_study(windows_s=(0.5, 2.0, 10.0, 60.0))
+    )
+    shipped = [row["pages_shipped"] for row in rows]
+    assert shipped == sorted(shipped)
+    te = {row["window_s"]: row["transfer_plus_exec_s"] for row in rows}
+    assert te[10.0] < te[0.5] and te[10.0] < te[60.0]
+    artifact("ablation_ws_window", render(rows))

@@ -1,0 +1,58 @@
+"""Extension bench: automatic migration policies (§6 future work).
+
+Compares makespans of a job mix under no migration, an eager
+pure-copy balancer, and the breakeven-aware lazy balancer — on two
+mixes: a compute-bound one (migration of any kind wins) and a
+memory-giant one (lazy transfer is what makes migration affordable).
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.tables import render
+from repro.loadbalance import (
+    BreakevenPolicy,
+    EagerCopyPolicy,
+    NoMigrationPolicy,
+    Scenario,
+)
+
+COMPUTE_MIX = ["chess", "chess", "pm-mid", "minprog"]
+MEMORY_MIX = ["lisp-del", "lisp-del", "lisp-t"]
+
+
+def balanced_compute_mix():
+    return Scenario(COMPUTE_MIX, hosts=3, seed=1987).run(BreakevenPolicy())
+
+
+def test_extension_autobalance(benchmark, artifact):
+    result = run_once(benchmark, balanced_compute_mix)
+    assert result.verified
+
+    rows = []
+    for label, mix, hosts in (
+        ("compute-bound", COMPUTE_MIX, 3),
+        ("memory-giant", MEMORY_MIX, 2),
+    ):
+        scenario = Scenario(mix, hosts=hosts, seed=1987)
+        for policy in (NoMigrationPolicy(), EagerCopyPolicy(), BreakevenPolicy()):
+            outcome = scenario.run(policy)
+            rows.append(
+                {
+                    "mix": label,
+                    "policy": outcome.policy_name,
+                    "makespan_s": outcome.makespan_s,
+                    "migrations": len(outcome.migrations),
+                    "verified": outcome.verified,
+                }
+            )
+    by_key = {(r["mix"], r["policy"]): r for r in rows}
+    # Migration always helps these mixes...
+    assert (
+        by_key[("compute-bound", "breakeven-lazy")]["makespan_s"]
+        < by_key[("compute-bound", "no-migration")]["makespan_s"]
+    )
+    # ...and the lazy policy beats eager copying for the memory giants.
+    assert (
+        by_key[("memory-giant", "breakeven-lazy")]["makespan_s"]
+        < by_key[("memory-giant", "eager-copy")]["makespan_s"]
+    )
+    artifact("extension_autobalance", render(rows))

@@ -1,0 +1,26 @@
+"""Figure 4-1: remote execution times (strategy × prefetch).
+
+Times the fault-heaviest remote execution (Lisp-Del pure-IOU: ~700
+imaginary faults over the network) and regenerates the figure's rows.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.figures import figure_4_1
+from repro.experiments.tables import render
+from repro.testbed import Testbed
+
+
+def lisp_del_iou_execution():
+    return Testbed(seed=1987).migrate("lisp-del", strategy="pure-iou")
+
+
+def test_figure_4_1(benchmark, artifact, matrix):
+    result = run_once(benchmark, lisp_del_iou_execution)
+    assert result.verified
+
+    rows = figure_4_1(matrix)
+    by_name = {row["workload"]: row for row in rows}
+    # §4.3.3 anchors.
+    assert 30 < by_name["minprog"]["iou_pf0"] / by_name["minprog"]["copy"] < 60
+    assert by_name["chess"]["iou_pf0"] / by_name["chess"]["copy"] < 1.06
+    artifact("figure_4_1", render(rows))

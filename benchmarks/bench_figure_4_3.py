@@ -1,0 +1,24 @@
+"""Figure 4-3: bytes transferred per trial.
+
+Times a resident-set trial (bulk + demand traffic mixed) and
+regenerates the figure's rows.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.figures import figure_4_3
+from repro.experiments.tables import render
+from repro.testbed import Testbed
+
+
+def chess_rs_trial():
+    return Testbed(seed=1987).migrate("chess", strategy="resident-set")
+
+
+def test_figure_4_3(benchmark, artifact, matrix):
+    result = run_once(benchmark, chess_rs_trial)
+    assert result.verified
+
+    rows = figure_4_3(matrix)
+    for row in rows:
+        assert row["iou_pf0"] < row["copy"]
+    artifact("figure_4_3", render(rows, float_format="{:.0f}"))

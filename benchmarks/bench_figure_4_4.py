@@ -1,0 +1,26 @@
+"""Figure 4-4: message-handling time per trial.
+
+Times the message-heaviest trial (Lisp-Del pure-copy: ~4,300 page
+fragments through both NetMsgServers) and regenerates the rows.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.figures import figure_4_4
+from repro.experiments.tables import render
+from repro.testbed import Testbed
+
+
+def lisp_del_copy():
+    return Testbed(seed=1987).migrate(
+        "lisp-del", strategy="pure-copy", run_remote=False
+    )
+
+
+def test_figure_4_4(benchmark, artifact, matrix):
+    result = run_once(benchmark, lisp_del_copy)
+    assert result.message_handling_s > 100  # simulated seconds
+
+    rows = figure_4_4(matrix)
+    for row in rows:
+        assert row["iou_pf0"] < row["copy"]
+    artifact("figure_4_4", render(rows, float_format="{:.1f}"))

@@ -1,0 +1,35 @@
+"""Figure 4-5: byte transfer-rate timelines for Lisp-Del.
+
+Times the timeline binning over the largest link-record set and
+renders the three strategy panels as ASCII rate charts.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.figures import figure_4_5
+from repro.metrics.timeline import Timeline
+
+
+def test_figure_4_5(benchmark, artifact, matrix):
+    copy_result = matrix.copy("lisp-del")  # prefill outside the timer
+
+    def bin_timeline():
+        return Timeline(1.0).bins(copy_result.link_records)
+
+    bins = run_once(benchmark, bin_timeline)
+    assert bins
+
+    from repro.metrics.charts import rate_panel
+
+    panels = figure_4_5(matrix, bin_seconds=5.0)
+    lines = []
+    for strategy, series in panels.items():
+        lines.append(f"== {strategy} ==")
+        lines.append(rate_panel(series, width=50))
+        lines.append("")
+    artifact("figure_4_5", "\n".join(lines))
+
+    # Signature checks: copy bursts early; IOU spreads fault traffic.
+    copy_series = panels["pure-copy"]
+    iou_series = panels["pure-iou"]
+    assert sum(f for _, f, _ in copy_series) == 0
+    assert sum(f for _, f, _ in iou_series) > 0

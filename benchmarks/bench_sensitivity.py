@@ -1,0 +1,34 @@
+"""Sensitivity bench: full calibration perturbation sweep.
+
+Halves and doubles every perturbable constant, re-runs the probe
+matrix, and records which of the paper's qualitative conclusions held.
+A robust reproduction shows an empty "fragile" list.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.sensitivity import (
+    PERTURBABLE,
+    fragile_conclusions,
+    sweep,
+)
+from repro.experiments.tables import render
+
+
+def full_sweep():
+    return sweep(parameters=PERTURBABLE, factors=(0.5, 2.0))
+
+
+def test_sensitivity_sweep(benchmark, artifact):
+    rows = run_once(benchmark, full_sweep)
+    assert len(rows) == 2 * len(PERTURBABLE)
+    fragile = fragile_conclusions(rows)
+    assert fragile == [], f"fragile conclusions: {fragile}"
+    table = [
+        {
+            "parameter": row["parameter"],
+            "factor": row["factor"],
+            "all_hold": row["all_hold"],
+        }
+        for row in rows
+    ]
+    artifact("sensitivity", render(table))

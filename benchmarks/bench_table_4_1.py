@@ -1,0 +1,31 @@
+"""Table 4-1: address-space composition.
+
+Times the construction of all seven representative pre-migration
+states (sparse 4 GB spaces included) and regenerates the table.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.paper_data import TABLE_4_1
+from repro.experiments.tables import render, table_4_1
+from repro.testbed import Testbed
+from repro.workloads.builder import build_process
+from repro.workloads.registry import WORKLOADS
+
+
+def build_all_seven():
+    world = Testbed(seed=1987).world()
+    return [
+        build_process(world.source, spec, world.streams)
+        for spec in WORKLOADS.values()
+    ]
+
+
+def test_table_4_1(benchmark, artifact):
+    built = run_once(benchmark, build_all_seven)
+    assert len(built) == 7
+
+    rows = table_4_1()
+    for row in rows:
+        paper = TABLE_4_1[row["workload"]]
+        assert (row["real_bytes"], row["realz_bytes"], row["total_bytes"]) == paper[:3]
+    artifact("table_4_1", render(rows))

@@ -1,0 +1,30 @@
+"""Table 4-2: resident sets.
+
+Times resident-set extraction (the LRU bookkeeping the RS strategy
+depends on) over a freshly-built representative, and regenerates the
+table.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.paper_data import TABLE_4_2
+from repro.experiments.tables import render, table_4_2
+from repro.testbed import Testbed
+from repro.workloads.builder import build_process
+from repro.workloads.registry import WORKLOADS
+
+
+def resident_sets():
+    world = Testbed(seed=1987).world()
+    sizes = {}
+    for spec in WORKLOADS.values():
+        built = build_process(world.source, spec, world.streams)
+        sizes[spec.name] = built.process.space.resident_bytes()
+    return sizes
+
+
+def test_table_4_2(benchmark, artifact):
+    sizes = run_once(benchmark, resident_sets)
+    for name, (paper_bytes, _, _) in TABLE_4_2.items():
+        assert sizes[name] == paper_bytes
+
+    artifact("table_4_2", render(table_4_2()))

@@ -1,0 +1,24 @@
+"""Table 4-3: percent of address space transferred (IOU / RS).
+
+Times one pure-IOU migration trial end-to-end (the unit of work behind
+the IOU column) and regenerates the table from the shared matrix.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.tables import render, table_4_3
+from repro.testbed import Testbed
+
+
+def one_iou_trial():
+    return Testbed(seed=1987).migrate("pm-start", strategy="pure-iou")
+
+
+def test_table_4_3(benchmark, artifact, matrix):
+    result = run_once(benchmark, one_iou_trial)
+    assert result.verified
+
+    rows = table_4_3(matrix)
+    by_name = {row["workload"]: row for row in rows}
+    assert abs(by_name["lisp-del"]["iou_pct_of_real"] - 16.5) < 0.5
+    assert abs(by_name["chess"]["rs_pct_of_real"] - 60.0) < 1.0
+    artifact("table_4_3", render(rows))

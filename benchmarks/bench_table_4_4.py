@@ -1,0 +1,30 @@
+"""Table 4-4: process excision times.
+
+Times the worst-case excision (Lisp-Del: 4 GB sparse space, the most
+complex process map) and regenerates the table.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.paper_data import TABLE_4_4
+from repro.experiments.tables import render, table_4_4
+from repro.testbed import Testbed
+from repro.workloads.builder import build_process
+from repro.workloads.registry import WORKLOADS
+
+
+def excise_lisp_del():
+    world = Testbed(seed=1987).world()
+    build_process(world.source, WORKLOADS["lisp-del"], world.streams)
+    proc = world.engine.process(
+        world.source.kernel.excise_process("lisp-del")
+    )
+    world.engine.run(until=proc)
+    return world.engine.now  # simulated excision time
+
+
+def test_table_4_4(benchmark, artifact, matrix):
+    simulated = run_once(benchmark, excise_lisp_del)
+    assert abs(simulated - TABLE_4_4["lisp-del"][2]) / TABLE_4_4["lisp-del"][2] < 0.15
+
+    rows = table_4_4(matrix)
+    artifact("table_4_4", render(rows))

@@ -1,0 +1,27 @@
+"""Table 4-5: address-space transfer times per strategy.
+
+Times the heaviest transfer in the paper (Lisp-T pure-copy: ~4,300
+pages through both NetMsgServers) and regenerates the table.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.paper_data import TABLE_4_5
+from repro.experiments.tables import render, table_4_5
+from repro.testbed import Testbed
+
+
+def lisp_t_pure_copy():
+    return Testbed(seed=1987).migrate(
+        "lisp-t", strategy="pure-copy", run_remote=False
+    )
+
+
+def test_table_4_5(benchmark, artifact, matrix):
+    result = run_once(benchmark, lisp_t_pure_copy)
+    paper = TABLE_4_5["lisp-t"][2]
+    assert abs(result.transfer_s - paper) / paper < 0.25
+
+    rows = table_4_5(matrix)
+    for row in rows:
+        assert row["pure_iou_s"] < row["rs_s"] < row["copy_s"]
+    artifact("table_4_5", render(rows))

@@ -1,0 +1,43 @@
+"""Benchmark fixtures.
+
+Every bench regenerates one of the paper's tables or figures.  The
+simulation cells are shared through a session-scoped
+:class:`~repro.experiments.matrix.TrialMatrix` so the artifact side of
+each bench is cheap; what each benchmark *times* is a representative
+fresh simulation for its experiment (the meaningful unit of work).
+
+Artifacts are written to ``benchmarks/out/`` so the regenerated rows
+can be diffed against the paper after a run.
+"""
+
+import os
+
+import pytest
+
+from repro.experiments.matrix import TrialMatrix
+
+OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
+
+
+@pytest.fixture(scope="session")
+def matrix():
+    return TrialMatrix(seed=1987)
+
+
+@pytest.fixture(scope="session")
+def artifact():
+    """Writer: artifact('table_4_1', text) -> benchmarks/out/table_4_1.txt."""
+    os.makedirs(OUT_DIR, exist_ok=True)
+
+    def write(name, text):
+        path = os.path.join(OUT_DIR, f"{name}.txt")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        return path
+
+    return write
+
+
+def run_once(benchmark, func):
+    """Run ``func`` exactly once under the benchmark timer."""
+    return benchmark.pedantic(func, rounds=1, iterations=1)

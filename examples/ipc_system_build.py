@@ -1,0 +1,40 @@
+#!/usr/bin/env python3
+"""The IPC/VM integration that makes copy-on-reference natural (§2.1).
+
+Accent messages conceptually copy data by value, but above a size
+threshold the kernel remaps pages copy-on-write instead.  Fitzgerald
+measured that in a system-building application up to 99.98% of data
+passed between processes never had to be physically copied — the fact
+this whole paper builds on.
+
+This example runs a four-stage build pipeline (reader → preprocessor →
+compiler → linker) passing a 1 MB mapped source image by value through
+IPC.  Watch how little actually moves.
+
+Run:  python examples/ipc_system_build.py
+"""
+
+from repro.experiments.fitzgerald import STAGES, run_system_build
+from repro.testbed import Testbed
+
+
+def main():
+    world = Testbed(seed=2024).world()
+    report = run_system_build(
+        world, file_pages=2048, writes_per_stage=(0, 1, 1, 0)
+    )
+
+    print(f"Pipeline: {' -> '.join(STAGES)} (1 MB image passed by value)\n")
+    print(f"bytes transferred by value   {report.logical_bytes:>12,}")
+    print(f"bytes physically copied      {report.physically_copied_bytes:>12,}")
+    print(f"deferred (COW) page copies   {report.cow_breaks:>12}")
+    print(f"messages                     {report.messages:>12}")
+    print(
+        f"\n{report.avoided_copy_fraction:.2%} of the data was never "
+        f"physically copied"
+    )
+    print('(paper §2.1: "up to 99.98% ... did not have to be physically copied")')
+
+
+if __name__ == "__main__":
+    main()

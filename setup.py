@@ -1,0 +1,10 @@
+"""Legacy setuptools shim.
+
+``pip install -e .`` uses pyproject.toml; this file exists so fully
+offline environments without the ``wheel`` package can still do
+``python setup.py develop``.
+"""
+
+from setuptools import setup
+
+setup()

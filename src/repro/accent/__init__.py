@@ -1,0 +1,29 @@
+"""The Accent operating-system substrate.
+
+Accent (the SPICE kernel at CMU, ancestor of Mach) integrates IPC and
+virtual memory: messages conceptually copy data by value, but the kernel
+uses copy-on-write mapping above a size threshold; files are mapped into
+memory; and *imaginary segments* let any server back memory regions
+through IPC — the foundation of the paper's copy-on-reference facility.
+
+Subpackages / modules
+---------------------
+``repro.accent.vm``
+    Pages, physical memory, sparse address spaces, accessibility maps.
+``repro.accent.ipc``
+    Ports, rights, messages and the kernel transfer path.
+``repro.accent.disk``
+    The local paging disk.
+``repro.accent.pager``
+    The Pager/Scheduler server that resolves page faults.
+``repro.accent.kernel``
+    Process table, fault entry point, Excise/Insert traps.
+``repro.accent.host``
+    One simulated machine: kernel + pager + disk + network attachment.
+``repro.accent.process``
+    Accent process contexts (microstate, PCB, port rights, address space).
+"""
+
+from repro.accent.constants import PAGE_SIZE, SPACE_LIMIT
+
+__all__ = ["PAGE_SIZE", "SPACE_LIMIT"]

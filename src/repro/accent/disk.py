@@ -1,0 +1,70 @@
+"""The local paging disk.
+
+One disk arm per host (a :class:`~repro.sim.Resource` of capacity 1) plus
+a page store.  Page-outs for imaginary data go to the local disk at the
+site that touched the page (paper §2.2), so both hosts have one.
+"""
+
+from repro.sim import Resource
+
+
+class PagingDisk:
+    """Per-host backing store for paged-out memory."""
+
+    def __init__(self, engine, calibration, name="disk"):
+        self.engine = engine
+        self.calibration = calibration
+        self.name = name
+        self.arm = Resource(engine, capacity=1, name=f"{name}-arm")
+        #: (space_id, page_index) -> Page
+        self._store = {}
+        self.reads = 0
+        self.writes = 0
+
+    def __repr__(self):
+        return f"<PagingDisk {self.name} pages={len(self._store)}>"
+
+    def store_instant(self, space_id, page_index, page):
+        """Place a page on disk without simulated time (builder path).
+
+        Pre-migration state construction uses this to position each
+        workload's non-resident pages; the disk time for having written
+        them happened before the measurement interval begins.
+        """
+        self._store[(space_id, page_index)] = page
+
+    def holds(self, space_id, page_index):
+        """Whether a page image is on this disk."""
+        return (space_id, page_index) in self._store
+
+    def read(self, space_id, page_index):
+        """Generator: read a page, charging disk service time."""
+        with self.arm.held() as req:
+            yield req
+            yield self.engine.timeout(self.calibration.disk_service_s)
+        self.reads += 1
+        try:
+            return self._store[(space_id, page_index)]
+        except KeyError:
+            raise DiskError(
+                f"no page image for space {space_id} page {page_index}"
+            ) from None
+
+    def write(self, space_id, page_index, page):
+        """Generator: write a page out, charging disk service time."""
+        with self.arm.held() as req:
+            yield req
+            yield self.engine.timeout(self.calibration.disk_service_s)
+        self.writes += 1
+        self._store[(space_id, page_index)] = page
+
+    def drop_space(self, space_id):
+        """Discard all page images of one address space."""
+        doomed = [key for key in self._store if key[0] == space_id]
+        for key in doomed:
+            del self._store[key]
+        return len(doomed)
+
+
+class DiskError(Exception):
+    """Read of a page image that is not on this disk."""

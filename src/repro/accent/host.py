@@ -1,0 +1,73 @@
+"""One simulated machine of the testbed."""
+
+from repro.accent.disk import PagingDisk
+from repro.accent.kernel import Kernel
+from repro.accent.pager import Pager
+from repro.accent.vm.address_space import Residency
+from repro.accent.vm.physical import PhysicalMemory
+from repro.sim import Resource
+
+
+class Host:
+    """A Perq workstation: kernel, pager, disk, frames, and (once the
+    network layer attaches one) a NetMsgServer."""
+
+    def __init__(self, engine, name, calibration, registry, metrics):
+        self.engine = engine
+        self.name = name
+        self.calibration = calibration
+        self.registry = registry
+        self.metrics = metrics
+        self.physical = PhysicalMemory(calibration.frame_count)
+        self.disk = PagingDisk(engine, calibration, name=f"{name}-disk")
+        #: The user-level CPU: workload compute slices contend here, so
+        #: co-located processes genuinely slow one another down (the
+        #: premise of the §6 automatic-migration experiments).
+        self.cpu = Resource(engine, capacity=1, name=f"{name}-cpu")
+        self._spaces = {}
+        #: Attached by repro.net when the host joins a network.
+        self.nms = None
+        self.pager = Pager(self)
+        self.kernel = Kernel(self)
+
+    def __repr__(self):
+        return f"<Host {self.name} processes={len(self.kernel.processes)}>"
+
+    # -- address-space registry --------------------------------------------------
+    def register_space(self, space):
+        """Track an address space so eviction can resolve its pages."""
+        self._spaces[space.space_id] = space
+
+    def unregister_space(self, space):
+        """Forget a destroyed or excised address space."""
+        self._spaces.pop(space.space_id, None)
+
+    def space_by_id(self, space_id):
+        """The registered space with this id (KeyError if unknown)."""
+        return self._spaces[space_id]
+
+    # -- conveniences --------------------------------------------------------------
+    def create_port(self, name=None, backlog=None):
+        """Allocate a port homed at this host."""
+        return self.registry.create(self, name=name, backlog=backlog)
+
+    def make_resident_instant(self, space, index):
+        """Builder path: mark an existing page resident, claiming a frame.
+
+        Used when constructing pre-migration state; charges no simulated
+        time.  Raises if the frame pool would need an eviction (builders
+        should size the pool or place pages on disk explicitly).
+        """
+        victim = self.physical.allocate((space.space_id, index))
+        if victim is not None:
+            raise RuntimeError(
+                "builder overfilled physical memory; place pages on disk"
+            )
+        space.set_residency(index, Residency.RESIDENT)
+
+    def place_on_disk_instant(self, space, index):
+        """Builder path: push an existing page's image to the local disk."""
+        entry = space.entry(index)
+        self.disk.store_instant(space.space_id, index, entry.page)
+        self.physical.evict((space.space_id, index))
+        space.set_residency(index, Residency.ON_DISK)

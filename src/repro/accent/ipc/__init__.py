@@ -1,0 +1,39 @@
+"""Accent inter-process communication: ports, rights and messages."""
+
+from repro.accent.ipc.message import (
+    AMapSection,
+    InlineSection,
+    IOUSection,
+    Message,
+    RegionSection,
+    RightsSection,
+    Section,
+)
+from repro.accent.ipc.port import (
+    OWNERSHIP,
+    Port,
+    PortRegistry,
+    PortRight,
+    RECEIVE,
+    RightKind,
+    SEND,
+)
+from repro.accent.ipc.stats import TransferStats
+
+__all__ = [
+    "AMapSection",
+    "InlineSection",
+    "IOUSection",
+    "Message",
+    "OWNERSHIP",
+    "Port",
+    "PortRegistry",
+    "PortRight",
+    "RECEIVE",
+    "RegionSection",
+    "RightKind",
+    "RightsSection",
+    "SEND",
+    "Section",
+    "TransferStats",
+]

@@ -1,0 +1,205 @@
+"""IPC messages and their typed sections.
+
+A single Accent message can carry everything a process can address
+(paper §2.1): inline data, port rights, whole memory regions, an AMap,
+and IOUs for imaginary memory.  Each section knows its wire size so the
+NetMsgServer can fragment messages and the metrics layer can count bytes
+on the link.
+"""
+
+from itertools import count
+
+from repro.accent.constants import PAGE_SIZE
+
+_message_ids = count(1)
+
+#: Fixed header bytes per message on the wire (ids, ports, flags).
+HEADER_BYTES = 32
+
+
+class Section:
+    """Base class for message sections."""
+
+    #: Per-section descriptor overhead on the wire.
+    DESCRIPTOR_BYTES = 8
+
+    @property
+    def wire_bytes(self):
+        """Bytes this section occupies when physically transmitted."""
+        raise NotImplementedError
+
+    def __repr__(self):
+        return f"<{type(self).__name__} wire={self.wire_bytes}>"
+
+
+class InlineSection(Section):
+    """Small by-value data physically present in the message."""
+
+    def __init__(self, payload, label=None):
+        self.payload = bytes(payload)
+        self.label = label
+
+    @property
+    def wire_bytes(self):
+        return self.DESCRIPTOR_BYTES + len(self.payload)
+
+
+class RightsSection(Section):
+    """Port rights passed through the message (transparently renamed)."""
+
+    def __init__(self, rights):
+        self.rights = list(rights)
+
+    @property
+    def wire_bytes(self):
+        from repro.accent.ipc.port import PortRight
+
+        return self.DESCRIPTOR_BYTES + len(self.rights) * PortRight.WIRE_BYTES
+
+
+class AMapSection(Section):
+    """An Accessibility Map describing an address space (Core message)."""
+
+    def __init__(self, amap):
+        self.amap = amap
+
+    @property
+    def wire_bytes(self):
+        return self.DESCRIPTOR_BYTES + self.amap.wire_bytes
+
+
+class RegionSection(Section):
+    """Real memory: a set of pages destined for given page indices.
+
+    ``pages`` maps *target page index* (in the receiver's reconstructed
+    layout) to :class:`~repro.accent.vm.page.Page` objects.  Inside one
+    machine the pages are shared copy-on-write; across machines their
+    bytes go on the wire.
+
+    ``force_copy`` reproduces the NoIOUs bit at section granularity: a
+    NetMsgServer must physically transmit this section rather than cache
+    it and substitute an IOU.  (The paper carries the bit in the message
+    header; per-section granularity is what the RS strategy needs when it
+    ships resident pages physically while passing IOUs for the rest, and
+    degenerates to the paper's semantics when uniform.)
+    """
+
+    #: Per-page descriptor overhead (target index).
+    PAGE_DESCRIPTOR_BYTES = 4
+
+    def __init__(self, pages, force_copy=False, label=None):
+        self.pages = dict(pages)
+        self.force_copy = force_copy
+        self.label = label
+
+    def __repr__(self):
+        return (
+            f"<RegionSection pages={len(self.pages)} "
+            f"force_copy={self.force_copy}>"
+        )
+
+    @property
+    def byte_size(self):
+        return len(self.pages) * PAGE_SIZE
+
+    @property
+    def wire_bytes(self):
+        return (
+            self.DESCRIPTOR_BYTES
+            + len(self.pages) * (PAGE_SIZE + self.PAGE_DESCRIPTOR_BYTES)
+        )
+
+    def share_pages(self):
+        """Add COW references to every page (local map-in path)."""
+        for page in self.pages.values():
+            page.share()
+
+
+class IOUSection(Section):
+    """A promise for memory: deliver these pages on demand.
+
+    ``handle`` (an :class:`~repro.cor.imaginary.ImaginaryHandle`) names
+    the backing port that fields Imaginary Read Requests plus the
+    segment id it serves.  ``page_indices`` are target page indices in
+    the receiver's layout; the backer resolves them via its own stash.
+    """
+
+    #: Wire size of one encoded owed run.
+    RUN_BYTES = 12
+
+    def __init__(self, handle, page_indices, label=None):
+        self.handle = handle
+        self.page_indices = sorted(page_indices)
+        self.label = label
+
+    @property
+    def backing_port(self):
+        return self.handle.backing_port
+
+    def __repr__(self):
+        return (
+            f"<IOUSection pages={len(self.page_indices)} "
+            f"via={self.handle!r}>"
+        )
+
+    @property
+    def byte_size(self):
+        return len(self.page_indices) * PAGE_SIZE
+
+    def runs(self):
+        """Contiguous owed runs as (first, last) inclusive page indices."""
+        runs = []
+        for index in self.page_indices:
+            if runs and index == runs[-1][1] + 1:
+                runs[-1][1] = index
+            else:
+                runs.append([index, index])
+        return [(first, last) for first, last in runs]
+
+    @property
+    def wire_bytes(self):
+        return self.DESCRIPTOR_BYTES + len(self.runs()) * self.RUN_BYTES
+
+
+class Message:
+    """One IPC message: header plus typed sections."""
+
+    def __init__(
+        self, dest, op, sections=(), reply_port=None, no_ious=False, meta=None
+    ):
+        self.message_id = next(_message_ids)
+        self.dest = dest
+        self.op = op
+        self.reply_port = reply_port
+        #: Paper §2.4: when set, NetMsgServers must not substitute IOUs
+        #: for the real data in this message.
+        self.no_ious = no_ious
+        self.sections = list(sections)
+        #: Small structured fields (ids, page numbers).  Conceptually
+        #: part of an inline section; callers that want its bytes counted
+        #: on the wire include a matching InlineSection.
+        self.meta = dict(meta) if meta else {}
+        #: Filled by the routing layer for debugging/metrics.
+        self.source_host = None
+
+    def __repr__(self):
+        return (
+            f"<Message #{self.message_id} {self.op} -> {self.dest!r} "
+            f"sections={len(self.sections)}>"
+        )
+
+    @property
+    def wire_bytes(self):
+        """Total bytes if the message is physically transmitted as-is."""
+        return HEADER_BYTES + sum(s.wire_bytes for s in self.sections)
+
+    def sections_of(self, section_type):
+        """All sections of one type, in order."""
+        return [s for s in self.sections if isinstance(s, section_type)]
+
+    def first_section(self, section_type):
+        """The first section of a type, or ``None``."""
+        for section in self.sections:
+            if isinstance(section, section_type):
+                return section
+        return None

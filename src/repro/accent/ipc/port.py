@@ -1,0 +1,139 @@
+"""Ports: Accent's protected communication capability.
+
+A port is a kernel-buffered message queue.  Exactly one party holds the
+*Receive* right (and may accept messages); many parties may hold *Send*
+rights.  Accent ports are location transparent: the same port name works
+wherever the holder runs, with the NetMsgServers forwarding traffic
+between machines.  We reproduce that transparency with a global registry
+plus a ``home_host`` attribute per port — messages sent from another host
+are routed through both NetMsgServers, paying the network costs, exactly
+as Accent's proxy-port chains did.
+"""
+
+import enum
+from itertools import count
+
+from repro.sim import Store
+
+_port_ids = count(1)
+
+
+class RightKind(enum.Enum):
+    """The three Accent port rights."""
+
+    RECEIVE = "receive"
+    SEND = "send"
+    OWNERSHIP = "ownership"
+
+
+RECEIVE = RightKind.RECEIVE
+SEND = RightKind.SEND
+OWNERSHIP = RightKind.OWNERSHIP
+
+
+class PortRight:
+    """A transferable capability naming a port."""
+
+    __slots__ = ("port", "kind")
+
+    def __init__(self, port, kind):
+        if not isinstance(kind, RightKind):
+            raise TypeError(f"{kind!r} is not a RightKind")
+        self.port = port
+        self.kind = kind
+
+    def __repr__(self):
+        return f"<PortRight {self.kind.value} {self.port!r}>"
+
+    #: Approximate wire size of one encoded right in a message.
+    WIRE_BYTES = 8
+
+
+class Port:
+    """One port: identity, home host, and its kernel message buffer."""
+
+    #: Default kernel backlog (queued messages) per port.
+    DEFAULT_BACKLOG = 64
+
+    def __init__(self, engine, home_host, name=None, backlog=None):
+        self.port_id = next(_port_ids)
+        self.name = name or f"port-{self.port_id}"
+        #: The host where the Receive-right holder currently runs;
+        #: updated when the right migrates.
+        self.home_host = home_host
+        self.queue = Store(
+            engine, capacity=backlog or self.DEFAULT_BACKLOG, name=self.name
+        )
+        #: Whether the receive right still exists (ports die with it).
+        self.alive = True
+
+    def __repr__(self):
+        host = getattr(self.home_host, "name", self.home_host)
+        return f"<Port {self.name}#{self.port_id}@{host}>"
+
+    def __hash__(self):
+        return self.port_id
+
+    def __eq__(self, other):
+        return self is other
+
+    def enqueue(self, message):
+        """Buffer a message (returns the Store put event)."""
+        if not self.alive:
+            raise DeadPortError(f"send to dead {self!r}")
+        return self.queue.put(message)
+
+    def receive(self):
+        """Event yielding the next queued message."""
+        if not self.alive:
+            raise DeadPortError(f"receive on dead {self!r}")
+        return self.queue.get()
+
+    def destroy(self):
+        """Kill the port (receive right deallocated)."""
+        self.alive = False
+
+    def move_home(self, host):
+        """Relocate the receive right to another host."""
+        if host is None:
+            raise ValueError("port must have a home host")
+        self.home_host = host
+
+
+class DeadPortError(Exception):
+    """Raised on operations against a destroyed port."""
+
+
+class PortRegistry:
+    """The testbed-wide port namespace.
+
+    Accent names are location independent; the registry reproduces that
+    property.  It exists per :class:`~repro.testbed.Testbed`, not per
+    host — the *routing* of messages between hosts still goes through
+    the NetMsgServers and pays network costs.
+    """
+
+    def __init__(self, engine):
+        self.engine = engine
+        self._ports = {}
+
+    def create(self, home_host, name=None, backlog=None):
+        """Allocate a new port homed at ``home_host``."""
+        port = Port(self.engine, home_host, name=name, backlog=backlog)
+        self._ports[port.port_id] = port
+        return port
+
+    def lookup(self, port_id):
+        """The port with ``port_id`` (KeyError if unknown)."""
+        return self._ports[port_id]
+
+    def destroy(self, port):
+        """Remove and kill a port."""
+        port.destroy()
+        self._ports.pop(port.port_id, None)
+
+    def __len__(self):
+        return len(self._ports)
+
+    def __contains__(self, port):
+        return getattr(port, "port_id", None) in self._ports

@@ -1,0 +1,175 @@
+"""The Pager/Scheduler: Accent's fault-resolution server.
+
+Handles the three legal fault kinds of paper §2.3:
+
+* **FillZero** — reserve a frame, zero it, map it.  Never touches disk.
+* **Disk** — read the page image from the local paging disk.
+* **Imaginary** — send an ``imag.read`` request to the region's backing
+  port and wait for the reply, which may carry prefetched pages beyond
+  the one demanded (§4: prefetch of 1–15 nearby pages).
+
+The pager CPU is a capacity-1 resource: administrative fault work is
+serialised, but the pager never sits on the CPU while waiting for the
+network — other faults proceed meanwhile, as in Accent.
+"""
+
+from itertools import count
+
+from repro.accent.ipc.message import InlineSection, Message, RegionSection
+from repro.accent.vm.address_space import Residency
+from repro.accent.vm.page import Page
+from repro.sim import Resource
+
+#: Message operation names for the copy-on-reference protocol.
+OP_IMAG_READ = "imag.read"
+OP_IMAG_READ_REPLY = "imag.read.reply"
+OP_IMAG_DEATH = "imag.death"
+
+#: Wire bytes of an Imaginary Read Request's payload.
+IMAG_REQUEST_PAYLOAD_BYTES = 16
+
+_fault_ids = count(1)
+
+
+class PagerError(Exception):
+    """Fault that cannot be resolved (bad reply, missing backing)."""
+
+
+class Pager:
+    """Per-host Pager/Scheduler."""
+
+    def __init__(self, host):
+        self.host = host
+        self.engine = host.engine
+        self.calibration = host.calibration
+        self.cpu = Resource(self.engine, capacity=1, name=f"{host.name}-pager")
+        #: Reply port for imaginary read replies.
+        self.reply_port = host.registry.create(host, name=f"{host.name}-pager-reply")
+        #: fault_id -> completion Event (fires with the reply message).
+        self._pending_replies = {}
+        #: (space_id, page_index) -> in-flight fault Event, for dedupe.
+        self._inflight = {}
+        self._dispatcher = self.engine.process(
+            self._reply_loop(), name=f"{host.name}-pager-dispatch"
+        )
+
+    def __repr__(self):
+        return f"<Pager {self.host.name} inflight={len(self._inflight)}>"
+
+    # -- fault entry points (generators; kernel yields from them) -------------
+    def fill_zero_fault(self, space, index):
+        """FillZero: materialise a zero page (paper §2.3, RealZeroMem)."""
+        self.host.metrics.record_fault("fill-zero")
+        with self.cpu.held() as req:
+            yield req
+            yield self.engine.timeout(self.calibration.fill_zero_s)
+        yield from self._install_resident(space, index, Page.zero())
+
+    def disk_fault(self, space, index):
+        """Bring a real page in from the local paging disk."""
+        self.host.metrics.record_fault("disk")
+        with self.cpu.held() as req:
+            yield req
+            yield self.engine.timeout(self.calibration.pager_overhead_s)
+        page = yield from self.host.disk.read(space.space_id, index)
+        entry = space.entry(index)
+        entry.page = page
+        yield from self._make_resident(space, index)
+        with self.cpu.held() as req:
+            yield req
+            yield self.engine.timeout(self.calibration.map_in_s)
+
+    def imaginary_fault(self, space, index, mapping):
+        """Fetch an owed page from its backing port (paper §2.2)."""
+        key = (space.space_id, index)
+        pending = self._inflight.get(key)
+        if pending is not None:
+            # Another faulter already asked for this page; share the wait.
+            yield pending
+            return
+        done = self.engine.event()
+        self._inflight[key] = done
+        try:
+            yield from self._imaginary_fault_inner(space, index, mapping)
+            done.succeed()
+        except BaseException as error:
+            done.fail(error)
+            raise
+        finally:
+            self._inflight.pop(key, None)
+
+    def _imaginary_fault_inner(self, space, index, mapping):
+        self.host.metrics.record_fault("imaginary")
+        calibration = self.calibration
+        with self.cpu.held() as req:
+            yield req
+            yield self.engine.timeout(calibration.pager_overhead_s)
+
+        fault_id = next(_fault_ids)
+        request = Message(
+            dest=mapping.handle.backing_port,
+            op=OP_IMAG_READ,
+            sections=[InlineSection(bytes(IMAG_REQUEST_PAYLOAD_BYTES))],
+            reply_port=self.reply_port,
+            meta={
+                "fault_id": fault_id,
+                "page_index": index,
+                "segment_id": mapping.handle.segment_id,
+            },
+        )
+        reply_event = self.engine.event()
+        self._pending_replies[fault_id] = reply_event
+        yield from self.host.kernel.send(request)
+        reply = yield reply_event
+
+        region = reply.first_section(RegionSection)
+        if region is None or index not in region.pages:
+            raise PagerError(
+                f"imaginary read reply for page {index} lacks the page"
+            )
+        # Install the demanded page and any prefetched companions that
+        # are still owed (they may have raced with other faults).
+        for page_index in sorted(region.pages):
+            if space.entry(page_index) is not None:
+                continue
+            page = region.pages[page_index]
+            yield from self._install_resident(space, page_index, page)
+            if page_index != index:
+                # Mark prefetched arrivals so later touches count hits.
+                space.page_table[page_index].prefetched = True
+        with self.cpu.held() as req:
+            yield req
+            yield self.engine.timeout(calibration.map_in_s)
+
+    # -- reply dispatch ---------------------------------------------------------
+    def _reply_loop(self):
+        """Routes imaginary read replies to their waiting faults."""
+        while True:
+            message = yield self.reply_port.receive()
+            fault_id = message.meta.get("fault_id")
+            waiter = self._pending_replies.pop(fault_id, None)
+            if waiter is None:
+                raise PagerError(f"unmatched imaginary reply {fault_id!r}")
+            waiter.succeed(message)
+
+    # -- frame management ---------------------------------------------------------
+    def _install_resident(self, space, index, page):
+        """Install a brand-new page as resident, evicting if needed."""
+        yield from self._claim_frame(space, index)
+        space.install_page(index, page, Residency.RESIDENT)
+
+    def _make_resident(self, space, index):
+        """Flip an existing on-disk page to resident."""
+        yield from self._claim_frame(space, index)
+        space.set_residency(index, Residency.RESIDENT)
+
+    def _claim_frame(self, space, index):
+        victim = self.host.physical.allocate((space.space_id, index))
+        if victim is not None:
+            victim_space_id, victim_index = victim
+            victim_space = self.host.space_by_id(victim_space_id)
+            entry = victim_space.entry(victim_index)
+            yield from self.host.disk.write(
+                victim_space_id, victim_index, entry.page
+            )
+            victim_space.set_residency(victim_index, Residency.ON_DISK)

@@ -1,0 +1,75 @@
+"""Accent process contexts.
+
+A context has five components (paper §3.1): the Perq microengine state,
+the kernel stack (when in supervisor mode), the PCB, the set of port
+rights, and the virtual address space.  The first four together are
+roughly one kilobyte; the address space can reach four gigabytes — which
+is the whole story of the paper.
+"""
+
+import enum
+from itertools import count
+
+_process_serial = count(1)
+
+#: Wire sizes of the small context pieces (≈1 KB combined, §3.1).
+MICROSTATE_BYTES = 256
+KERNEL_STACK_BYTES = 512
+PCB_BYTES = 256
+
+
+class ProcessStatus(enum.Enum):
+    RUNNABLE = "runnable"
+    BLOCKED = "blocked"
+    EXCISED = "excised"
+    TERMINATED = "terminated"
+
+
+class AccentProcess:
+    """One process: the migratable unit."""
+
+    def __init__(
+        self,
+        name,
+        space,
+        port_rights=(),
+        map_entries=0,
+        microstate=None,
+        kernel_stack=None,
+        pcb=None,
+        blueprint=None,
+    ):
+        self.serial = next(_process_serial)
+        self.name = name
+        self.space = space
+        self.port_rights = list(port_rights)
+        #: Process-map complexity: entries in the kernel's (simulated)
+        #: sparse map for this space.  Drives AMap-construction cost
+        #: (paper §4.3.1: complex maps + lazy updates make AMap
+        #: construction expensive, especially for Lisp).
+        self.map_entries = map_entries
+        self.microstate = microstate or bytes(MICROSTATE_BYTES)
+        self.kernel_stack = kernel_stack or bytes(KERNEL_STACK_BYTES)
+        self.pcb = pcb or bytes(PCB_BYTES)
+        #: Name of the workload blueprint that built this process, if
+        #: any; carried in the Core message so the destination can
+        #: resume the right program.
+        self.blueprint = blueprint
+        self.status = ProcessStatus.RUNNABLE
+        #: The host currently running the process (set by the kernel).
+        self.host = None
+
+    def __repr__(self):
+        host = getattr(self.host, "name", None)
+        return f"<AccentProcess {self.name} {self.status.value} host={host}>"
+
+    @property
+    def core_context_bytes(self):
+        """Size of the non-address-space context pieces."""
+        return (
+            len(self.microstate) + len(self.kernel_stack) + len(self.pcb)
+        )
+
+    def rights_for(self, kind):
+        """This process's rights of one kind."""
+        return [right for right in self.port_rights if right.kind is kind]

@@ -1,0 +1,45 @@
+"""The four AMap memory "distances" of paper §2.3."""
+
+import enum
+
+
+class Accessibility(enum.IntEnum):
+    """How far away the data behind an address range is.
+
+    The integer order encodes the paper's distance ranking: immediately
+    accessible < moderately accessible < distantly accessible < illegal.
+    """
+
+    #: Validated but never touched; conceptually zero-filled.  A FillZero
+    #: fault materialises the page without consulting the disk.
+    REAL_ZERO_MEM = 0
+    #: Present in physical memory or fetchable from the local disk.
+    REAL_MEM = 1
+    #: Mapped to an imaginary segment; a touch generates an IPC page
+    #: request to the backing port and may take arbitrarily long.
+    IMAG_MEM = 2
+    #: Not validated; touching it is an addressing error.
+    BAD_MEM = 3
+
+    @property
+    def distance(self):
+        """Human-readable distance rating from the paper."""
+        return _DISTANCES[self]
+
+    @property
+    def is_legal(self):
+        """Whether a reference to this class can be satisfied at all."""
+        return self is not Accessibility.BAD_MEM
+
+
+_DISTANCES = {
+    Accessibility.REAL_ZERO_MEM: "immediate",
+    Accessibility.REAL_MEM: "moderate",
+    Accessibility.IMAG_MEM: "distant",
+    Accessibility.BAD_MEM: "infinite",
+}
+
+REAL_ZERO_MEM = Accessibility.REAL_ZERO_MEM
+REAL_MEM = Accessibility.REAL_MEM
+IMAG_MEM = Accessibility.IMAG_MEM
+BAD_MEM = Accessibility.BAD_MEM

@@ -1,0 +1,110 @@
+"""Accessibility Maps (paper §2.3).
+
+An AMap answers "how accessible is this address range?" without touching
+it — the information the NetMsgServer needs to fragment messages around
+imaginary subranges, and that the kernel needs to avoid deadlocking on
+port-backed memory while holding the system critical section.
+"""
+
+from collections import namedtuple
+
+from repro.accent.vm.accessibility import (
+    Accessibility,
+    BAD_MEM,
+    IMAG_MEM,
+    REAL_MEM,
+    REAL_ZERO_MEM,
+)
+from repro.accent.vm.intervals import IntervalMap
+
+AMapRun = namedtuple("AMapRun", "start end accessibility")
+AMapRun.__doc__ = "One maximal run: [start, end) bytes of one class."
+
+
+class AMap:
+    """An ordered set of accessibility runs over an address space.
+
+    Unmapped addresses are implicitly :data:`BAD_MEM`; only legal classes
+    are stored.  Runs of equal class coalesce automatically.
+    """
+
+    #: Approximate wire size of one encoded run (start, length, class).
+    RUN_ENCODING_BYTES = 9
+
+    def __init__(self):
+        self._runs = IntervalMap()
+
+    def __repr__(self):
+        return f"<AMap entries={self.entry_count} bytes={self.total_bytes}>"
+
+    def __eq__(self, other):
+        if not isinstance(other, AMap):
+            return NotImplemented
+        return list(self.runs()) == list(other.runs())
+
+    def add_run(self, start, end, accessibility):
+        """Record that ``[start, end)`` has the given class."""
+        if not isinstance(accessibility, Accessibility):
+            raise TypeError(f"{accessibility!r} is not an Accessibility")
+        if accessibility is BAD_MEM:
+            raise ValueError("BAD_MEM runs are implicit; do not store them")
+        self._runs.add(start, end, accessibility)
+
+    def classify(self, address):
+        """The class of one byte address."""
+        return self._runs.get(address, BAD_MEM)
+
+    def runs(self):
+        """Iterate :class:`AMapRun` in address order."""
+        for start, end, value in self._runs.runs():
+            yield AMapRun(start, end, value)
+
+    def runs_of(self, accessibility):
+        """Iterate runs of a single class."""
+        for run in self.runs():
+            if run.accessibility is accessibility:
+                yield run
+
+    def overlapping(self, start, end):
+        """Iterate runs clipped to ``[start, end)``."""
+        for run_start, run_end, value in self._runs.overlapping(start, end):
+            yield AMapRun(run_start, run_end, value)
+
+    @property
+    def entry_count(self):
+        """Number of stored runs (drives AMap wire size)."""
+        return len(self._runs)
+
+    @property
+    def total_bytes(self):
+        """Bytes covered by legal classes."""
+        return self._runs.span()
+
+    def bytes_of(self, accessibility):
+        """Bytes covered by one class."""
+        return sum(
+            run.end - run.start for run in self.runs_of(accessibility)
+        )
+
+    @property
+    def real_bytes(self):
+        return self.bytes_of(REAL_MEM)
+
+    @property
+    def real_zero_bytes(self):
+        return self.bytes_of(REAL_ZERO_MEM)
+
+    @property
+    def imaginary_bytes(self):
+        return self.bytes_of(IMAG_MEM)
+
+    @property
+    def wire_bytes(self):
+        """Bytes this AMap occupies inside a Core message."""
+        return self.entry_count * self.RUN_ENCODING_BYTES
+
+    def copy(self):
+        """An independent copy of this map."""
+        clone = AMap()
+        clone._runs = self._runs.copy()
+        return clone

@@ -1,0 +1,140 @@
+"""A sorted, non-overlapping interval-to-value map.
+
+Used for the region tables of sparse 4-gigabyte address spaces and for
+accessibility maps, where materialising anything per-page would be
+hopeless (a validated Lisp space spans eight million pages).
+"""
+
+import bisect
+
+
+class IntervalMap:
+    """Maps half-open integer intervals ``[start, end)`` to values.
+
+    Intervals never overlap; adjacent intervals with equal values are
+    coalesced.  Insertion overwrites any overlapped portion of existing
+    intervals (splitting them when partially covered).
+    """
+
+    def __init__(self):
+        self._starts = []
+        self._ends = []
+        self._values = []
+
+    def __len__(self):
+        return len(self._starts)
+
+    def __repr__(self):
+        runs = ", ".join(
+            f"[{s},{e})={v!r}" for s, e, v in list(self.runs())[:4]
+        )
+        suffix = ", ..." if len(self) > 4 else ""
+        return f"<IntervalMap {runs}{suffix}>"
+
+    def __eq__(self, other):
+        if not isinstance(other, IntervalMap):
+            return NotImplemented
+        return list(self.runs()) == list(other.runs())
+
+    def add(self, start, end, value):
+        """Set ``[start, end)`` to ``value``, overwriting overlaps."""
+        if start >= end:
+            raise ValueError(f"empty interval [{start}, {end})")
+        self._carve(start, end)
+        index = bisect.bisect_left(self._starts, start)
+        self._starts.insert(index, start)
+        self._ends.insert(index, end)
+        self._values.insert(index, value)
+        self._coalesce_around(index)
+
+    def remove(self, start, end):
+        """Clear any mapping inside ``[start, end)``."""
+        if start >= end:
+            raise ValueError(f"empty interval [{start}, {end})")
+        self._carve(start, end)
+
+    def get(self, point, default=None):
+        """Value at integer ``point``, or ``default``."""
+        index = bisect.bisect_right(self._starts, point) - 1
+        if index >= 0 and point < self._ends[index]:
+            return self._values[index]
+        return default
+
+    def covers(self, start, end):
+        """True if every point of ``[start, end)`` is mapped."""
+        cursor = start
+        for run_start, run_end, _ in self.overlapping(start, end):
+            if run_start > cursor:
+                return False
+            cursor = run_end
+        return cursor >= end
+
+    def runs(self):
+        """Iterate ``(start, end, value)`` in address order."""
+        return zip(self._starts, self._ends, self._values)
+
+    def overlapping(self, start, end):
+        """Iterate runs intersecting ``[start, end)``, clipped to it."""
+        index = bisect.bisect_right(self._starts, start) - 1
+        if index < 0:
+            index = 0
+        while index < len(self._starts) and self._starts[index] < end:
+            run_start, run_end = self._starts[index], self._ends[index]
+            if run_end > start:
+                yield max(run_start, start), min(run_end, end), self._values[index]
+            index += 1
+
+    def span(self):
+        """Total number of points mapped."""
+        return sum(e - s for s, e, _ in self.runs())
+
+    def copy(self):
+        """An independent shallow copy."""
+        clone = IntervalMap()
+        clone._starts = list(self._starts)
+        clone._ends = list(self._ends)
+        clone._values = list(self._values)
+        return clone
+
+    # -- internals -----------------------------------------------------------
+    def _carve(self, start, end):
+        """Remove all coverage of ``[start, end)``, splitting edges."""
+        index = bisect.bisect_right(self._starts, start) - 1
+        if index < 0:
+            index = 0
+        while index < len(self._starts) and self._starts[index] < end:
+            run_start, run_end = self._starts[index], self._ends[index]
+            if run_end <= start:
+                index += 1
+                continue
+            value = self._values[index]
+            # Delete the run, then re-insert any uncovered flanks.
+            del self._starts[index], self._ends[index], self._values[index]
+            if run_start < start:
+                self._starts.insert(index, run_start)
+                self._ends.insert(index, start)
+                self._values.insert(index, value)
+                index += 1
+            if run_end > end:
+                self._starts.insert(index, end)
+                self._ends.insert(index, run_end)
+                self._values.insert(index, value)
+                return
+
+    def _coalesce_around(self, index):
+        """Merge the run at ``index`` with equal-valued neighbours."""
+        # Merge with successor first so `index` stays valid.
+        if (
+            index + 1 < len(self._starts)
+            and self._ends[index] == self._starts[index + 1]
+            and self._values[index] == self._values[index + 1]
+        ):
+            self._ends[index] = self._ends[index + 1]
+            del self._starts[index + 1], self._ends[index + 1], self._values[index + 1]
+        if (
+            index > 0
+            and self._ends[index - 1] == self._starts[index]
+            and self._values[index - 1] == self._values[index]
+        ):
+            self._ends[index - 1] = self._ends[index]
+            del self._starts[index], self._ends[index], self._values[index]

@@ -1,0 +1,80 @@
+"""Reference-counted page frames with real contents.
+
+Pages carry actual bytes so that the migration pipeline can be verified
+end-to-end: after a copy-on-reference migration, the destination process
+must observe exactly the bytes the source process wrote.  Sharing with a
+reference count implements Accent's copy-on-write message transfer.
+"""
+
+from repro.accent.constants import PAGE_SIZE
+
+_ZERO = bytes(PAGE_SIZE)
+
+
+class Page:
+    """One 512-byte page of data, shareable copy-on-write."""
+
+    __slots__ = ("_data", "refs")
+
+    def __init__(self, data=None):
+        if data is None:
+            data = _ZERO
+        elif len(data) < PAGE_SIZE:
+            data = bytes(data) + _ZERO[len(data):]
+        elif len(data) > PAGE_SIZE:
+            raise ValueError(f"page data of {len(data)} bytes exceeds {PAGE_SIZE}")
+        self._data = bytes(data)
+        self.refs = 1
+
+    def __repr__(self):
+        return f"<Page refs={self.refs} head={self._data[:8].hex()}>"
+
+    @property
+    def data(self):
+        """The page contents (immutable bytes)."""
+        return self._data
+
+    @property
+    def shared(self):
+        """True when more than one mapping references this frame."""
+        return self.refs > 1
+
+    def share(self):
+        """Add a reference (copy-on-write mapping) and return self."""
+        self.refs += 1
+        return self
+
+    def release(self):
+        """Drop a reference."""
+        if self.refs <= 0:
+            raise ValueError("release of page with no references")
+        self.refs -= 1
+
+    def write(self, offset, data):
+        """Write ``data`` at ``offset``; returns the page to keep using.
+
+        If the page is shared, the deferred copy is performed first
+        (copy-on-write) and the private copy is returned — the caller
+        must replace its mapping with the returned page.
+        """
+        if offset < 0 or offset + len(data) > PAGE_SIZE:
+            raise ValueError(
+                f"write of {len(data)} bytes at offset {offset} exceeds page"
+            )
+        target = self
+        if self.shared:
+            self.refs -= 1
+            target = Page(self._data)
+        target._data = (
+            target._data[:offset] + bytes(data) + target._data[offset + len(data):]
+        )
+        return target
+
+    def fork_copy(self):
+        """An independent deep copy (used by physical shipment)."""
+        return Page(self._data)
+
+    @staticmethod
+    def zero():
+        """A fresh zero-filled page (FillZero fault result)."""
+        return Page()

@@ -1,0 +1,82 @@
+"""Per-host physical memory: a bounded frame pool with LRU eviction.
+
+Accent treats physical memory as a disk cache (paper §4.2.3) — old file
+pages linger in the resident set long after their last use, which is
+exactly why resident-set shipment performs poorly for the Pasmac
+processes.  The LRU bookkeeping here is what defines "resident set" for
+the RS migration strategy.
+"""
+
+from collections import OrderedDict
+
+
+class OutOfFrames(Exception):
+    """Raised when a frame is needed and no victim can be chosen."""
+
+
+class PhysicalMemory:
+    """A pool of page frames identified by (address-space id, page index)."""
+
+    def __init__(self, frame_count):
+        if frame_count <= 0:
+            raise ValueError(f"frame_count must be positive, got {frame_count}")
+        self.frame_count = frame_count
+        # key -> None; ordering is LRU (oldest first).
+        self._lru = OrderedDict()
+
+    def __repr__(self):
+        return f"<PhysicalMemory {len(self._lru)}/{self.frame_count} frames>"
+
+    def __contains__(self, key):
+        return key in self._lru
+
+    @property
+    def used(self):
+        """Number of frames currently occupied."""
+        return len(self._lru)
+
+    @property
+    def free(self):
+        """Number of unoccupied frames."""
+        return self.frame_count - len(self._lru)
+
+    def touch(self, key):
+        """Record a reference, moving ``key`` to most-recently-used."""
+        if key not in self._lru:
+            raise KeyError(f"{key!r} is not resident")
+        self._lru.move_to_end(key)
+
+    def allocate(self, key):
+        """Claim a frame for ``key``; returns an evicted key or ``None``.
+
+        The caller is responsible for paging the victim's contents out
+        (the pager charges the disk-write time).
+        """
+        if key in self._lru:
+            self._lru.move_to_end(key)
+            return None
+        victim = None
+        if len(self._lru) >= self.frame_count:
+            try:
+                victim, _ = self._lru.popitem(last=False)
+            except KeyError:  # pragma: no cover - guarded by frame_count > 0
+                raise OutOfFrames("no frames and no victims") from None
+        self._lru[key] = None
+        return victim
+
+    def evict(self, key):
+        """Explicitly release the frame held by ``key`` (if any)."""
+        self._lru.pop(key, None)
+
+    def release_space(self, space_id):
+        """Release every frame belonging to one address space."""
+        doomed = [key for key in self._lru if key[0] == space_id]
+        for key in doomed:
+            del self._lru[key]
+        return len(doomed)
+
+    def resident_keys(self, space_id=None):
+        """Keys of resident frames, LRU-oldest first."""
+        if space_id is None:
+            return list(self._lru)
+        return [key for key in self._lru if key[0] == space_id]

@@ -1,0 +1,280 @@
+"""Command-line interface.
+
+    python -m repro migrate lisp-del --strategy pure-iou --prefetch 1
+    python -m repro sweep pm-start
+    python -m repro chain pm-start --path alpha beta gamma --run 0.4
+    python -m repro precopy pm-mid
+    python -m repro balance chess chess pm-mid --hosts 3
+    python -m repro report EXPERIMENTS.md
+    python -m repro workloads
+"""
+
+import argparse
+import sys
+
+from repro.migration.strategy import PURE_COPY, PURE_IOU, RESIDENT_SET, Strategy
+from repro.testbed import Testbed
+from repro.workloads.registry import WORKLOADS
+
+
+def _add_common(parser):
+    parser.add_argument("--seed", type=int, default=1987)
+
+
+def build_parser():
+    """Construct the argparse command tree."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Attacking the Process Migration Bottleneck' "
+            "(Zayas, SOSP 1987) on a simulated Accent testbed."
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    migrate = commands.add_parser("migrate", help="run one migration trial")
+    migrate.add_argument("workload", choices=sorted(WORKLOADS))
+    migrate.add_argument(
+        "--strategy", choices=Strategy.names(), default=PURE_IOU
+    )
+    migrate.add_argument("--prefetch", type=int, default=0)
+    _add_common(migrate)
+
+    sweep = commands.add_parser(
+        "sweep", help="strategy × prefetch sweep for one workload"
+    )
+    sweep.add_argument("workload", choices=sorted(WORKLOADS))
+    _add_common(sweep)
+
+    chain = commands.add_parser("chain", help="multi-hop migration")
+    chain.add_argument("workload", choices=sorted(WORKLOADS))
+    chain.add_argument("--path", nargs="+", default=["alpha", "beta", "gamma"])
+    chain.add_argument(
+        "--run",
+        type=float,
+        nargs="*",
+        default=None,
+        help="trace fraction to execute at each intermediate host",
+    )
+    chain.add_argument("--strategy", choices=Strategy.names(), default=PURE_IOU)
+    _add_common(chain)
+
+    precopy = commands.add_parser(
+        "precopy", help="iterative pre-copy baseline (V system)"
+    )
+    precopy.add_argument("workload", choices=sorted(WORKLOADS))
+    precopy.add_argument("--dirty-rate", type=float, default=None)
+    _add_common(precopy)
+
+    balance = commands.add_parser(
+        "balance", help="automatic-migration scenario"
+    )
+    balance.add_argument("workloads", nargs="+")
+    balance.add_argument("--hosts", type=int, default=3)
+    balance.add_argument(
+        "--policy",
+        choices=("none", "eager-copy", "breakeven"),
+        default="breakeven",
+    )
+    _add_common(balance)
+
+    report = commands.add_parser(
+        "report", help="regenerate EXPERIMENTS.md (77-trial sweep)"
+    )
+    report.add_argument("output", nargs="?", default="EXPERIMENTS.md")
+    _add_common(report)
+
+    export = commands.add_parser(
+        "export", help="write every table/figure dataset as CSV"
+    )
+    export.add_argument("directory", nargs="?", default="results")
+    _add_common(export)
+
+    figures = commands.add_parser(
+        "figures", help="render every figure as SVG"
+    )
+    figures.add_argument("directory", nargs="?", default="figures")
+    _add_common(figures)
+
+    commands.add_parser("workloads", help="list the seven representatives")
+    return parser
+
+
+def cmd_migrate(args, out):
+    """Run one migration trial and print its report."""
+    bed = Testbed(seed=args.seed)
+    result = bed.migrate(
+        args.workload, strategy=args.strategy, prefetch=args.prefetch
+    )
+    out(f"workload          {result.spec.name}")
+    out(f"strategy          {result.strategy} (prefetch {result.prefetch})")
+    out(f"excise            {result.excise_s:.2f}s  "
+        f"(AMap {result.excise_amap_s:.2f}s, RIMAS {result.excise_rimas_s:.2f}s)")
+    out(f"core message      {result.core_transfer_s:.2f}s")
+    out(f"space transfer    {result.transfer_s:.2f}s")
+    out(f"insert            {result.insert_s:.3f}s")
+    out(f"remote execution  {result.exec_s:.2f}s")
+    out(f"bytes on wire     {result.bytes_total:,}")
+    out(f"message handling  {result.message_handling_s:.2f}s")
+    out(f"pages moved       {result.pages_transferred} "
+        f"({100 * result.fraction_of_real_transferred:.1f}% of RealMem)")
+    if result.prefetch_hit_ratio is not None:
+        out(f"prefetch hits     {result.prefetch_hit_ratio:.0%}")
+    out(f"verified          {result.verified}")
+    return 0 if result.verified else 1
+
+
+def cmd_sweep(args, out):
+    """Print the strategy x prefetch sweep for one workload."""
+    bed = Testbed(seed=args.seed)
+    copy = bed.migrate(args.workload, strategy=PURE_COPY)
+    base = copy.transfer_plus_exec_s
+    out(f"{args.workload}: pure-copy transfer+exec = {base:.1f}s")
+    out(f"{'trial':>10}  {'transfer':>8}  {'exec':>8}  {'speedup':>8}")
+    for strategy in (PURE_IOU, RESIDENT_SET):
+        for prefetch in (0, 1, 3, 7, 15):
+            result = bed.migrate(
+                args.workload, strategy=strategy, prefetch=prefetch
+            )
+            speedup = 100 * (base - result.transfer_plus_exec_s) / base
+            tag = "iou" if strategy == PURE_IOU else "rs"
+            out(
+                f"{tag + '-pf' + str(prefetch):>10}  {result.transfer_s:>7.2f}s"
+                f"  {result.exec_s:>7.2f}s  {speedup:>7.1f}%"
+            )
+    return 0
+
+
+def cmd_chain(args, out):
+    """Run a multi-hop migration chain."""
+    bed = Testbed(seed=args.seed)
+    fractions = args.run
+    if fractions is None:
+        fractions = [0.0] * (len(args.path) - 2)
+    result = bed.migrate_chain(
+        args.workload,
+        path=tuple(args.path),
+        strategy=args.strategy,
+        run_fractions=tuple(fractions),
+    )
+    out(f"chain {' -> '.join(result.path)} under {result.strategy}")
+    for hop, seconds in enumerate(result.hop_times_s, 1):
+        out(f"  hop {hop}: {seconds:.2f}s")
+    out(f"end-to-end        {result.end_to_end_s:.2f}s")
+    out(f"bytes on wire     {result.bytes_total:,}")
+    served = ", ".join(f"{h}={n}" for h, n in result.pages_served.items())
+    out(f"pages served by   {served}")
+    out(f"verified          {result.verified}")
+    return 0 if result.verified else 1
+
+
+def cmd_precopy(args, out):
+    """Run the iterative pre-copy baseline."""
+    bed = Testbed(seed=args.seed)
+    result = bed.migrate_precopy(args.workload, dirty_rate_pps=args.dirty_rate)
+    out(f"pre-copy of {result.spec.name}: {len(result.rounds)} rounds")
+    for index, round_ in enumerate(result.rounds, 1):
+        out(f"  round {index}: {round_.pages} pages in {round_.seconds:.2f}s")
+    out(f"downtime          {result.downtime_s:.2f}s")
+    out(f"bytes on wire     {result.bytes_total:,}")
+    out(f"pages shipped     {result.pages_shipped} "
+        f"(address space holds {result.spec.real_pages})")
+    out(f"verified          {result.verified}")
+    return 0 if result.verified else 1
+
+
+def cmd_balance(args, out):
+    """Run an automatic-migration scenario."""
+    from repro.loadbalance import (
+        BreakevenPolicy,
+        EagerCopyPolicy,
+        NoMigrationPolicy,
+        Scenario,
+    )
+
+    for name in args.workloads:
+        if name not in WORKLOADS:
+            out(f"unknown workload {name!r}")
+            return 2
+    policy = {
+        "none": NoMigrationPolicy,
+        "eager-copy": EagerCopyPolicy,
+        "breakeven": BreakevenPolicy,
+    }[args.policy]()
+    scenario = Scenario(args.workloads, hosts=args.hosts, seed=args.seed)
+    result = scenario.run(policy)
+    out(f"policy {result.policy_name}: makespan {result.makespan_s:.1f}s, "
+        f"{len(result.migrations)} migrations, verified {result.verified}")
+    for decision in result.migrations:
+        out(f"  {decision}")
+    return 0 if result.verified else 1
+
+
+def cmd_report(args, out):
+    """Regenerate the EXPERIMENTS.md report."""
+    from repro.experiments.runner import generate_report
+
+    text, matrix = generate_report(seed=args.seed)
+    with open(args.output, "w", encoding="utf-8") as handle:
+        handle.write(text + "\n")
+    out(f"wrote {args.output} ({matrix.run_all()} trials)")
+    return 0
+
+
+def cmd_export(args, out):
+    """Export every table/figure dataset as CSV."""
+    from repro.experiments.export import export_all
+    from repro.experiments.matrix import TrialMatrix
+
+    matrix = TrialMatrix(seed=args.seed)
+    written = export_all(matrix, args.directory)
+    for name in sorted(written):
+        out(f"wrote {written[name]}")
+    return 0
+
+
+def cmd_figures(args, out):
+    """Render every figure as SVG."""
+    from repro.experiments.figures_svg import render_all
+    from repro.experiments.matrix import TrialMatrix
+
+    matrix = TrialMatrix(seed=args.seed)
+    written = render_all(matrix, args.directory)
+    for name in sorted(written):
+        out(f"wrote {written[name]}")
+    return 0
+
+
+def cmd_workloads(args, out):
+    """List the seven representative workloads."""
+    out(f"{'name':>10}  {'real':>12}  {'total':>14}  {'RS':>9}  description")
+    for spec in WORKLOADS.values():
+        out(
+            f"{spec.name:>10}  {spec.real_bytes:>12,}  "
+            f"{spec.total_bytes:>14,}  {spec.resident_bytes:>9,}  "
+            f"{spec.description[:58]}"
+        )
+    return 0
+
+
+_COMMANDS = {
+    "migrate": cmd_migrate,
+    "sweep": cmd_sweep,
+    "chain": cmd_chain,
+    "precopy": cmd_precopy,
+    "balance": cmd_balance,
+    "report": cmd_report,
+    "export": cmd_export,
+    "figures": cmd_figures,
+    "workloads": cmd_workloads,
+}
+
+
+def main(argv=None, out=print):
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args, out)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

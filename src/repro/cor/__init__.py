@@ -1,0 +1,13 @@
+"""The copy-on-reference facility (paper §2.2–§2.4).
+
+Any application can lazy-ship data with this package: wrap pages in an
+:class:`ImaginarySegment` served by a :class:`BackingServer`, pass an
+:class:`~repro.accent.ipc.message.IOUSection` naming its handle, and the
+receiver maps the range imaginary — touches fault and fetch on demand,
+with optional contiguous-page prefetch.
+"""
+
+from repro.cor.imaginary import ImaginaryHandle, ImaginarySegment
+from repro.cor.backer import BackingServer
+
+__all__ = ["BackingServer", "ImaginaryHandle", "ImaginarySegment"]

@@ -1,0 +1,99 @@
+"""The backing server: fields Imaginary Read Requests for its segments.
+
+One server (one port, one receive loop) can back many segments — the
+NetMsgServer runs one of these to manage every RIMAS region it caches.
+Applications may run their own for arbitrary lazy data delivery.
+"""
+
+from repro.accent.ipc.message import Message, RegionSection
+from repro.accent.pager import OP_IMAG_DEATH, OP_IMAG_READ, OP_IMAG_READ_REPLY
+from repro.cor.imaginary import ImaginarySegment
+
+
+class BackerError(Exception):
+    """Request for an unknown segment or page."""
+
+
+class BackingServer:
+    """A user-level memory manager reachable through one port."""
+
+    def __init__(self, host, prefetch=0, name=None):
+        self.host = host
+        self.engine = host.engine
+        self.name = name or f"{host.name}-backer"
+        #: Extra contiguous pages returned per request (0, 1, 3, 7, 15).
+        self.prefetch = prefetch
+        self.port = host.create_port(name=self.name)
+        self.segments = {}
+        #: (segment_id, label, delivered_pages, total_pages) of segments
+        #: retired by Imaginary Segment Death.
+        self.retired = []
+        self._server = self.engine.process(self._serve(), name=self.name)
+
+    def __repr__(self):
+        return f"<BackingServer {self.name} segments={len(self.segments)}>"
+
+    def create_segment(self, pages, label=None):
+        """Register a new segment backed by this server's port."""
+        segment = ImaginarySegment(self.port, pages, label=label)
+        self.segments[segment.segment_id] = segment
+        return segment
+
+    def segment(self, segment_id):
+        """The live segment with this id (BackerError if unknown)."""
+        try:
+            return self.segments[segment_id]
+        except KeyError:
+            raise BackerError(f"unknown segment {segment_id}") from None
+
+    @property
+    def live_segments(self):
+        return [s for s in self.segments.values() if not s.dead]
+
+    # -- server loop -------------------------------------------------------------
+    def _serve(self):
+        while True:
+            message = yield self.port.receive()
+            if message.op == OP_IMAG_READ:
+                yield from self._handle_read(message)
+            elif message.op == OP_IMAG_DEATH:
+                self._handle_death(message)
+            else:
+                raise BackerError(f"unexpected op {message.op!r}")
+
+    def _handle_read(self, message):
+        segment = self.segment(message.meta["segment_id"])
+        yield self.engine.timeout(self.host.calibration.backer_lookup_s)
+        pages = segment.take(message.meta["page_index"], self.prefetch)
+        extra = len(pages) - 1
+        if extra:
+            self.host.metrics.record_prefetch(extra)
+        reply = Message(
+            dest=message.reply_port,
+            op=OP_IMAG_READ_REPLY,
+            sections=[RegionSection(pages, force_copy=True, label="imag-reply")],
+            meta={"fault_id": message.meta["fault_id"]},
+        )
+        # Fire-and-forget so the server can overlap reply shipment with
+        # the next request (Accent's backer is not store-and-forward).
+        self.host.kernel.post(reply)
+
+    def _handle_death(self, message):
+        segment = self.segments.pop(message.meta["segment_id"], None)
+        if segment is not None:
+            self.retired.append(
+                (
+                    segment.segment_id,
+                    segment.label,
+                    len(segment.stash) - len(segment.owed),
+                    len(segment.stash),
+                )
+            )
+            segment.die()
+
+    def delivered_page_count(self):
+        """Distinct pages delivered on demand, live and retired segments."""
+        live = sum(
+            len(s.stash) - len(s.owed) for s in self.segments.values()
+        )
+        return live + sum(entry[2] for entry in self.retired)

@@ -1,0 +1,96 @@
+"""Imaginary segments: memory owed through an IPC port."""
+
+import bisect
+from itertools import count
+
+_segment_ids = count(1)
+
+
+class ImaginaryHandle:
+    """What a receiver holds: enough to route page requests.
+
+    Stored as the ``handle`` of an
+    :class:`~repro.accent.vm.address_space.ImaginaryMapping` and inside
+    :class:`~repro.accent.ipc.message.IOUSection`; the pager addresses
+    Imaginary Read Requests to ``backing_port`` tagged with
+    ``segment_id``.
+    """
+
+    __slots__ = ("segment_id", "backing_port")
+
+    def __init__(self, segment_id, backing_port):
+        self.segment_id = segment_id
+        self.backing_port = backing_port
+
+    def __repr__(self):
+        return f"<ImaginaryHandle seg={self.segment_id} via={self.backing_port!r}>"
+
+
+class ImaginarySegment:
+    """The backer-side object: a stash of pages promised to a receiver.
+
+    ``owed`` tracks pages not yet delivered; prefetch selection draws
+    from it in ascending page order ("nearby contiguous pages", §4).
+    Delivery is idempotent — a page may be re-requested if a demand
+    fault raced with a prefetched delivery still in flight.
+    """
+
+    def __init__(self, backing_port, pages, segment_id=None, label=None):
+        self.segment_id = segment_id if segment_id is not None else next(_segment_ids)
+        self.backing_port = backing_port
+        self.label = label or f"imag-{self.segment_id}"
+        #: page index -> Page (the cached data; mapped, not copied).
+        self.stash = dict(pages)
+        self._sorted_indices = sorted(self.stash)
+        self.owed = set(self.stash)
+        self.requests = 0
+        self.pages_delivered = 0
+        self.dead = False
+
+    def __repr__(self):
+        return (
+            f"<ImaginarySegment {self.label} owed={len(self.owed)}"
+            f"/{len(self.stash)}>"
+        )
+
+    @property
+    def handle(self):
+        return ImaginaryHandle(self.segment_id, self.backing_port)
+
+    @property
+    def fully_delivered(self):
+        return not self.owed
+
+    def take(self, index, prefetch=0):
+        """Pages for one Imaginary Read Request.
+
+        Returns a dict containing the demanded page plus up to
+        ``prefetch`` still-owed pages at the nearest higher indices —
+        the paper's "additional contiguous page(s)" policy.  Raises
+        KeyError if the demanded page was never part of the segment.
+        """
+        if index not in self.stash:
+            raise KeyError(
+                f"page {index} is not part of segment {self.segment_id}"
+            )
+        self.requests += 1
+        result = {index: self.stash[index]}
+        self.owed.discard(index)
+        if prefetch > 0:
+            position = bisect.bisect_right(self._sorted_indices, index)
+            picked = 0
+            for candidate in self._sorted_indices[position:]:
+                if picked >= prefetch:
+                    break
+                if candidate in self.owed:
+                    result[candidate] = self.stash[candidate]
+                    self.owed.discard(candidate)
+                    picked += 1
+        self.pages_delivered += len(result)
+        return result
+
+    def die(self):
+        """Imaginary Segment Death: all references are gone (§2.2)."""
+        self.dead = True
+        self.stash.clear()
+        self.owed.clear()

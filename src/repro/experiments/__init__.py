@@ -1,0 +1,1 @@
+"""Experiment harness: calibration, tables, figures, claims."""

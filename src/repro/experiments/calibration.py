@@ -1,0 +1,5 @@
+"""Re-export of the calibration table (see :mod:`repro.calibration`)."""
+
+from repro.calibration import DEFAULT_CALIBRATION, Calibration
+
+__all__ = ["Calibration", "DEFAULT_CALIBRATION"]

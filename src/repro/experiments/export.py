@@ -1,0 +1,72 @@
+"""CSV export for every regenerated table and figure.
+
+Downstream analysis (spreadsheets, plotting) wants the raw rows, not
+markdown.  ``export_all(matrix, directory)`` writes one CSV per table
+and figure plus the claims comparison.
+"""
+
+import csv
+import os
+
+from repro.experiments import claims as claims_mod
+from repro.experiments import figures as figures_mod
+from repro.experiments import paper_data
+from repro.experiments import tables as tables_mod
+
+
+def write_rows(path, rows):
+    """Write a list of uniform dicts as CSV; returns the path."""
+    if not rows:
+        raise ValueError(f"no rows to write to {path}")
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.DictWriter(handle, fieldnames=list(rows[0]))
+        writer.writeheader()
+        writer.writerows(rows)
+    return path
+
+
+def export_all(matrix, directory):
+    """Write every dataset; returns {name: path}."""
+    os.makedirs(directory, exist_ok=True)
+    datasets = {
+        "table_4_1": tables_mod.table_4_1(matrix),
+        "table_4_2": tables_mod.table_4_2(matrix),
+        "table_4_3": tables_mod.table_4_3(matrix),
+        "table_4_4": tables_mod.table_4_4(matrix),
+        "table_4_5": tables_mod.table_4_5(matrix),
+        "insertion_times": tables_mod.insertion_times(matrix),
+        "figure_4_1": figures_mod.figure_4_1(matrix),
+        "figure_4_2": figures_mod.figure_4_2(matrix),
+        "figure_4_3": figures_mod.figure_4_3(matrix),
+        "figure_4_4": figures_mod.figure_4_4(matrix),
+    }
+    written = {}
+    for name, rows in datasets.items():
+        written[name] = write_rows(
+            os.path.join(directory, f"{name}.csv"), rows
+        )
+
+    # Figure 4-5: one file per strategy panel.
+    for strategy, series in figures_mod.figure_4_5(matrix).items():
+        rows = [
+            {"time_s": when, "fault_Bps": fault, "other_Bps": other}
+            for when, fault, other in series
+        ]
+        name = f"figure_4_5_{strategy.replace('-', '_')}"
+        written[name] = write_rows(
+            os.path.join(directory, f"{name}.csv"), rows
+        )
+
+    measured = claims_mod.all_claims(matrix)
+    claim_rows = [
+        {
+            "claim": key,
+            "paper": paper_value,
+            "measured": measured.get(key),
+        }
+        for key, paper_value in paper_data.CLAIMS.items()
+    ]
+    written["claims"] = write_rows(
+        os.path.join(directory, "claims.csv"), claim_rows
+    )
+    return written

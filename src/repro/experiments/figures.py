@@ -1,0 +1,96 @@
+"""Regenerators for Figures 4-1 through 4-5.
+
+Each ``figure_4_N`` returns the data series the figure plots; the
+benchmark harness prints them as rows (and Figure 4-5 as a binned
+timeline).
+"""
+
+from repro.experiments.matrix import (
+    LAZY_STRATEGIES,
+    PREFETCH_VALUES,
+    TrialMatrix,
+    WORKLOAD_ORDER,
+)
+from repro.migration.strategy import PURE_COPY
+
+
+def figure_4_1(matrix, workloads=WORKLOAD_ORDER, prefetches=PREFETCH_VALUES):
+    """Remote execution times per strategy × prefetch, in seconds."""
+    rows = []
+    for name in workloads:
+        row = {"workload": name, "copy": matrix.copy(name).exec_s}
+        for strategy in LAZY_STRATEGIES:
+            for prefetch in prefetches:
+                result = matrix.result(name, strategy, prefetch)
+                row[f"{_short(strategy)}_pf{prefetch}"] = result.exec_s
+        rows.append(row)
+    return rows
+
+
+def figure_4_2(matrix, workloads=WORKLOAD_ORDER, prefetches=PREFETCH_VALUES):
+    """End-to-end percent speedup over pure-copy (Figure 4-2).
+
+    The paper sums address-space transfer and remote execution for each
+    strategy and compares with pure-copy; negative values are
+    slowdowns.
+    """
+    rows = []
+    for name in workloads:
+        baseline = matrix.copy(name).transfer_plus_exec_s
+        row = {"workload": name}
+        for strategy in LAZY_STRATEGIES:
+            for prefetch in prefetches:
+                result = matrix.result(name, strategy, prefetch)
+                speedup = 100.0 * (baseline - result.transfer_plus_exec_s) / baseline
+                row[f"{_short(strategy)}_pf{prefetch}"] = speedup
+        rows.append(row)
+    return rows
+
+
+def figure_4_3(matrix, workloads=WORKLOAD_ORDER, prefetches=PREFETCH_VALUES):
+    """Bytes transferred per trial (Figure 4-3)."""
+    return _matrix_metric(matrix, "bytes_total", workloads, prefetches)
+
+
+def figure_4_4(matrix, workloads=WORKLOAD_ORDER, prefetches=PREFETCH_VALUES):
+    """Message-handling seconds per trial (Figure 4-4)."""
+    return _matrix_metric(matrix, "message_handling_s", workloads, prefetches)
+
+
+def figure_4_5(matrix, workload="lisp-del", bin_seconds=5.0):
+    """Byte transfer-rate timelines for Lisp-Del (Figure 4-5).
+
+    Returns {strategy: [(bin_start_s, fault_Bps, other_Bps), ...]}.
+    White areas of the paper's figure = fault-support traffic.
+    """
+    out = {}
+    for strategy in (("pure-iou",) + ("resident-set", PURE_COPY)):
+        result = matrix.result(workload, strategy, 0)
+        bins = result.timeline(bin_seconds)
+        out[strategy] = [
+            (
+                round(b.start - bins[0].start, 3),
+                b.fault_bytes / bin_seconds,
+                b.other_bytes / bin_seconds,
+            )
+            for b in bins
+        ]
+    return out
+
+
+def _matrix_metric(matrix, attribute, workloads, prefetches):
+    rows = []
+    for name in workloads:
+        row = {"workload": name, "copy": getattr(matrix.copy(name), attribute)}
+        for strategy in LAZY_STRATEGIES:
+            for prefetch in prefetches:
+                result = matrix.result(name, strategy, prefetch)
+                row[f"{_short(strategy)}_pf{prefetch}"] = getattr(
+                    result, attribute
+                )
+        rows.append(row)
+    return rows
+
+
+def _short(strategy):
+    return {"pure-iou": "iou", "resident-set": "rs"}[strategy]

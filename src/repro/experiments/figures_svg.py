@@ -1,0 +1,73 @@
+"""SVG renditions of every figure (paper-style plots, no dependencies).
+
+``render_all(matrix, directory)`` writes ``figure_4_1.svg`` …
+``figure_4_5_<strategy>.svg``.  Also reachable via
+``python -m repro figures``.
+"""
+
+import os
+
+from repro.experiments import figures as figures_mod
+from repro.metrics.svg import grouped_bars, rate_timeline
+
+
+def _series_columns(rows):
+    """Column names of a figure row dict, excluding the workload key."""
+    return [key for key in rows[0] if key != "workload"]
+
+
+def _figure_bars(rows, title, y_label, allow_negative=False):
+    columns = _series_columns(rows)
+    groups = [
+        (row["workload"], [row[column] for column in columns])
+        for row in rows
+    ]
+    return grouped_bars(
+        groups,
+        columns,
+        title=title,
+        y_label=y_label,
+        allow_negative=allow_negative,
+    )
+
+
+def render_all(matrix, directory):
+    """Write every figure; returns {name: path}."""
+    os.makedirs(directory, exist_ok=True)
+    artifacts = {
+        "figure_4_1": _figure_bars(
+            figures_mod.figure_4_1(matrix),
+            "Figure 4-1: Remote execution times",
+            "seconds",
+        ),
+        "figure_4_2": _figure_bars(
+            figures_mod.figure_4_2(matrix),
+            "Figure 4-2: End-to-end % speedup over pure-copy",
+            "% speedup",
+            allow_negative=True,
+        ),
+        "figure_4_3": _figure_bars(
+            figures_mod.figure_4_3(matrix),
+            "Figure 4-3: Bytes transferred",
+            "bytes",
+        ),
+        "figure_4_4": _figure_bars(
+            figures_mod.figure_4_4(matrix),
+            "Figure 4-4: Message handling time",
+            "seconds",
+        ),
+    }
+    for strategy, series in figures_mod.figure_4_5(matrix).items():
+        name = f"figure_4_5_{strategy.replace('-', '_')}"
+        artifacts[name] = rate_timeline(
+            series,
+            title=f"Figure 4-5: Lisp-Del transfer rates — {strategy}",
+        )
+
+    written = {}
+    for name, svg in artifacts.items():
+        path = os.path.join(directory, f"{name}.svg")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(svg)
+        written[name] = path
+    return written

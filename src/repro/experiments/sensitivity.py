@@ -1,0 +1,126 @@
+"""Sensitivity analysis: which conclusions survive calibration error?
+
+The timing constants in :mod:`repro.calibration` are fitted to a 1987
+testbed from the numbers the paper prints.  The paper's *conclusions*,
+however, should not hinge on any single constant being exactly right —
+copy-on-reference wins because utilisation is low, not because a page
+costs 33 ms.  This module perturbs one constant at a time and re-checks
+the qualitative conclusions, reporting which hold over the whole range.
+"""
+
+from repro.calibration import DEFAULT_CALIBRATION
+from repro.experiments.matrix import TrialMatrix
+
+#: Constants worth perturbing (each scaled by the sweep factors).
+PERTURBABLE = (
+    "nms_fixed_s",
+    "nms_per_byte_s",
+    "disk_service_s",
+    "migration_setup_s",
+    "rs_carve_per_owed_page_s",
+    "pager_overhead_s",
+    "link_latency_s",
+)
+
+#: A fast, representative workload subset: low / mid / high utilisation
+#: plus the 4 GB sparse giant.
+PROBE_WORKLOADS = ("minprog", "pm-end", "pm-start", "lisp-t")
+
+
+def check_conclusions(matrix, workloads=PROBE_WORKLOADS):
+    """Evaluate the paper's qualitative conclusions on one matrix.
+
+    Returns {conclusion name: bool}.
+    """
+    out = {}
+
+    out["iou_transfer_fastest"] = all(
+        matrix.iou(name).transfer_s
+        < matrix.rs(name).transfer_s
+        < matrix.copy(name).transfer_s
+        for name in workloads
+    )
+
+    out["iou_transfer_size_independent"] = (
+        max(matrix.iou(name).transfer_s for name in workloads)
+        / min(matrix.iou(name).transfer_s for name in workloads)
+        < 4.0
+    )
+
+    out["iou_saves_bytes_at_low_utilisation"] = all(
+        matrix.iou(name).bytes_total < matrix.copy(name).bytes_total
+        for name in workloads
+        if matrix.iou(name).spec.touched_fraction < 0.5
+    )
+
+    out["low_utilisation_wins_end_to_end"] = all(
+        matrix.iou(name).transfer_plus_exec_s
+        < matrix.copy(name).transfer_plus_exec_s
+        for name in workloads
+        if matrix.iou(name).spec.touched_fraction < 0.2
+    )
+
+    out["high_utilisation_loses_at_pf0"] = all(
+        matrix.iou(name).transfer_plus_exec_s
+        > matrix.copy(name).transfer_plus_exec_s
+        for name in workloads
+        if matrix.iou(name).spec.touched_fraction > 0.5
+    )
+
+    out["prefetch_one_never_hurts_much"] = all(
+        matrix.result(name, "pure-iou", 1).transfer_plus_exec_s
+        <= matrix.result(name, "pure-iou", 0).transfer_plus_exec_s
+        + 0.02 * matrix.copy(name).transfer_plus_exec_s
+        for name in workloads
+    )
+
+    out["everything_verifies"] = all(
+        matrix.result(name, strategy, prefetch).verified
+        for name in workloads
+        for strategy, prefetch in (
+            ("pure-copy", 0),
+            ("pure-iou", 0),
+            ("pure-iou", 1),
+            ("resident-set", 0),
+        )
+    )
+    return out
+
+
+def sweep(
+    parameters=PERTURBABLE,
+    factors=(0.5, 2.0),
+    seed=1987,
+    workloads=PROBE_WORKLOADS,
+):
+    """Perturb each parameter by each factor; re-check conclusions.
+
+    Returns a list of row dicts: parameter, factor, each conclusion's
+    verdict, and ``all_hold``.
+    """
+    rows = []
+    for parameter in parameters:
+        baseline = getattr(DEFAULT_CALIBRATION, parameter)
+        for factor in factors:
+            calibration = DEFAULT_CALIBRATION.with_overrides(
+                **{parameter: baseline * factor}
+            )
+            matrix = TrialMatrix(seed=seed, calibration=calibration)
+            verdicts = check_conclusions(matrix, workloads)
+            row = {"parameter": parameter, "factor": factor}
+            row.update(verdicts)
+            row["all_hold"] = all(verdicts.values())
+            rows.append(row)
+    return rows
+
+
+def fragile_conclusions(rows):
+    """Conclusion names that failed under some perturbation."""
+    fragile = set()
+    for row in rows:
+        for key, value in row.items():
+            if key in ("parameter", "factor", "all_hold"):
+                continue
+            if value is False:
+                fragile.add(key)
+    return sorted(fragile)

@@ -1,0 +1,123 @@
+"""The balancer server and the job-mix scenario runner."""
+
+from repro.loadbalance.job import ManagedJob
+from repro.loadbalance.metrics import snapshot_loads
+from repro.loadbalance.policy import NoMigrationPolicy
+from repro.testbed import Testbed
+from repro.workloads.builder import build_process
+from repro.workloads.registry import workload_by_name
+
+
+class LoadBalancer:
+    """Periodically samples loads and executes the policy's decisions.
+
+    One migration is in flight at a time; the job is paused at a step
+    boundary (no fault abandoned mid-protocol), excised, shipped under
+    the policy-chosen strategy, and resumed in its new incarnation.
+    """
+
+    def __init__(self, world, jobs, policy, interval_s=4.0):
+        self.world = world
+        self.jobs = list(jobs)
+        self.policy = policy
+        self.interval_s = interval_s
+        #: Executed decisions, in order.
+        self.log = []
+        self._server = world.engine.process(self._loop(), name="balancer")
+
+    def _loop(self):
+        engine = self.world.engine
+        while any(not job.finished for job in self.jobs):
+            yield engine.timeout(self.interval_s)
+            loads = snapshot_loads(self.world.hosts, self.jobs)
+            decision = self.policy.decide(loads, self.jobs)
+            if decision is None:
+                continue
+            yield from self._execute(decision)
+
+    def _execute(self, decision):
+        world = self.world
+        job = next(j for j in self.jobs if j.name == decision.job_name)
+        paused = job.request_pause()
+        yield paused
+        if job.finished:
+            return  # it beat us to the finish line
+        for host in world.hosts.values():
+            host.nms.prefetch = decision.prefetch
+        source_manager = world.manager(decision.source)
+        dest_manager = world.manager(decision.dest)
+        insertion = dest_manager.expect_insertion(job.name)
+        yield from source_manager.migrate(
+            job.name, dest_manager, decision.strategy
+        )
+        inserted = yield insertion
+        job.resume_as(inserted, world.host(decision.dest))
+        self.log.append(decision)
+
+
+class ScenarioResult:
+    """Outcome of one job-mix run."""
+
+    def __init__(self, policy_name, jobs, log, makespan_s):
+        self.policy_name = policy_name
+        self.makespan_s = makespan_s
+        self.migrations = list(log)
+        self.finish_times = {job.name: job.finished_at for job in jobs}
+        self.verified = all(
+            job.result.verified for job in jobs if job.result.steps_executed
+        )
+        self.steps_executed = sum(job.result.steps_executed for job in jobs)
+
+    def __repr__(self):
+        return (
+            f"<ScenarioResult {self.policy_name} makespan={self.makespan_s:.1f}s "
+            f"migrations={len(self.migrations)} verified={self.verified}>"
+        )
+
+
+class Scenario:
+    """A job mix launched on one host of an N-host testbed.
+
+    ``Scenario(["chess", "pm-mid", "pm-mid"], hosts=3).run(policy)``
+    starts every job on the first host and lets the policy spread them.
+    """
+
+    def __init__(self, workloads, hosts=3, seed=1987, calibration=None,
+                 interval_s=4.0):
+        self.workload_names = list(workloads)
+        self.host_names = tuple(f"node{i}" for i in range(hosts))
+        self.seed = seed
+        self.calibration = calibration
+        self.interval_s = interval_s
+
+    def run(self, policy=None):
+        """Execute the scenario under ``policy``; returns a ScenarioResult."""
+        policy = policy or NoMigrationPolicy()
+        bed = Testbed(seed=self.seed, calibration=self.calibration)
+        world = bed.world(host_names=self.host_names)
+        origin = world.host(self.host_names[0])
+
+        jobs = []
+        for index, workload in enumerate(self.workload_names):
+            spec = workload_by_name(workload)
+            built = build_process(
+                origin, spec, world.streams, name=f"{spec.name}#{index}"
+            )
+            jobs.append(ManagedJob(world, built))
+
+        for job in jobs:
+            job.start(origin)
+        balancer = LoadBalancer(
+            world, jobs, policy, interval_s=self.interval_s
+        )
+
+        all_done = world.engine.all_of([job.done for job in jobs])
+        world.engine.run(until=all_done)
+        makespan = world.engine.now
+        world.engine.run()  # drain death messages etc.
+        return ScenarioResult(
+            getattr(policy, "name", type(policy).__name__),
+            jobs,
+            balancer.log,
+            makespan,
+        )

@@ -1,0 +1,136 @@
+"""Managed, migratable jobs.
+
+A :class:`ManagedJob` owns a workload's execution lifecycle across
+migrations: it runs the reference trace step by step, pauses
+cooperatively when the balancer asks (so no fault protocol is ever
+abandoned mid-flight), and resumes from the same trace position in the
+re-incarnated process at the new host — verifying page contents the
+whole way.
+"""
+
+from repro.accent.constants import PAGE_SIZE
+from repro.workloads.content import WRITE_MARKER, page_head
+from repro.workloads.runner import RemoteRunResult
+
+
+class ManagedJob:
+    """One workload instance under balancer control."""
+
+    def __init__(self, world, built, name=None):
+        self.world = world
+        self.built = built
+        self.spec = built.spec
+        self.name = name or built.process.name
+        self.result = RemoteRunResult(self.name)
+        self.steps = list(built.trace.steps)
+        self.compute_slice_s = built.trace.compute_slice_s
+        self.position = 0
+        self.current_host = None
+        self.process = built.process
+        self.finished = False
+        self.finished_at = None
+        self.migrations = 0
+        self._pause_requested = False
+        self._paused_event = None
+        self._body = None
+        #: Fires when the job completes.
+        self.done = world.engine.event()
+
+    def __repr__(self):
+        state = "done" if self.finished else f"at {self.position}/{len(self.steps)}"
+        host = self.current_host.name if self.current_host else "-"
+        return f"<ManagedJob {self.name} {state} on {host}>"
+
+    @property
+    def remaining_steps(self):
+        return len(self.steps) - self.position
+
+    @property
+    def remaining_touched_pages(self):
+        """Distinct real pages still to be referenced (policy input)."""
+        return len(
+            {
+                step.page_index
+                for step in self.steps[self.position:]
+                if step.kind == "real"
+            }
+        )
+
+    # -- lifecycle ------------------------------------------------------------
+    def start(self, host):
+        """Begin (or resume) execution on ``host``."""
+        if self.finished:
+            raise RuntimeError(f"{self.name} already finished")
+        self.current_host = host
+        self._pause_requested = False
+        self._body = self.world.engine.process(
+            self._run(host), name=f"job-{self.name}"
+        )
+        return self._body
+
+    def request_pause(self):
+        """Ask the job to stop at the next step boundary.
+
+        Returns an event that fires once the job is quiescent (safe to
+        excise).  If the job finishes before reaching a boundary the
+        event fires too — check :attr:`finished` afterwards.
+        """
+        if self._paused_event is None or self._paused_event.processed:
+            self._paused_event = self.world.engine.event()
+        self._pause_requested = True
+        if self.finished and not self._paused_event.triggered:
+            # Already quiescent forever; don't strand the waiter.
+            self._paused_event.succeed(self)
+        return self._paused_event
+
+    def resume_as(self, process, host):
+        """Continue in the re-incarnated process after a migration."""
+        self.process = process
+        self.migrations += 1
+        return self.start(host)
+
+    # -- body -----------------------------------------------------------------
+    def _run(self, host):
+        engine = self.world.engine
+        kernel = host.kernel
+        expected_name = self.spec.name
+        head_len = len(page_head(expected_name, 0))
+        if self.result.started_at is None:
+            self.result.started_at = engine.now
+
+        while self.position < len(self.steps):
+            if self._pause_requested:
+                self._signal_paused()
+                return "paused"
+            step = self.steps[self.position]
+            if self.compute_slice_s > 0:
+                with host.cpu.held() as grant:
+                    yield grant
+                    yield engine.timeout(self.compute_slice_s)
+            cost = kernel.touch(self.process, step.page_index, write=step.write)
+            if cost is not None:
+                yield from cost
+            address = step.page_index * PAGE_SIZE
+            if step.kind == "real":
+                actual = self.process.space.peek(address, head_len)
+                expected = page_head(expected_name, step.page_index)
+                if actual != expected and not actual.startswith(WRITE_MARKER):
+                    self.result.mismatches.append(
+                        (step.page_index, expected, actual)
+                    )
+            if step.write:
+                self.process.space.poke(address, WRITE_MARKER)
+            self.result.steps_executed += 1
+            self.position += 1
+
+        yield from kernel.terminate(self.process.name)
+        self.finished = True
+        self.finished_at = engine.now
+        self.result.finished_at = engine.now
+        self._signal_paused()
+        self.done.succeed(self)
+        return "finished"
+
+    def _signal_paused(self):
+        if self._paused_event is not None and not self._paused_event.triggered:
+            self._paused_event.succeed(self)

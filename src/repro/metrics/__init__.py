@@ -1,0 +1,6 @@
+"""Instrumentation: counters, timelines and report formatting."""
+
+from repro.metrics.collector import LinkRecord, MetricsCollector
+from repro.metrics.timeline import Timeline
+
+__all__ = ["LinkRecord", "MetricsCollector", "Timeline"]

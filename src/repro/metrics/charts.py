@@ -1,0 +1,66 @@
+"""Tiny ASCII charts for reports and examples.
+
+No plotting dependency exists offline, so the harness renders its
+figures as text: horizontal bars for per-trial comparisons and rate
+panels for the Figure 4-5 timelines.
+"""
+
+
+def hbar(value, peak, width=40, fill="#"):
+    """One horizontal bar scaled against ``peak``."""
+    if peak <= 0:
+        return ""
+    length = int(round(width * max(0.0, value) / peak))
+    return fill * min(width, length)
+
+
+def bar_chart(items, width=40, value_format="{:,.1f}"):
+    """Render ``[(label, value), ...]`` as aligned bars.
+
+    >>> print(bar_chart([("a", 2.0), ("bb", 4.0)], width=4))
+    a   |##   | 2.0
+    bb  |#### | 4.0
+    """
+    items = list(items)
+    if not items:
+        return "(no data)"
+    label_width = max(len(str(label)) for label, _ in items)
+    peak = max(value for _, value in items) or 1.0
+    lines = []
+    for label, value in items:
+        bar = hbar(value, peak, width)
+        lines.append(
+            f"{str(label):<{label_width}}  |{bar:<{width}} | "
+            + value_format.format(value)
+        )
+    return "\n".join(lines)
+
+
+def signed_bar(value, scale=1.0, half_width=18, positive="#", negative="-"):
+    """A bar centred on zero (for speedup/slowdown charts)."""
+    magnitude = min(half_width, int(round(abs(value) * scale)))
+    if value >= 0:
+        return " " * half_width + positive * magnitude
+    return " " * (half_width - magnitude) + negative * magnitude
+
+
+def rate_panel(series, width=40, time_format="{:7.1f}s"):
+    """Render ``[(time, fault_rate, other_rate), ...]`` as a panel.
+
+    Used for the Figure 4-5 byte-rate timelines; the tag column marks
+    bins dominated by imaginary-fault support traffic.
+    """
+    series = list(series)
+    if not series:
+        return "(no data)"
+    peak = max(fault + other for _, fault, other in series) or 1.0
+    lines = []
+    for when, fault, other in series:
+        total = fault + other
+        tag = "fault" if fault > other else ("bulk" if total else "")
+        lines.append(
+            time_format.format(when)
+            + f" |{hbar(total, peak, width):<{width}}| "
+            + f"{total:>12,.0f} B/s {tag}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,106 @@
+"""The testbed-wide metrics collector.
+
+Everything the evaluation section measures funnels through here: bytes
+on the wire (Figure 4-3, 4-5), message-handling time (Figure 4-4),
+fault counts and kinds (§4.3.3), and phase boundaries (Tables 4-4/4-5).
+"""
+
+from collections import Counter, namedtuple
+
+LinkRecord = namedtuple("LinkRecord", "time bytes category source dest")
+LinkRecord.__doc__ = "One fragment on the wire at a simulated instant."
+
+
+class MetricsCollector:
+    """Accumulates raw measurements during one simulation run."""
+
+    #: Link-record categories that support imaginary-fault activity
+    #: (the white areas of Figure 4-5).
+    FAULT_CATEGORIES = frozenset({"imag.read", "imag.read.reply"})
+
+    def __init__(self, engine):
+        self.engine = engine
+        #: Every fragment transmitted, in time order.
+        self.link_records = []
+        #: Message-handling CPU seconds, per host name.
+        self.nms_busy_s = Counter()
+        #: Messages handled (hops), per host name.
+        self.nms_messages = Counter()
+        #: Fault counts by kind ("fill-zero", "disk", "imaginary", ...).
+        self.faults = Counter()
+        #: Pages delivered by prefetch (beyond the demanded page).
+        self.prefetched_pages = 0
+        #: Prefetched pages that were later actually referenced.
+        self.prefetch_hits = 0
+        #: Named phase marks: name -> simulated time.
+        self.marks = {}
+
+    # -- recording ----------------------------------------------------------
+    def record_link(self, nbytes, category, source, dest):
+        """A fragment of ``nbytes`` just crossed the link."""
+        self.link_records.append(
+            LinkRecord(self.engine.now, nbytes, category, source, dest)
+        )
+
+    def record_nms(self, host_name, busy_s):
+        """The NetMsgServer at ``host_name`` spent ``busy_s`` on a hop."""
+        self.nms_busy_s[host_name] += busy_s
+        self.nms_messages[host_name] += 1
+
+    def record_fault(self, kind):
+        """Count one fault of ``kind`` (fill-zero / disk / imaginary)."""
+        self.faults[kind] += 1
+
+    def record_prefetch(self, pages):
+        """A backer just sent ``pages`` extra pages."""
+        self.prefetched_pages += pages
+
+    def record_prefetch_hit(self):
+        """A previously prefetched page was finally referenced."""
+        self.prefetch_hits += 1
+
+    def mark(self, name):
+        """Stamp the current simulated time under ``name``."""
+        self.marks[name] = self.engine.now
+
+    # -- aggregate views ------------------------------------------------------
+    @property
+    def total_link_bytes(self):
+        """Bytes exchanged between machines (Figure 4-3's metric)."""
+        return sum(record.bytes for record in self.link_records)
+
+    def link_bytes_by_category(self):
+        """Bytes on the wire per message category."""
+        out = Counter()
+        for record in self.link_records:
+            out[record.category] += record.bytes
+        return out
+
+    @property
+    def fault_support_bytes(self):
+        """Bytes moved in support of imaginary faults (Fig 4-5 white)."""
+        return sum(
+            record.bytes
+            for record in self.link_records
+            if record.category in self.FAULT_CATEGORIES
+        )
+
+    @property
+    def total_message_handling_s(self):
+        """Both hosts' message-manipulation time (Figure 4-4's metric)."""
+        return sum(self.nms_busy_s.values())
+
+    @property
+    def total_messages(self):
+        """Message hops processed across both NetMsgServers."""
+        return sum(self.nms_messages.values())
+
+    def span(self, start_mark, end_mark):
+        """Elapsed simulated seconds between two marks."""
+        return self.marks[end_mark] - self.marks[start_mark]
+
+    def prefetch_hit_ratio(self):
+        """Fraction of prefetched pages that were later referenced."""
+        if self.prefetched_pages == 0:
+            return None
+        return self.prefetch_hits / self.prefetched_pages

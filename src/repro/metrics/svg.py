@@ -1,0 +1,225 @@
+"""Minimal SVG chart rendering (no plotting dependency exists offline).
+
+Two chart shapes cover every figure in the paper:
+
+* :func:`grouped_bars` — Figures 4-1/4-2/4-3/4-4: one group of bars per
+  workload, one bar per strategy × prefetch.
+* :func:`rate_timeline` — Figure 4-5: stacked byte-rate areas over
+  time, fault-support traffic drawn in white with an outline (as in
+  the paper) over the bulk traffic in black.
+
+Charts are deliberately spartan — axis, ticks, labels, data — and emit
+self-contained SVG strings suitable for writing straight to disk.
+"""
+
+from xml.sax.saxutils import escape
+
+#: A small qualitative palette (first entry is used for pure-copy).
+PALETTE = (
+    "#444444",
+    "#1f77b4",
+    "#ff7f0e",
+    "#2ca02c",
+    "#d62728",
+    "#9467bd",
+    "#8c564b",
+    "#e377c2",
+    "#7f7f7f",
+    "#bcbd22",
+    "#17becf",
+)
+
+
+class SvgCanvas:
+    """Accumulates SVG elements with a fixed viewport."""
+
+    def __init__(self, width, height):
+        self.width = width
+        self.height = height
+        self._parts = []
+
+    def rect(self, x, y, w, h, fill, stroke=None, stroke_width=1):
+        """Add a rectangle."""
+        stroke_attr = (
+            f' stroke="{stroke}" stroke-width="{stroke_width}"' if stroke else ""
+        )
+        self._parts.append(
+            f'<rect x="{x:.2f}" y="{y:.2f}" width="{w:.2f}" '
+            f'height="{h:.2f}" fill="{fill}"{stroke_attr}/>'
+        )
+
+    def line(self, x1, y1, x2, y2, stroke="#000", width=1):
+        """Add a line segment."""
+        self._parts.append(
+            f'<line x1="{x1:.2f}" y1="{y1:.2f}" x2="{x2:.2f}" '
+            f'y2="{y2:.2f}" stroke="{stroke}" stroke-width="{width}"/>'
+        )
+
+    def text(self, x, y, content, size=11, anchor="start", rotate=None):
+        """Add escaped text."""
+        transform = (
+            f' transform="rotate({rotate} {x:.2f} {y:.2f})"' if rotate else ""
+        )
+        self._parts.append(
+            f'<text x="{x:.2f}" y="{y:.2f}" font-size="{size}" '
+            f'font-family="sans-serif" text-anchor="{anchor}"{transform}>'
+            f"{escape(str(content))}</text>"
+        )
+
+    def render(self):
+        """The complete SVG document as a string."""
+        body = "\n".join(self._parts)
+        return (
+            f'<svg xmlns="http://www.w3.org/2000/svg" '
+            f'width="{self.width}" height="{self.height}" '
+            f'viewBox="0 0 {self.width} {self.height}">\n'
+            f'<rect width="{self.width}" height="{self.height}" '
+            f'fill="white"/>\n{body}\n</svg>'
+        )
+
+
+def _ticks(limit, count=5):
+    """Pleasant tick values for [0, limit]."""
+    if limit <= 0:
+        return [0]
+    raw = limit / count
+    magnitude = 10 ** max(0, len(str(int(raw))) - 1)
+    step = max(1, round(raw / magnitude)) * magnitude
+    values = []
+    value = 0
+    while value <= limit + 1e-9:
+        values.append(value)
+        value += step
+    return values
+
+
+def grouped_bars(
+    groups,
+    series_names,
+    title="",
+    y_label="",
+    width=900,
+    height=420,
+    allow_negative=False,
+):
+    """Render grouped bars.
+
+    ``groups`` is ``[(group_label, [v1, v2, ...]), ...]`` with one
+    value per entry of ``series_names``.
+    """
+    margin_left, margin_bottom, margin_top = 70, 60, 40
+    plot_w = width - margin_left - 20
+    plot_h = height - margin_top - margin_bottom
+    canvas = SvgCanvas(width, height)
+    canvas.text(width / 2, 20, title, size=14, anchor="middle")
+    canvas.text(16, margin_top - 10, y_label, size=11)
+
+    values = [v for _, vs in groups for v in vs]
+    top = max(values + [0.0]) or 1.0
+    bottom = min(values + [0.0]) if allow_negative else 0.0
+    span = (top - bottom) or 1.0
+
+    def y_of(value):
+        return margin_top + plot_h * (1 - (value - bottom) / span)
+
+    zero_y = y_of(0.0)
+    for tick in _ticks(top):
+        canvas.line(margin_left - 4, y_of(tick), width - 20, y_of(tick),
+                    stroke="#dddddd")
+        canvas.text(margin_left - 8, y_of(tick) + 4, f"{tick:g}",
+                    size=10, anchor="end")
+    if allow_negative and bottom < 0:
+        for tick in _ticks(-bottom):
+            if tick == 0:
+                continue
+            canvas.line(margin_left - 4, y_of(-tick), width - 20, y_of(-tick),
+                        stroke="#eeeeee")
+            canvas.text(margin_left - 8, y_of(-tick) + 4, f"-{tick:g}",
+                        size=10, anchor="end")
+
+    group_w = plot_w / max(1, len(groups))
+    bar_w = group_w * 0.8 / max(1, len(series_names))
+    for g_index, (label, group_values) in enumerate(groups):
+        x0 = margin_left + g_index * group_w + group_w * 0.1
+        for s_index, value in enumerate(group_values):
+            color = PALETTE[s_index % len(PALETTE)]
+            x = x0 + s_index * bar_w
+            y_top = min(y_of(value), zero_y)
+            bar_h = abs(y_of(value) - zero_y)
+            canvas.rect(x, y_top, bar_w * 0.92, max(0.5, bar_h), fill=color)
+        canvas.text(
+            margin_left + g_index * group_w + group_w / 2,
+            height - margin_bottom + 16,
+            label,
+            size=10,
+            anchor="middle",
+        )
+    canvas.line(margin_left, zero_y, width - 20, zero_y, stroke="#000")
+    canvas.line(margin_left, margin_top, margin_left, margin_top + plot_h,
+                stroke="#000")
+
+    # Legend along the bottom.
+    legend_x = margin_left
+    legend_y = height - 14
+    for s_index, name in enumerate(series_names):
+        color = PALETTE[s_index % len(PALETTE)]
+        canvas.rect(legend_x, legend_y - 9, 10, 10, fill=color)
+        canvas.text(legend_x + 14, legend_y, name, size=10)
+        legend_x += 14 + 7 * len(str(name)) + 16
+    return canvas.render()
+
+
+def rate_timeline(
+    series,
+    title="",
+    width=900,
+    height=260,
+    y_label="bytes/s",
+):
+    """Render Figure 4-5-style panels: ``[(t, fault_rate, other_rate)]``.
+
+    Bulk traffic is black, fault-support traffic white with an outline,
+    stacked, exactly as the paper draws them.
+    """
+    margin_left, margin_bottom, margin_top = 70, 40, 30
+    plot_w = width - margin_left - 20
+    plot_h = height - margin_top - margin_bottom
+    canvas = SvgCanvas(width, height)
+    canvas.text(width / 2, 18, title, size=13, anchor="middle")
+    canvas.text(16, margin_top - 8, y_label, size=10)
+
+    if not series:
+        return canvas.render()
+    peak = max(fault + other for _, fault, other in series) or 1.0
+    t0 = series[0][0]
+    t1 = series[-1][0]
+    t_span = (t1 - t0) or 1.0
+    bin_w = plot_w / len(series)
+
+    base_y = margin_top + plot_h
+    for when, fault, other in series:
+        x = margin_left + (when - t0) / t_span * (plot_w - bin_w)
+        other_h = plot_h * other / peak
+        fault_h = plot_h * fault / peak
+        if other_h > 0:
+            canvas.rect(x, base_y - other_h, bin_w, other_h, fill="#111111")
+        if fault_h > 0:
+            canvas.rect(
+                x,
+                base_y - other_h - fault_h,
+                bin_w,
+                fault_h,
+                fill="white",
+                stroke="#111111",
+                stroke_width=0.6,
+            )
+    canvas.line(margin_left, base_y, width - 20, base_y, stroke="#000")
+    canvas.line(margin_left, margin_top, margin_left, base_y, stroke="#000")
+    for tick in _ticks(peak, count=3):
+        y = base_y - plot_h * tick / peak
+        canvas.text(margin_left - 8, y + 4, f"{tick:,.0f}", size=9, anchor="end")
+    for tick in _ticks(t1 - t0, count=6):
+        x = margin_left + tick / t_span * (plot_w - bin_w)
+        canvas.text(x, height - margin_bottom + 14, f"{tick:g}s", size=9,
+                    anchor="middle")
+    return canvas.render()

@@ -1,0 +1,72 @@
+"""Binned byte-rate timelines (Figure 4-5).
+
+The figure plots network transfer rate over the migration + remote
+execution interval, splitting imaginary-fault support traffic (white)
+from everything else (black).
+"""
+
+from collections import namedtuple
+
+TimelineBin = namedtuple("TimelineBin", "start end fault_bytes other_bytes")
+TimelineBin.__doc__ = "Bytes transferred during [start, end), split by purpose."
+
+
+class Timeline:
+    """Builds a binned transfer-rate series from link records."""
+
+    def __init__(self, bin_seconds=1.0, fault_categories=None):
+        if bin_seconds <= 0:
+            raise ValueError("bin_seconds must be positive")
+        self.bin_seconds = bin_seconds
+        from repro.metrics.collector import MetricsCollector
+
+        self.fault_categories = (
+            frozenset(fault_categories)
+            if fault_categories is not None
+            else MetricsCollector.FAULT_CATEGORIES
+        )
+
+    def bins(self, link_records, start=None, end=None):
+        """Aggregate records into :class:`TimelineBin` rows.
+
+        Empty bins inside the interval are emitted (rate zero), so the
+        series plots without gaps.
+        """
+        records = list(link_records)
+        if not records and (start is None or end is None):
+            return []
+        t0 = start if start is not None else records[0].time
+        t1 = end if end is not None else records[-1].time
+        if t1 < t0:
+            raise ValueError(f"end {t1} before start {t0}")
+        count = max(1, int((t1 - t0) / self.bin_seconds) + 1)
+        fault = [0] * count
+        other = [0] * count
+        for record in records:
+            if record.time < t0 or record.time > t1:
+                continue
+            index = min(int((record.time - t0) / self.bin_seconds), count - 1)
+            if record.category in self.fault_categories:
+                fault[index] += record.bytes
+            else:
+                other[index] += record.bytes
+        return [
+            TimelineBin(
+                t0 + i * self.bin_seconds,
+                t0 + (i + 1) * self.bin_seconds,
+                fault[i],
+                other[i],
+            )
+            for i in range(count)
+        ]
+
+    def rates(self, link_records, start=None, end=None):
+        """Like :meth:`bins` but in bytes/second."""
+        return [
+            (
+                b.start,
+                b.fault_bytes / self.bin_seconds,
+                b.other_bytes / self.bin_seconds,
+            )
+            for b in self.bins(link_records, start=start, end=end)
+        ]

@@ -1,0 +1,23 @@
+"""The SPICE migration facility (paper §3)."""
+
+from repro.migration.manager import MigrationManager
+from repro.migration.strategy import (
+    PURE_COPY,
+    PURE_IOU,
+    RESIDENT_SET,
+    PureCopy,
+    PureIOU,
+    ResidentSet,
+    Strategy,
+)
+
+__all__ = [
+    "MigrationManager",
+    "PURE_COPY",
+    "PURE_IOU",
+    "PureCopy",
+    "PureIOU",
+    "RESIDENT_SET",
+    "ResidentSet",
+    "Strategy",
+]

@@ -1,0 +1,150 @@
+"""The MigrationManager server (paper §3.2).
+
+One per participating host.  The source manager excises the target
+process with the ExciseProcess trap, applies the chosen transfer
+strategy to the RIMAS message, and sends both context messages to the
+peer manager, which reconstructs the process with InsertProcess.
+"""
+
+from repro.accent.ipc.message import RegionSection
+from repro.migration.precopy import OP_PRECOPY_ROUND, precopy_migrate
+from repro.migration.strategy import Strategy
+
+
+class MigrationError(Exception):
+    """Migration protocol failure."""
+
+
+class MigrationManager:
+    """Accepts and executes commands to perform migrations."""
+
+    def __init__(self, host):
+        self.host = host
+        self.engine = host.engine
+        self.port = host.create_port(name=f"{host.name}-migmgr")
+        self._pending_contexts = {}
+        self._insertion_events = {}
+        #: process name -> {page index: freshest pre-copied Page}.
+        self._precopy_stash = {}
+        self._server = self.engine.process(
+            self._serve(), name=f"{host.name}-migmgr"
+        )
+
+    def __repr__(self):
+        return f"<MigrationManager {self.host.name}>"
+
+    # -- source side -------------------------------------------------------------
+    def migrate(self, process_name, dest_manager, strategy):
+        """Generator: excise ``process_name`` and ship it to the peer.
+
+        Completes once both context messages have been delivered to the
+        destination manager's port (insertion happens asynchronously
+        there; wait on :meth:`expect_insertion` for it).  Phase marks
+        are stamped into the host metrics collector.
+        """
+        strategy = Strategy.by_name(strategy)
+        metrics = self.host.metrics
+        kernel = self.host.kernel
+
+        metrics.mark("excise.start")
+        core, rimas = yield from kernel.excise_process(process_name)
+        metrics.mark("excise.end")
+
+        core.dest = dest_manager.port
+        rimas.dest = dest_manager.port
+
+        # Connection setup plus Core-message handling dominate this
+        # phase; the paper measures it at roughly one second (§4.3.2).
+        metrics.mark("core.start")
+        yield self.engine.timeout(self.host.calibration.migration_setup_s)
+        yield from kernel.send(core)
+        metrics.mark("core.end")
+
+        metrics.mark("rimas.start")
+        yield from strategy.prepare(self, rimas)
+        yield from kernel.send(rimas)
+        metrics.mark("rimas.end")
+
+    def expect_insertion(self, process_name):
+        """Event that fires with the process once the peer inserts it.
+
+        Call on the *destination* manager.
+        """
+        event = self._insertion_events.get(process_name)
+        if event is None:
+            event = self.engine.event()
+            self._insertion_events[process_name] = event
+        return event
+
+    # -- destination side ---------------------------------------------------------
+    def _serve(self):
+        while True:
+            message = yield self.port.receive()
+            if message.op == OP_PRECOPY_ROUND:
+                self._absorb_precopy_round(message)
+                continue
+            if message.op not in ("migrate.core", "migrate.rimas"):
+                raise MigrationError(f"unexpected op {message.op!r}")
+            name = message.meta["process_name"]
+            stash = self._pending_contexts.setdefault(name, {})
+            kind = "core" if message.op == "migrate.core" else "rimas"
+            if kind in stash:
+                raise MigrationError(f"duplicate {kind} context for {name!r}")
+            stash[kind] = message
+            if "core" in stash and "rimas" in stash:
+                del self._pending_contexts[name]
+                yield from self._insert(name, stash["core"], stash["rimas"])
+
+    def _insert(self, name, core, rimas):
+        metrics = self.host.metrics
+        if rimas.meta.get("precopy"):
+            self._merge_precopy_stash(name, rimas)
+        metrics.mark("insert.start")
+        process = yield from self.host.kernel.insert_process(core, rimas)
+        metrics.mark("insert.end")
+        event = self._insertion_events.pop(name, None)
+        if event is not None:
+            event.succeed(process)
+
+    # -- pre-copy support (Theimer's V baseline, §5) -----------------------------
+    def migrate_precopy(
+        self,
+        process_name,
+        dest_manager,
+        dirty_rate_pps,
+        streams,
+        stop_threshold=32,
+        max_rounds=5,
+    ):
+        """Generator: source side of an iterative pre-copy migration."""
+        return (
+            yield from precopy_migrate(
+                self,
+                process_name,
+                dest_manager,
+                dirty_rate_pps,
+                streams,
+                stop_threshold=stop_threshold,
+                max_rounds=max_rounds,
+            )
+        )
+
+    def _absorb_precopy_round(self, message):
+        name = message.meta["process_name"]
+        stash = self._precopy_stash.setdefault(name, {})
+        region = message.first_section(RegionSection)
+        # Later rounds overwrite earlier copies: freshest page wins.
+        stash.update(region.pages)
+
+    def _merge_precopy_stash(self, name, rimas):
+        """Complete the final RIMAS with the pre-copied pages."""
+        stash = self._precopy_stash.pop(name, {})
+        region = rimas.first_section(RegionSection)
+        if region is None:
+            rimas.sections.append(
+                RegionSection(stash, force_copy=True, label="precopy-merged")
+            )
+            return
+        merged = dict(stash)
+        merged.update(region.pages)  # final dirty pages are freshest
+        region.pages = merged

@@ -1,0 +1,137 @@
+"""Pre-copying migration (Theimer's V system, paper §5).
+
+The related-work baseline the paper contrasts with copy-on-reference:
+hide transfer cost from the *process* by iteratively copying the
+address space while it keeps running at the source, then stop it and
+ship only the pages dirtied since the last round.  Downtime shrinks,
+but both hosts still pay the full transfer cost — and re-dirtied pages
+are shipped more than once (Theimer measured network overruns from
+exactly this traffic).
+
+We model the still-running source process as a dirtying rate (pages per
+second, defaulting to the workload's write intensity).  Dirty pages are
+rewritten at the source (copy-on-write breaks and all) and reshipped;
+the destination manager merges the freshest copy of every page before
+InsertProcess runs.
+"""
+
+from collections import namedtuple
+
+from repro.accent.ipc.message import Message, RegionSection
+
+#: Message op for an iterative pre-copy round.
+OP_PRECOPY_ROUND = "migrate.precopy.round"
+
+PrecopyRound = namedtuple("PrecopyRound", "pages seconds")
+PrecopyRound.__doc__ = "One iterative copy round: page count and elapsed time."
+
+
+def default_dirty_rate(spec):
+    """Pages dirtied per second while the process runs at the source.
+
+    Approximated from the workload's own write behaviour: it writes
+    ``touched_pages × write_fraction`` pages over ``compute_s`` of CPU.
+    Short-lived processes therefore dirty fast relative to a copy
+    round, which is what made pre-copy hard in practice.
+    """
+    writes = spec.touched_pages * spec.write_fraction
+    return writes / max(spec.compute_s, 0.5)
+
+
+def precopy_migrate(
+    manager,
+    process_name,
+    dest_manager,
+    dirty_rate_pps,
+    streams,
+    stop_threshold=32,
+    max_rounds=5,
+):
+    """Generator: migrate with iterative pre-copy.
+
+    Returns ``(rounds, downtime_started_at)``; phase marks are stamped
+    like :meth:`MigrationManager.migrate`, plus ``downtime.start`` when
+    the process is finally stopped (Table: downtime = trial end of the
+    transfer pipeline minus that mark).
+    """
+    host = manager.host
+    engine = manager.engine
+    kernel = host.kernel
+    metrics = host.metrics
+    rng = streams.stream(f"precopy:{process_name}")
+
+    process = kernel.lookup(process_name)
+    space = process.space
+    all_indices = space.real_page_indices()
+
+    rounds = []
+    round_indices = list(all_indices)
+    metrics.mark("precopy.start")
+    while True:
+        started = engine.now
+        # By-value semantics: the kernel send path maps these pages
+        # copy-on-write into the message (no manual sharing needed).
+        pages = {
+            index: space.page_table[index].page for index in round_indices
+        }
+        message = Message(
+            dest_manager.port,
+            OP_PRECOPY_ROUND,
+            sections=[RegionSection(pages, force_copy=True, label="precopy")],
+            meta={"process_name": process_name},
+        )
+        yield from kernel.send(message)
+        elapsed = engine.now - started
+        rounds.append(PrecopyRound(len(round_indices), elapsed))
+
+        # The process kept running: some pages are dirty again.
+        dirtied_count = min(len(all_indices), int(dirty_rate_pps * elapsed))
+        if dirtied_count <= stop_threshold or len(rounds) >= max_rounds:
+            final_dirty = sorted(rng.sample(all_indices, dirtied_count))
+            break
+        round_indices = sorted(rng.sample(all_indices, dirtied_count))
+        _redirty(space, round_indices)
+
+    # Stop the process: everything from here is downtime.
+    metrics.mark("downtime.start")
+    _redirty(space, final_dirty)
+    metrics.mark("excise.start")
+    core, rimas = yield from kernel.excise_process(process_name)
+    metrics.mark("excise.end")
+    core.dest = dest_manager.port
+    rimas.dest = dest_manager.port
+
+    metrics.mark("core.start")
+    yield engine.timeout(host.calibration.migration_setup_s)
+    yield from kernel.send(core)
+    metrics.mark("core.end")
+
+    # Final RIMAS: only the pages dirtied since the last round travel;
+    # the destination merges its pre-copied stash for the rest.
+    region = rimas.first_section(RegionSection)
+    final_pages = {
+        index: page
+        for index, page in region.pages.items()
+        if index in set(final_dirty)
+    }
+    rimas.sections[rimas.sections.index(region)] = RegionSection(
+        final_pages, force_copy=True, label="precopy-final"
+    )
+    rimas.no_ious = True
+    rimas.meta["precopy"] = True
+    metrics.mark("rimas.start")
+    yield from kernel.send(rimas)
+    metrics.mark("rimas.end")
+    return rounds
+
+
+def _redirty(space, indices):
+    """The still-running process writes these pages (content-neutral).
+
+    Writing through the normal page path breaks any copy-on-write
+    sharing left over from earlier rounds, so each round really ships
+    the freshest frame.
+    """
+    for index in indices:
+        entry = space.page_table[index]
+        entry.page = entry.page.write(0, entry.page.data[:1])

@@ -1,0 +1,176 @@
+"""Context-transfer strategies (paper §4).
+
+* **Pure-copy** — set the NoIOUs bit: the NetMsgServers must physically
+  ship every real page at migration time.
+* **Pure-IOU** — leave NoIOUs clear; the source NetMsgServer caches the
+  collapsed RIMAS region, becomes its backer, and ships only IOUs.
+  Pages flow later, on demand.
+* **Resident set** — the MigrationManager actively splits the RIMAS: the
+  pages resident in physical memory at migration time (a working-set
+  approximation) are shipped physically; the rest go as IOUs.  Carving
+  the scattered resident pages out of the collapsed region costs time
+  proportional to the owed remainder (see
+  :class:`~repro.calibration.Calibration.rs_carve_per_owed_page_s`).
+"""
+
+from repro.accent.ipc.message import RegionSection
+
+PURE_COPY = "pure-copy"
+PURE_IOU = "pure-iou"
+RESIDENT_SET = "resident-set"
+WORKING_SET = "working-set"
+
+
+class Strategy:
+    """Base class; ``prepare`` mutates the RIMAS message before sending."""
+
+    name = None
+    _registry = {}
+
+    def __init_subclass__(cls, **kwargs):
+        super().__init_subclass__(**kwargs)
+        if cls.name:
+            Strategy._registry[cls.name] = cls
+
+    @classmethod
+    def by_name(cls, name):
+        """Instantiate a strategy from its string name."""
+        if isinstance(name, Strategy):
+            return name
+        try:
+            return cls._registry[name]()
+        except KeyError:
+            raise ValueError(
+                f"unknown strategy {name!r}; choose from "
+                f"{sorted(cls._registry)}"
+            ) from None
+
+    @classmethod
+    def names(cls):
+        """All registered strategy names, sorted."""
+        return sorted(cls._registry)
+
+    def prepare(self, manager, rimas):
+        """Generator: adjust ``rimas`` (flags/sections) before shipment."""
+        raise NotImplementedError
+
+    def __repr__(self):
+        return f"<Strategy {self.name}>"
+
+
+class PureCopy(Strategy):
+    """Ship all real memory physically at migration time."""
+
+    name = PURE_COPY
+
+    def prepare(self, manager, rimas):
+        rimas.no_ious = True
+        return
+        yield  # pragma: no cover - makes this a (trivially empty) generator
+
+
+class PureIOU(Strategy):
+    """Ship IOUs only; the source NetMsgServer backs the data."""
+
+    name = PURE_IOU
+
+    def prepare(self, manager, rimas):
+        rimas.no_ious = False
+        return
+        yield  # pragma: no cover
+
+
+class _SplitShipment(Strategy):
+    """Shared mechanics: ship a chosen page subset physically, IOUs for
+    the rest, paying the per-owed-page carve cost."""
+
+    #: Label prefix for the two replacement sections.
+    tag = "split"
+
+    def select_shipped(self, manager, rimas, region):
+        """Page indices to ship physically."""
+        raise NotImplementedError
+
+    def prepare(self, manager, rimas):
+        calibration = manager.host.calibration
+        position = None
+        region = None
+        for index, section in enumerate(rimas.sections):
+            if isinstance(section, RegionSection):
+                position = index
+                region = section
+                break
+        if region is None:
+            return
+        shipped = self.select_shipped(manager, rimas, region)
+        shipped_pages = {
+            i: p for i, p in region.pages.items() if i in shipped
+        }
+        owed_pages = {
+            i: p for i, p in region.pages.items() if i not in shipped
+        }
+        # Carving scattered shipped pages out of the collapsed chunk
+        # fragments the remainder; the cost scales with the owed pages
+        # (this is what makes RS shipment of the huge Lisp spaces so
+        # much slower per byte than Pasmac's — Table 4-5).
+        yield manager.engine.timeout(
+            len(owed_pages) * calibration.rs_carve_per_owed_page_s
+        )
+        replacement = []
+        if shipped_pages:
+            replacement.append(
+                RegionSection(
+                    shipped_pages, force_copy=True, label=f"{self.tag}-shipped"
+                )
+            )
+        if owed_pages:
+            replacement.append(
+                RegionSection(
+                    owed_pages, force_copy=False, label=f"{self.tag}-owed"
+                )
+            )
+        rimas.sections[position:position + 1] = replacement
+
+
+class ResidentSet(_SplitShipment):
+    """Ship the resident set physically, IOUs for the remainder."""
+
+    name = RESIDENT_SET
+    tag = "rs"
+
+    def select_shipped(self, manager, rimas, region):
+        return set(rimas.meta.get("resident_indices", ()))
+
+
+class WorkingSet(_SplitShipment):
+    """Ship the Denning working set: pages referenced within the last
+    τ seconds before excision.
+
+    An extension experiment: §4.2.2 uses resident sets only "as an
+    approximation to working sets", and §4.5 concludes they predict
+    poorly because Accent's physical memory doubles as a disk cache.
+    This strategy ships what a real reference-time estimator selects,
+    isolating how much of RS's failure is the approximation rather
+    than the idea.
+    """
+
+    name = WORKING_SET
+    tag = "ws"
+
+    def __init__(self, window_s=None):
+        self.window_s = window_s
+
+    def select_shipped(self, manager, rimas, region):
+        window = (
+            self.window_s
+            if self.window_s is not None
+            else manager.host.calibration.ws_window_s
+        )
+        excised_at = rimas.meta.get("excised_at", manager.engine.now)
+        last_touch = rimas.meta.get("last_touch", {})
+        horizon = excised_at - window
+        return {
+            index
+            for index, touched_at in last_touch.items()
+            if touched_at is not None and touched_at >= horizon
+        }

@@ -1,0 +1,6 @@
+"""The network substrate: links and NetMsgServers."""
+
+from repro.net.link import Link
+from repro.net.netmsgserver import NetMsgServer
+
+__all__ = ["Link", "NetMsgServer"]

@@ -1,0 +1,40 @@
+"""A shared-medium network link (10 Mbit Ethernet).
+
+The medium is a capacity-1 resource: one frame serialises at a time in
+either direction (CSMA).  Propagation latency is added after the medium
+is released, so back-to-back fragments pipeline.
+"""
+
+from repro.sim import Resource
+
+
+class Link:
+    """The cable between two (or more) hosts."""
+
+    def __init__(self, engine, calibration, name="ether"):
+        self.engine = engine
+        self.calibration = calibration
+        self.name = name
+        self.medium = Resource(engine, capacity=1, name=name)
+        self.frames = 0
+        self.bytes = 0
+
+    def __repr__(self):
+        return f"<Link {self.name} frames={self.frames} bytes={self.bytes}>"
+
+    def transmit(self, nbytes):
+        """Generator: serialise ``nbytes`` onto the medium, then wait
+        out the propagation delay."""
+        calibration = self.calibration
+        with self.medium.held() as req:
+            yield req
+            yield self.engine.timeout(
+                (nbytes * 8.0) / calibration.link_bandwidth_bps
+            )
+        self.frames += 1
+        self.bytes += nbytes
+        yield self.engine.timeout(calibration.link_latency_s)
+
+    def utilisation(self):
+        """Fraction of time the medium has been busy."""
+        return self.medium.utilisation()

@@ -1,0 +1,207 @@
+"""The NetMsgServer: Accent's user-level network server (paper §2.4).
+
+One runs on each host.  It extends ports and imaginary segments across
+the network: messages to remote ports are fragmented, shipped over the
+link and reassembled at the peer, *using the AMap as a guide* so that
+imaginary subranges travel as descriptors rather than data.
+
+The server also implements the paper's IOU-caching optimisation: when a
+message carries a large real-memory section and the sender has not set
+the ``NoIOUs`` bit, the NetMsgServer caches the pages locally, becomes
+their backer (through its :class:`~repro.cor.backer.BackingServer`) and
+passes an IOU in the data's place.  This is the mechanism the
+MigrationManager leans on for pure-IOU context transfers (§3.2).
+"""
+
+from repro.accent.ipc.message import (
+    IOUSection,
+    Message,
+    RegionSection,
+)
+from collections import Counter
+
+from repro.cor.backer import BackingServer
+from repro.sim import Resource
+
+
+class NetMsgServerError(Exception):
+    """Shipment to an unconnected host, or a malformed message."""
+
+
+class NetMsgServer:
+    """Per-host network message server."""
+
+    #: Real-memory sections larger than this are eligible for IOU
+    #: substitution when the NoIOUs bit is clear.
+    IOU_CACHE_THRESHOLD_BYTES = 4096
+
+    def __init__(self, host, prefetch=0):
+        self.host = host
+        self.engine = host.engine
+        self.calibration = host.calibration
+        self.cpu = Resource(self.engine, capacity=1, name=f"{host.name}-nms")
+        #: Backs every RIMAS region this server has cached.
+        self.backing = BackingServer(host, prefetch=prefetch, name=f"{host.name}-nms-backer")
+        #: host name -> (Link, peer NetMsgServer)
+        self._routes = {}
+        self.messages_shipped = 0
+        self.messages_delivered = 0
+        #: Pages physically shipped, per message op (Table 4-3 input).
+        self.pages_shipped_by_op = Counter()
+        host.nms = self
+
+    def __repr__(self):
+        return (
+            f"<NetMsgServer {self.host.name} routes={sorted(self._routes)}>"
+        )
+
+    @property
+    def prefetch(self):
+        """Pages prefetched per imaginary fault on cached segments."""
+        return self.backing.prefetch
+
+    @prefetch.setter
+    def prefetch(self, value):
+        self.backing.prefetch = value
+
+    def connect(self, link, peer):
+        """Register a route to ``peer`` (another host's NMS) over ``link``."""
+        self._routes[peer.host.name] = (link, peer)
+
+    def route_to(self, host):
+        """The (link, peer NMS) pair for ``host``."""
+        try:
+            return self._routes[host.name]
+        except KeyError:
+            raise NetMsgServerError(
+                f"{self.host.name} has no route to {host.name}"
+            ) from None
+
+    # -- shipment ----------------------------------------------------------------
+    def ship(self, message, dest_host):
+        """Generator: deliver ``message`` to its port on ``dest_host``.
+
+        Completes when the reassembled message is enqueued at the
+        destination port.  Fragments pipeline through the three stage
+        resources (source CPU, link medium, destination CPU).
+        """
+        link, peer = self.route_to(dest_host)
+        cached = self._substitute_ious(message)
+        if cached:
+            yield from self._cache_cost(cached)
+
+        calibration = self.calibration
+        payload = message.wire_bytes
+        frag_data = calibration.fragment_data_bytes
+        fragment_sizes = []
+        remaining = payload
+        while remaining > 0:
+            chunk = min(frag_data, remaining)
+            fragment_sizes.append(chunk + calibration.fragment_header_bytes)
+            remaining -= chunk
+
+        self.messages_shipped += 1
+        for section in message.sections_of(RegionSection):
+            self.pages_shipped_by_op[message.op] += len(section.pages)
+        pipes = [
+            self.engine.process(
+                self._fragment_pipe(size, link, peer, message.op),
+                name=f"frag-{message.op}",
+            )
+            for size in fragment_sizes
+        ]
+        yield self.engine.all_of(pipes)
+
+        delivered = peer._reassemble(message)
+        peer.messages_delivered += 1
+        yield message.dest.enqueue(delivered)
+
+    def _fragment_pipe(self, wire_bytes, link, peer, category):
+        """One fragment's passage: src NMS -> link -> dst NMS."""
+        hop = self.calibration.nms_hop_s(wire_bytes)
+        with self.cpu.held() as req:
+            yield req
+            yield self.engine.timeout(hop)
+        self.host.metrics.record_nms(self.host.name, hop)
+        yield from link.transmit(wire_bytes)
+        self.host.metrics.record_link(
+            wire_bytes, category, self.host.name, peer.host.name
+        )
+        with peer.cpu.held() as req:
+            yield req
+            yield self.engine.timeout(hop)
+        self.host.metrics.record_nms(peer.host.name, hop)
+
+    # -- IOU caching ----------------------------------------------------------------
+    def _substitute_ious(self, message):
+        """Cache eligible real-memory sections; pass IOUs instead.
+
+        Returns the list of freshly-created IOU sections.
+        """
+        if message.no_ious:
+            return []
+        cached = []
+        for position, section in enumerate(message.sections):
+            if not isinstance(section, RegionSection):
+                continue
+            if section.force_copy:
+                continue
+            if section.byte_size <= self.IOU_CACHE_THRESHOLD_BYTES:
+                continue
+            segment = self.backing.create_segment(
+                section.pages, label=f"cached-{message.op}"
+            )
+            iou = IOUSection(
+                segment.handle,
+                section.pages.keys(),
+                label=section.label,
+            )
+            message.sections[position] = iou
+            cached.append(iou)
+        return cached
+
+    def _cache_cost(self, cached):
+        """Charge the (small) cost of having cached sections just now."""
+        calibration = self.calibration
+        cost = sum(
+            calibration.iou_cache_base_s
+            + len(section.runs()) * calibration.iou_cache_per_run_s
+            for section in cached
+        )
+        with self.cpu.held() as req:
+            yield req
+            yield self.engine.timeout(cost)
+
+    # -- reassembly --------------------------------------------------------------
+    def _reassemble(self, message):
+        """Build the delivered message at the receiving side.
+
+        Physically-shipped pages become independent copies (their bytes
+        crossed the wire); IOU sections pass through as descriptors —
+        the receiver will fault pages in from the backing site.
+        """
+        sections = []
+        for section in message.sections:
+            if isinstance(section, RegionSection):
+                sections.append(
+                    RegionSection(
+                        {
+                            index: page.fork_copy()
+                            for index, page in section.pages.items()
+                        },
+                        force_copy=section.force_copy,
+                        label=section.label,
+                    )
+                )
+            else:
+                sections.append(section)
+        delivered = Message(
+            dest=message.dest,
+            op=message.op,
+            sections=sections,
+            reply_port=message.reply_port,
+            no_ious=message.no_ious,
+            meta=message.meta,
+        )
+        delivered.source_host = message.source_host
+        return delivered

@@ -1,0 +1,47 @@
+"""Deterministic discrete-event simulation kernel.
+
+This package is the substrate on which the Accent testbed reproduction
+runs.  It provides a small, simpy-flavoured coroutine scheduler:
+
+* :class:`~repro.sim.engine.Engine` — the event loop and simulated clock.
+* :class:`~repro.sim.events.Event` and friends — one-shot synchronisation
+  points that carry a value or an exception.
+* :class:`~repro.sim.process.Process` — a generator-based simulated
+  process; ``yield`` an event to wait for it.
+* :class:`~repro.sim.store.Store` — FIFO message queues (used for IPC
+  ports and server request queues).
+* :class:`~repro.sim.resource.Resource` — counted resources with FIFO
+  queueing (used for server CPUs, disk arms and network links).
+* :class:`~repro.sim.rng.SeededStreams` — named deterministic random
+  streams so every component draws from its own reproducible sequence.
+
+Everything is deterministic: given the same seed and the same program,
+two runs produce identical event orderings and timings.
+"""
+
+from repro.sim.engine import Engine, NORMAL, URGENT
+from repro.sim.errors import Interrupt, SimulationError, StopProcess
+from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.process import Process
+from repro.sim.resource import Preempted, Request, Resource
+from repro.sim.rng import SeededStreams
+from repro.sim.store import Store
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Engine",
+    "Event",
+    "Interrupt",
+    "NORMAL",
+    "Preempted",
+    "Process",
+    "Request",
+    "Resource",
+    "SeededStreams",
+    "SimulationError",
+    "StopProcess",
+    "Store",
+    "Timeout",
+    "URGENT",
+]

@@ -1,0 +1,137 @@
+"""The simulation engine: event queue and simulated clock."""
+
+import heapq
+from itertools import count
+
+from repro.sim.errors import EmptySchedule, SimulationError
+from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.process import Process
+
+#: Default scheduling priority.
+NORMAL = 1
+#: Events scheduled with URGENT at the same timestamp run first.
+URGENT = 0
+
+
+class Engine:
+    """Discrete-event engine with a deterministic total order of events.
+
+    Events scheduled for the same simulated time are ordered by priority
+    and then by insertion sequence, so runs are fully reproducible.
+
+    Example
+    -------
+    >>> eng = Engine()
+    >>> def hello(eng):
+    ...     yield eng.timeout(3.5)
+    ...     return "done"
+    >>> proc = eng.process(hello(eng))
+    >>> eng.run(proc)
+    'done'
+    >>> eng.now
+    3.5
+    """
+
+    def __init__(self, initial_time=0.0):
+        self._now = float(initial_time)
+        self._queue = []
+        self._seq = count()
+        self.active_process = None
+        #: Optional callable ``observer(now, event)`` invoked after each
+        #: event is processed (see :class:`repro.sim.trace.TraceLog`).
+        self.observer = None
+
+    def __repr__(self):
+        return f"<Engine t={self._now:.6f} pending={len(self._queue)}>"
+
+    @property
+    def now(self):
+        """Current simulated time in seconds."""
+        return self._now
+
+    # -- factories ---------------------------------------------------------
+    def event(self):
+        """Create a fresh pending :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay, value=None):
+        """Create an event that fires ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator, name=None):
+        """Start a new :class:`Process` running ``generator``."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events):
+        """Event that fires once every event in ``events`` has succeeded."""
+        return AllOf(self, events)
+
+    def any_of(self, events):
+        """Event that fires once any event in ``events`` has succeeded."""
+        return AnyOf(self, events)
+
+    # -- scheduling ---------------------------------------------------------
+    def schedule(self, event, delay=0.0, priority=None):
+        """Queue a triggered event for processing at ``now + delay``."""
+        if priority is None:
+            priority = NORMAL
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        heapq.heappush(
+            self._queue, (self._now + delay, priority, next(self._seq), event)
+        )
+
+    def peek(self):
+        """Time of the next scheduled event, or ``inf`` if none remain."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self):
+        """Process exactly one event; raise :class:`EmptySchedule` if none."""
+        try:
+            when, _, _, event = heapq.heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule("no scheduled events remain") from None
+        self._now = when
+        event._process()
+        if self.observer is not None:
+            self.observer(when, event)
+
+    def run(self, until=None):
+        """Run the simulation.
+
+        Parameters
+        ----------
+        until:
+            ``None`` — run until no events remain and return ``None``.
+            An :class:`Event` — run until it is processed; return its
+            value (or raise its exception).  A number — process every
+            event scheduled strictly before that time, then set the clock
+            to it.
+        """
+        if until is None:
+            while self._queue:
+                self.step()
+            return None
+
+        if isinstance(until, Event):
+            while not until.processed:
+                if not self._queue:
+                    raise SimulationError(
+                        "run(until=event) exhausted all events before the "
+                        "target event triggered — deadlock?"
+                    )
+                self.step()
+            if until.ok:
+                return until.value
+            until.defuse()
+            raise until.value
+
+        horizon = float(until)
+        if horizon < self._now:
+            raise SimulationError(
+                f"until={horizon} is in the past (now={self._now})"
+            )
+        while self._queue and self._queue[0][0] < horizon:
+            self.step()
+        self._now = horizon
+        return None

@@ -1,0 +1,40 @@
+"""Exception types used by the simulation kernel."""
+
+
+class SimulationError(Exception):
+    """Base class for errors raised by the simulation kernel itself."""
+
+
+class EmptySchedule(SimulationError):
+    """Raised by :meth:`Engine.step` when no events remain."""
+
+
+class StopProcess(Exception):
+    """Raised inside a process generator to terminate it early.
+
+    ``return`` statements are the usual way to finish a process; this
+    exception exists for helper functions that need to abort the process
+    from several stack frames down.  The process event succeeds with the
+    ``value`` attribute.
+    """
+
+    def __init__(self, value=None):
+        super().__init__(value)
+        self.value = value
+
+
+class Interrupt(Exception):
+    """Thrown into a process when another process interrupts it.
+
+    The interrupting party supplies an arbitrary ``cause`` describing why
+    the interrupt happened (e.g. a migration request arriving while a
+    workload computes).
+    """
+
+    def __init__(self, cause=None):
+        super().__init__(cause)
+
+    @property
+    def cause(self):
+        """The object passed to :meth:`Process.interrupt`."""
+        return self.args[0]

@@ -1,0 +1,125 @@
+"""Generator-based simulated processes."""
+
+from repro.sim.errors import Interrupt, SimulationError, StopProcess
+from repro.sim.events import Event, PENDING
+
+
+class Process(Event):
+    """A coroutine driven by the engine.
+
+    A process wraps a generator.  Each value the generator yields must be
+    an :class:`Event`; the process sleeps until that event is processed
+    and is resumed with the event's value (or the event's exception raised
+    at the yield point).  The process object is itself an event that
+    succeeds with the generator's return value, so processes can wait on
+    one another simply by yielding them.
+    """
+
+    __slots__ = ("_generator", "name", "_target")
+
+    def __init__(self, engine, generator, name=None):
+        if not hasattr(generator, "throw"):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(engine)
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        #: The event this process currently waits on (None while running).
+        self._target = None
+        # Kick the process off via an initialisation event so that the
+        # body only starts running once the engine does.
+        init = Event(engine)
+        init._ok = True
+        init._value = None
+        init.callbacks.append(self._resume)
+        engine.schedule(init)
+
+    def __repr__(self):
+        state = "alive" if self.is_alive else "dead"
+        return f"<Process {self.name} {state}>"
+
+    @property
+    def is_alive(self):
+        """True until the generator finishes or fails."""
+        return self._value is PENDING
+
+    def interrupt(self, cause=None):
+        """Throw :class:`Interrupt` into the process at its yield point.
+
+        Interrupting a dead process is an error; interrupting a waiting
+        process detaches it from its current target event (the event
+        itself still fires, but no longer resumes this process).
+        """
+        if not self.is_alive:
+            raise SimulationError(f"cannot interrupt dead {self!r}")
+        if self.engine.active_process is self:
+            raise SimulationError("a process cannot interrupt itself")
+        # Deliver asynchronously (via an immediately-scheduled event) to
+        # keep event ordering deterministic.
+        interrupt_event = Event(self.engine)
+        interrupt_event._ok = False
+        interrupt_event._value = Interrupt(cause)
+        interrupt_event._defused = True
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._target = None
+        interrupt_event.callbacks.append(self._resume)
+        self.engine.schedule(interrupt_event)
+
+    # -- engine interface ----------------------------------------------------
+    def _resume(self, event):
+        """Advance the generator with ``event``'s outcome."""
+        self.engine.active_process = self
+        self._target = None
+        try:
+            while True:
+                try:
+                    if event is None or event._ok:
+                        value = None if event is None else event._value
+                        target = self._generator.send(value)
+                    else:
+                        event.defuse()
+                        target = self._generator.throw(event._value)
+                except StopIteration as stop:
+                    if not self.triggered:
+                        self.succeed(stop.value)
+                    return
+                except StopProcess as stop:
+                    if not self.triggered:
+                        self.succeed(stop.value)
+                    return
+                except BaseException as error:
+                    if not self.triggered:
+                        self.fail(error)
+                        return
+                    raise
+
+                if not isinstance(target, Event):
+                    kind = type(target).__name__
+                    self.fail(
+                        SimulationError(
+                            f"process {self.name!r} yielded a non-event "
+                            f"({kind}); yield Events, Timeouts or Processes"
+                        )
+                    )
+                    return
+                if target.engine is not self.engine:
+                    self.fail(
+                        SimulationError(
+                            f"process {self.name!r} yielded an event from "
+                            "a different engine"
+                        )
+                    )
+                    return
+
+                if target.processed:
+                    # Already resolved — continue synchronously.
+                    event = target
+                    continue
+                target.callbacks.append(self._resume)
+                self._target = target
+                return
+        finally:
+            self.engine.active_process = None

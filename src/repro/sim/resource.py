@@ -1,0 +1,121 @@
+"""Counted resources with FIFO queueing.
+
+A :class:`Resource` models a server with a fixed number of identical
+slots — a CPU handling NetMsgServer messages, a disk arm, a half-duplex
+link.  Processes ``yield resource.request()`` to acquire a slot and call
+``resource.release(request)`` when done; contention produces queueing
+delay, which is how transfer-phase elapsed times emerge in the testbed
+simulation.
+"""
+
+from collections import deque
+from contextlib import contextmanager
+
+from repro.sim.errors import SimulationError
+from repro.sim.events import Event
+
+
+class Preempted(Exception):
+    """Raised in a request holder evicted by :meth:`Resource.preempt`."""
+
+
+class Request(Event):
+    """Event returned by :meth:`Resource.request`; fires when granted."""
+
+    __slots__ = ("resource",)
+
+    def __init__(self, resource):
+        super().__init__(resource.engine)
+        self.resource = resource
+
+
+class Resource:
+    """``capacity`` identical slots granted in FIFO order."""
+
+    def __init__(self, engine, capacity=1, name=None):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.engine = engine
+        self.capacity = capacity
+        self.name = name or "resource"
+        self._waiting = deque()
+        self._users = []
+        #: Total simulated time slots have spent busy (for utilisation).
+        self.busy_time = 0.0
+        self._last_change = engine.now
+
+    def __repr__(self):
+        return (
+            f"<Resource {self.name} users={len(self._users)}/{self.capacity} "
+            f"queued={len(self._waiting)}>"
+        )
+
+    @property
+    def count(self):
+        """Number of slots currently held."""
+        return len(self._users)
+
+    @property
+    def queued(self):
+        """Number of requests waiting for a slot."""
+        return len(self._waiting)
+
+    def request(self):
+        """Ask for a slot; returns an event that fires once granted."""
+        self._account()
+        req = Request(self)
+        self._waiting.append(req)
+        self._grant()
+        return req
+
+    def release(self, request):
+        """Return a previously-granted slot."""
+        self._account()
+        try:
+            self._users.remove(request)
+        except ValueError:
+            # Releasing an ungranted request cancels it instead.
+            try:
+                self._waiting.remove(request)
+                return
+            except ValueError:
+                raise SimulationError(
+                    f"release of request not held on {self.name!r}"
+                ) from None
+        self._grant()
+
+    @contextmanager
+    def held(self):
+        """Context manager for use inside processes::
+
+            with resource.held() as req:
+                yield req          # wait for the grant
+                yield engine.timeout(service_time)
+
+        The slot is released when the block exits (even on error).
+        """
+        req = self.request()
+        try:
+            yield req
+        finally:
+            self.release(req)
+
+    def utilisation(self, elapsed=None):
+        """Fraction of capacity-time spent busy since creation."""
+        self._account()
+        horizon = elapsed if elapsed is not None else self.engine.now
+        if horizon <= 0:
+            return 0.0
+        return self.busy_time / (horizon * self.capacity)
+
+    # -- internals -----------------------------------------------------------
+    def _account(self):
+        now = self.engine.now
+        self.busy_time += len(self._users) * (now - self._last_change)
+        self._last_change = now
+
+    def _grant(self):
+        while self._waiting and len(self._users) < self.capacity:
+            req = self._waiting.popleft()
+            self._users.append(req)
+            req.succeed(req)

@@ -1,0 +1,101 @@
+"""FIFO stores: the queueing primitive behind IPC ports and servers."""
+
+from collections import deque
+
+from repro.sim.errors import SimulationError
+from repro.sim.events import Event
+
+
+class StorePut(Event):
+    """Event returned by :meth:`Store.put`; succeeds once the item is in."""
+
+    __slots__ = ("item",)
+
+    def __init__(self, store, item):
+        super().__init__(store.engine)
+        self.item = item
+
+
+class StoreGet(Event):
+    """Event returned by :meth:`Store.get`; succeeds with the next item."""
+
+    __slots__ = ()
+
+
+class Store:
+    """An unbounded-or-bounded FIFO queue of arbitrary items.
+
+    ``put`` and ``get`` return events.  A ``get`` on a non-empty store and
+    a ``put`` on a non-full store succeed immediately (in the same engine
+    step); otherwise the caller queues up, FIFO.  This models Accent IPC
+    ports, whose messages are buffered in the kernel with a backlog limit.
+    """
+
+    def __init__(self, engine, capacity=None, name=None):
+        if capacity is not None and capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.engine = engine
+        self.capacity = capacity
+        self.name = name or "store"
+        self.items = deque()
+        self._getters = deque()
+        self._putters = deque()
+
+    def __repr__(self):
+        return (
+            f"<Store {self.name} items={len(self.items)} "
+            f"getters={len(self._getters)} putters={len(self._putters)}>"
+        )
+
+    def __len__(self):
+        return len(self.items)
+
+    @property
+    def is_full(self):
+        """True when a bounded store has reached its capacity."""
+        return self.capacity is not None and len(self.items) >= self.capacity
+
+    def put(self, item):
+        """Queue ``item``; returns an event that fires once accepted."""
+        put_event = StorePut(self, item)
+        self._putters.append(put_event)
+        self._dispatch()
+        return put_event
+
+    def get(self):
+        """Request the next item; returns an event firing with the item."""
+        get_event = StoreGet(self.engine)
+        self._getters.append(get_event)
+        self._dispatch()
+        return get_event
+
+    def try_get(self):
+        """Non-blocking get: the next item, or ``None`` if empty.
+
+        Only valid when nothing else is waiting to get — mixing blocking
+        and non-blocking consumers would break FIFO fairness.
+        """
+        if self._getters:
+            raise SimulationError(
+                f"try_get on {self.name!r} while blocking getters wait"
+            )
+        if not self.items:
+            self._admit_putters()
+            return None
+        item = self.items.popleft()
+        self._admit_putters()
+        return item
+
+    # -- internals -----------------------------------------------------------
+    def _admit_putters(self):
+        while self._putters and not self.is_full:
+            put_event = self._putters.popleft()
+            self.items.append(put_event.item)
+            put_event.succeed()
+
+    def _dispatch(self):
+        self._admit_putters()
+        while self._getters and self.items:
+            get_event = self._getters.popleft()
+            get_event.succeed(self.items.popleft())
+            self._admit_putters()

@@ -1,0 +1,510 @@
+"""The two-machine Accent testbed and the single-trial orchestrator.
+
+A :class:`Testbed` reproduces one migration experiment end-to-end: it
+builds the workload's pre-migration state on the source host, runs the
+MigrationManager protocol under the chosen transfer strategy, replays
+the workload's reference trace at the destination (verifying every page
+against the contents the source held), and returns a
+:class:`MigrationResult` with every quantity the paper's evaluation
+section reports.
+
+Each trial runs in a fresh simulated world, so trials are independent
+and fully deterministic given the seed.
+"""
+
+from repro.accent.constants import PAGE_SIZE
+from repro.accent.host import Host
+from repro.accent.ipc.port import PortRegistry
+from repro.calibration import DEFAULT_CALIBRATION
+from repro.metrics.collector import MetricsCollector
+from repro.metrics.timeline import Timeline
+from repro.migration.manager import MigrationManager
+from repro.migration.strategy import PURE_IOU, Strategy
+from repro.net.link import Link
+from repro.net.netmsgserver import NetMsgServer
+from repro.sim import Engine, SeededStreams
+from repro.workloads.builder import build_process
+from repro.workloads.registry import workload_by_name
+from repro.workloads.runner import RemoteRunResult, remote_body
+
+
+class TestbedWorld:
+    """One fresh simulated world: N hosts on one shared Ethernet.
+
+    The default is the paper's two-machine testbed; a longer
+    ``host_names`` tuple builds the multi-host setting of §6, where a
+    process's virtual address space can end up physically dispersed
+    among several computational hosts (migration chains).
+    """
+
+    def __init__(self, seed, calibration, host_names=("alpha", "beta")):
+        if len(host_names) < 2:
+            raise ValueError("a testbed needs at least two hosts")
+        self.calibration = calibration
+        self.engine = Engine()
+        self.streams = SeededStreams(seed)
+        self.registry = PortRegistry(self.engine)
+        self.metrics = MetricsCollector(self.engine)
+        #: One shared medium, as on the SPICE 10 Mbit Ethernet.
+        self.link = Link(self.engine, calibration)
+        self.hosts = {}
+        self.managers = {}
+        servers = []
+        for name in host_names:
+            host = Host(
+                self.engine, name, calibration, self.registry, self.metrics
+            )
+            self.hosts[name] = host
+            servers.append(NetMsgServer(host))
+            self.managers[name] = MigrationManager(host)
+        for nms in servers:
+            for peer in servers:
+                if peer is not nms:
+                    nms.connect(self.link, peer)
+
+    # The classic two-host views used throughout the test suite.
+    @property
+    def source(self):
+        return next(iter(self.hosts.values()))
+
+    @property
+    def dest(self):
+        hosts = list(self.hosts.values())
+        return hosts[1]
+
+    @property
+    def source_manager(self):
+        return self.managers[self.source.name]
+
+    @property
+    def dest_manager(self):
+        return self.managers[self.dest.name]
+
+    def host(self, name):
+        """The host named ``name``."""
+        return self.hosts[name]
+
+    def manager(self, name):
+        """The MigrationManager at host ``name``."""
+        return self.managers[name]
+
+
+class MigrationResult:
+    """Everything one trial measured."""
+
+    def __init__(self, spec, strategy_name, prefetch, world, run_result):
+        self.spec = spec
+        self.strategy = strategy_name
+        self.prefetch = prefetch
+        self.run_result = run_result
+        metrics = world.metrics
+        self._marks = dict(metrics.marks)
+        self.link_records = list(metrics.link_records)
+        self.faults = dict(metrics.faults)
+        self.bytes_total = metrics.total_link_bytes
+        self.bytes_fault_support = metrics.fault_support_bytes
+        self.bytes_by_category = dict(metrics.link_bytes_by_category())
+        self.message_handling_s = metrics.total_message_handling_s
+        self.messages_total = metrics.total_messages
+        self.prefetched_pages = metrics.prefetched_pages
+        self.prefetch_hits = metrics.prefetch_hits
+        self.cow_stats = world.source.kernel.stats
+        self.pages_bulk = world.source.nms.pages_shipped_by_op.get(
+            "migrate.rimas", 0
+        )
+        self.pages_demand = world.source.nms.backing.delivered_page_count()
+
+    @property
+    def marks(self):
+        """Phase marks: name -> simulated time (trial clock)."""
+        return dict(self._marks)
+
+    # -- phase timings (Tables 4-4/4-5, Figure 4-1) ----------------------------
+    def _span(self, start, end):
+        try:
+            return self._marks[end] - self._marks[start]
+        except KeyError:
+            return None
+
+    @property
+    def excise_s(self):
+        """ExciseProcess elapsed time (Table 4-4 Overall)."""
+        return self._span("excise.start", "excise.end")
+
+    @property
+    def excise_amap_s(self):
+        """AMap-construction component (Table 4-4 AMap)."""
+        return self._span("excise.amap.start", "excise.amap.end")
+
+    @property
+    def excise_rimas_s(self):
+        """Address-space collapse component (Table 4-4 RIMAS)."""
+        return self._span("excise.rimas.start", "excise.rimas.end")
+
+    @property
+    def core_transfer_s(self):
+        """Core context message phase (§4.3.2: ≈1 s)."""
+        return self._span("core.start", "core.end")
+
+    @property
+    def transfer_s(self):
+        """Address-space (RIMAS) transfer time (Table 4-5)."""
+        return self._span("rimas.start", "rimas.end")
+
+    @property
+    def insert_s(self):
+        """InsertProcess time (§4.3.1: 263–853 ms)."""
+        return self._span("insert.start", "insert.end")
+
+    @property
+    def exec_s(self):
+        """Remote execution time (Figure 4-1)."""
+        return self._span("exec.start", "exec.end")
+
+    @property
+    def transfer_plus_exec_s(self):
+        """Figure 4-2's end-to-end metric."""
+        if self.transfer_s is None or self.exec_s is None:
+            return None
+        return self.transfer_s + self.exec_s
+
+    @property
+    def end_to_end_s(self):
+        """Whole trial: migration request to last remote instruction."""
+        return self._span("trial.start", "trial.end")
+
+    # -- data movement (Table 4-3, Figures 4-3/4-5) -----------------------------
+    @property
+    def pages_transferred(self):
+        """Distinct pages of process memory moved to the new site."""
+        return self.pages_bulk + self.pages_demand
+
+    @property
+    def fraction_of_real_transferred(self):
+        """Table 4-3's headline number (percent once ×100)."""
+        return self.pages_transferred * PAGE_SIZE / self.spec.real_bytes
+
+    @property
+    def fraction_of_total_transferred(self):
+        """Table 4-3's bracketed number."""
+        return self.pages_transferred * PAGE_SIZE / self.spec.total_bytes
+
+    @property
+    def prefetch_hit_ratio(self):
+        if self.prefetched_pages == 0:
+            return None
+        return self.prefetch_hits / self.prefetched_pages
+
+    @property
+    def verified(self):
+        """Page-content verification outcome (None if trace not run)."""
+        if self.run_result is None or self.run_result.steps_executed == 0:
+            return None
+        return self.run_result.verified
+
+    def timeline(self, bin_seconds=1.0):
+        """Figure 4-5 input: binned byte-rate series over the trial."""
+        return Timeline(bin_seconds).bins(
+            self.link_records,
+            start=self._marks.get("trial.start"),
+            end=self._marks.get("trial.end"),
+        )
+
+    def __repr__(self):
+        return (
+            f"<MigrationResult {self.spec.name} {self.strategy} "
+            f"pf={self.prefetch} transfer={self.transfer_s:.2f}s "
+            f"exec={self.exec_s:.2f}s bytes={self.bytes_total}>"
+        )
+
+
+class Testbed:
+    """Factory for independent, deterministic migration trials."""
+
+    # Not a pytest test class, despite the name.
+    __test__ = False
+
+    def __init__(self, seed=1987, calibration=None):
+        self.seed = seed
+        self.calibration = calibration or DEFAULT_CALIBRATION
+
+    def world(self, host_names=("alpha", "beta")):
+        """A fresh world (for tests that drive the pieces by hand)."""
+        return TestbedWorld(self.seed, self.calibration, host_names=host_names)
+
+    def migrate(self, workload, strategy=PURE_IOU, prefetch=0, run_remote=True):
+        """Run one full trial; returns a :class:`MigrationResult`."""
+        spec = workload_by_name(workload)
+        strategy = Strategy.by_name(strategy)
+        world = self.world()
+        built = build_process(world.source, spec, world.streams)
+        world.source.nms.prefetch = prefetch
+        world.dest.nms.prefetch = prefetch
+        run_result = RemoteRunResult(spec.name)
+        metrics = world.metrics
+
+        def trial():
+            metrics.mark("trial.start")
+            insertion = world.dest_manager.expect_insertion(spec.name)
+            yield from world.source_manager.migrate(
+                spec.name, world.dest_manager, strategy
+            )
+            inserted = yield insertion
+            metrics.mark("exec.start")
+            if run_remote:
+                yield from remote_body(
+                    world.dest, inserted, built.trace, run_result
+                )
+            metrics.mark("exec.end")
+            metrics.mark("trial.end")
+
+        trial_process = world.engine.process(trial(), name=f"trial-{spec.name}")
+        world.engine.run(until=trial_process)
+        # Drain in-flight asynchronous traffic (segment-death messages).
+        world.engine.run()
+        return MigrationResult(
+            spec, strategy.name, prefetch, world, run_result if run_remote else None
+        )
+
+    def migrate_precopy(
+        self,
+        workload,
+        dirty_rate_pps=None,
+        stop_threshold=32,
+        max_rounds=5,
+        run_remote=True,
+    ):
+        """Run one iterative pre-copy trial (the §5 V-system baseline).
+
+        Returns a :class:`PrecopyResult`.  ``dirty_rate_pps`` defaults
+        to the workload's own write intensity (see
+        :func:`repro.migration.precopy.default_dirty_rate`).
+        """
+        from repro.migration.precopy import default_dirty_rate
+
+        spec = workload_by_name(workload)
+        if dirty_rate_pps is None:
+            dirty_rate_pps = default_dirty_rate(spec)
+        world = self.world()
+        built = build_process(world.source, spec, world.streams)
+        run_result = RemoteRunResult(spec.name)
+        metrics = world.metrics
+
+        def trial():
+            metrics.mark("trial.start")
+            insertion = world.dest_manager.expect_insertion(spec.name)
+            rounds = yield from world.source_manager.migrate_precopy(
+                spec.name,
+                world.dest_manager,
+                dirty_rate_pps,
+                world.streams,
+                stop_threshold=stop_threshold,
+                max_rounds=max_rounds,
+            )
+            inserted = yield insertion
+            metrics.mark("exec.start")
+            if run_remote:
+                yield from remote_body(
+                    world.dest, inserted, built.trace, run_result
+                )
+            metrics.mark("exec.end")
+            metrics.mark("trial.end")
+            return rounds
+
+        trial_process = world.engine.process(trial(), name=f"precopy-{spec.name}")
+        rounds = world.engine.run(until=trial_process)
+        world.engine.run()
+        return PrecopyResult(
+            spec, world, run_result if run_remote else None, rounds
+        )
+
+    def migrate_chain(
+        self,
+        workload,
+        path=("alpha", "beta", "gamma"),
+        strategy=PURE_IOU,
+        prefetch=0,
+        run_fractions=None,
+    ):
+        """Migrate a process along several hosts (§6's dispersed spaces).
+
+        The process starts at ``path[0]`` and hops host to host.  At
+        each intermediate host it may execute part of its reference
+        trace (``run_fractions``: one fraction per intermediate host;
+        default 0 — all execution happens at the final host).  Under
+        lazy strategies, re-excision produces *inherited IOUs*: after
+        two IOU hops the space is physically dispersed, with faults at
+        the final host routing back to whichever host still holds each
+        page.
+
+        Returns a :class:`ChainResult`.
+        """
+        spec = workload_by_name(workload)
+        strategy = Strategy.by_name(strategy)
+        if len(path) < 2:
+            raise ValueError("a chain needs at least two hosts")
+        intermediates = len(path) - 2
+        if run_fractions is None:
+            run_fractions = (0.0,) * intermediates
+        if len(run_fractions) != intermediates:
+            raise ValueError(
+                f"need {intermediates} run fractions for {len(path)} hosts"
+            )
+        world = self.world(host_names=tuple(path))
+        built = build_process(world.host(path[0]), spec, world.streams)
+        for host in world.hosts.values():
+            host.nms.prefetch = prefetch
+
+        steps = list(built.trace.steps)
+        boundaries = []
+        cursor = 0
+        for fraction in run_fractions:
+            cursor = min(len(steps), cursor + int(fraction * len(steps)))
+            boundaries.append(cursor)
+        segments = []
+        previous = 0
+        for boundary in boundaries:
+            segments.append(steps[previous:boundary])
+            previous = boundary
+        segments.append(steps[previous:])
+
+        metrics = world.metrics
+        run_result = RemoteRunResult(spec.name)
+        hop_transfer_marks = []
+
+        def chain():
+            from repro.workloads.trace import ReferenceTrace
+
+            metrics.mark("trial.start")
+            compute_per_step = built.trace.compute_slice_s
+            for hop, (src_name, dst_name) in enumerate(
+                zip(path, path[1:])
+            ):
+                insertion = world.manager(dst_name).expect_insertion(spec.name)
+                before = world.engine.now
+                yield from world.manager(src_name).migrate(
+                    spec.name, world.manager(dst_name), strategy
+                )
+                inserted = yield insertion
+                hop_transfer_marks.append(world.engine.now - before)
+                segment = segments[hop]
+                if segment:
+                    partial = ReferenceTrace(
+                        segment, compute_per_step * len(segment)
+                    )
+                    last_hop = hop == len(path) - 2
+                    yield from remote_body(
+                        world.host(dst_name),
+                        inserted,
+                        partial,
+                        run_result,
+                        terminate=last_hop,
+                    )
+                elif hop == len(path) - 2:
+                    yield from world.host(dst_name).kernel.terminate(spec.name)
+            metrics.mark("trial.end")
+
+        chain_process = world.engine.process(chain(), name=f"chain-{spec.name}")
+        world.engine.run(until=chain_process)
+        world.engine.run()
+        return ChainResult(
+            spec, strategy.name, prefetch, tuple(path), world,
+            run_result, hop_transfer_marks,
+        )
+
+
+class PrecopyResult:
+    """Measurements from one iterative pre-copy migration (§5 baseline)."""
+
+    def __init__(self, spec, world, run_result, rounds):
+        self.spec = spec
+        self.strategy = "pre-copy"
+        self.run_result = run_result
+        #: Iterative rounds before the stop: (pages, seconds) each.
+        self.rounds = list(rounds)
+        metrics = world.metrics
+        self._marks = dict(metrics.marks)
+        self.bytes_total = metrics.total_link_bytes
+        self.message_handling_s = metrics.total_message_handling_s
+        self.faults = dict(metrics.faults)
+
+    @property
+    def downtime_s(self):
+        """Process stopped -> running at the destination (V's metric)."""
+        return self._marks["insert.end"] - self._marks["downtime.start"]
+
+    @property
+    def precopy_s(self):
+        """Time spent copying while the process still ran."""
+        return self._marks["downtime.start"] - self._marks["precopy.start"]
+
+    @property
+    def exec_s(self):
+        return self._marks["exec.end"] - self._marks["exec.start"]
+
+    @property
+    def end_to_end_s(self):
+        return self._marks["trial.end"] - self._marks["trial.start"]
+
+    @property
+    def pages_shipped(self):
+        """Total page shipments, counting re-dirtied pages per round."""
+        return sum(r.pages for r in self.rounds)
+
+    @property
+    def verified(self):
+        if self.run_result is None or self.run_result.steps_executed == 0:
+            return None
+        return self.run_result.verified
+
+    def __repr__(self):
+        return (
+            f"<PrecopyResult {self.spec.name} rounds={len(self.rounds)} "
+            f"downtime={self.downtime_s:.2f}s verified={self.verified}>"
+        )
+
+
+class ChainResult:
+    """Measurements from one multi-hop migration."""
+
+    def __init__(self, spec, strategy, prefetch, path, world, run_result, hop_times):
+        self.spec = spec
+        self.strategy = strategy
+        self.prefetch = prefetch
+        self.path = path
+        self.run_result = run_result
+        #: Elapsed seconds per hop (excise + core + transfer + insert).
+        self.hop_times_s = list(hop_times)
+        metrics = world.metrics
+        self.bytes_total = metrics.total_link_bytes
+        self.bytes_by_category = dict(metrics.link_bytes_by_category())
+        self.faults = dict(metrics.faults)
+        self.end_to_end_s = metrics.span("trial.start", "trial.end")
+        #: Demand pages served per backing host — how the address space
+        #: was physically dispersed along the chain.
+        self.pages_served = {
+            name: host.nms.backing.delivered_page_count()
+            for name, host in world.hosts.items()
+        }
+        #: Pages a backer still held (never demanded) when its segment
+        #: received Imaginary Segment Death.
+        self.pages_unclaimed = {
+            name: sum(
+                total - delivered
+                for _, _, delivered, total in host.nms.backing.retired
+            )
+            for name, host in world.hosts.items()
+        }
+
+    @property
+    def verified(self):
+        if self.run_result.steps_executed == 0:
+            return None
+        return self.run_result.verified
+
+    def __repr__(self):
+        return (
+            f"<ChainResult {self.spec.name} {'→'.join(self.path)} "
+            f"{self.strategy} hops={len(self.hop_times_s)} "
+            f"verified={self.verified}>"
+        )

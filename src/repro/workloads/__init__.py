@@ -1,0 +1,30 @@
+"""The paper's seven representative processes (paper §4.1).
+
+Each workload is a :class:`~repro.workloads.spec.WorkloadSpec` carrying
+the footprints measured in Tables 4-1 to 4-3 plus structural parameters
+(layout runs, process-map complexity, locality class, compute time)
+fitted to Tables 4-4/4-5 and the §4.3.3 narrative.  A builder
+materialises the pre-migration process on a host; a trace generator
+produces the remote reference string the process replays after
+migration.
+"""
+
+from repro.workloads.builder import BuiltWorkload, build_process
+from repro.workloads.registry import WORKLOADS, workload_by_name
+from repro.workloads.runner import RemoteRunResult, remote_body
+from repro.workloads.spec import Locality, WorkloadSpec
+from repro.workloads.trace import ReferenceTrace, TraceStep, build_trace
+
+__all__ = [
+    "BuiltWorkload",
+    "Locality",
+    "ReferenceTrace",
+    "RemoteRunResult",
+    "TraceStep",
+    "WORKLOADS",
+    "WorkloadSpec",
+    "build_process",
+    "build_trace",
+    "remote_body",
+    "workload_by_name",
+]

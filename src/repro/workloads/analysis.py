@@ -1,0 +1,102 @@
+"""Reference-trace analytics.
+
+Quantifies the locality properties that drive the paper's prefetch
+results: sequential run lengths (Pasmac's 78% hit ratio), forward-jump
+fractions, and spatial span.  Used by tests to validate that each
+locality class actually produces the reference behaviour the paper
+describes, and handy for analysing user-defined workloads.
+"""
+
+from collections import namedtuple
+from statistics import mean
+
+TraceProfile = namedtuple(
+    "TraceProfile",
+    "references distinct_pages mean_run_length sequential_fraction "
+    "forward_fraction span_pages density",
+)
+TraceProfile.__doc__ = """Summary statistics of one reference string.
+
+* ``mean_run_length`` — average length of maximal +1-stride runs.
+* ``sequential_fraction`` — fraction of steps continuing such a run.
+* ``forward_fraction`` — fraction of steps moving to a higher page.
+* ``span_pages`` — highest minus lowest page referenced, plus one.
+* ``density`` — distinct pages / span (1.0 = a perfect sweep).
+"""
+
+
+def profile(page_sequence):
+    """Compute a :class:`TraceProfile` for an ordered page sequence."""
+    pages = list(page_sequence)
+    if not pages:
+        raise ValueError("empty reference string")
+    runs = []
+    current = 1
+    sequential = 0
+    forward = 0
+    for previous, page in zip(pages, pages[1:]):
+        if page == previous + 1:
+            current += 1
+            sequential += 1
+        else:
+            runs.append(current)
+            current = 1
+        if page > previous:
+            forward += 1
+    runs.append(current)
+    span = max(pages) - min(pages) + 1
+    steps = len(pages) - 1 if len(pages) > 1 else 1
+    return TraceProfile(
+        references=len(pages),
+        distinct_pages=len(set(pages)),
+        mean_run_length=mean(runs),
+        sequential_fraction=sequential / steps,
+        forward_fraction=forward / steps,
+        span_pages=span,
+        density=len(set(pages)) / span,
+    )
+
+
+def profile_trace(trace):
+    """Profile a :class:`~repro.workloads.trace.ReferenceTrace`'s real
+    references."""
+    return profile([step.page_index for step in trace.real_steps])
+
+
+def expected_prefetch_hit_ratio(page_sequence, prefetch, stash_pages):
+    """Replay the contiguous-ascending prefetcher over a reference
+    string and report the resulting hit ratio.
+
+    ``stash_pages`` is the full sorted page population of the backing
+    segment (prefetch candidates come from it, touched or not).  This
+    is the analytic twin of the simulator's measured hit ratio; the
+    two must agree, which the tests check.
+    """
+    import bisect
+
+    stash = sorted(stash_pages)
+    owed = set(stash)
+    delivered_by_prefetch = set()
+    prefetched = 0
+    hits = 0
+    for page in page_sequence:
+        if page in delivered_by_prefetch:
+            hits += 1
+            delivered_by_prefetch.discard(page)
+            continue
+        if page not in owed:
+            continue
+        owed.discard(page)
+        position = bisect.bisect_right(stash, page)
+        picked = 0
+        for candidate in stash[position:]:
+            if picked >= prefetch:
+                break
+            if candidate in owed:
+                owed.discard(candidate)
+                delivered_by_prefetch.add(candidate)
+                prefetched += 1
+                picked += 1
+    if prefetched == 0:
+        return None
+    return hits / prefetched

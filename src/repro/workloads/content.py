@@ -1,0 +1,35 @@
+"""Deterministic page contents.
+
+Every real page of every workload carries reproducible bytes derived
+from its identity, so the destination process can verify — page by page
+— that migration delivered exactly the data the source held.  This is
+the end-to-end correctness check of the copy-on-reference pipeline.
+"""
+
+import hashlib
+
+from repro.accent.constants import PAGE_SIZE
+
+_DIGEST_BYTES = 32
+_REPEATS = PAGE_SIZE // _DIGEST_BYTES
+
+
+def page_payload(workload_name, page_index):
+    """The full 512-byte content of one page."""
+    return page_head(workload_name, page_index) * _REPEATS
+
+
+def page_head(workload_name, page_index):
+    """The leading 32 bytes (enough to verify identity cheaply)."""
+    material = f"{workload_name}:{page_index}".encode("utf-8")
+    return hashlib.sha256(material).digest()
+
+
+#: Marker bytes a remote write stamps at the start of a written page.
+WRITE_MARKER = b"remote-write-marker/"
+
+
+def written_head(workload_name, page_index):
+    """Expected head after the remote body wrote its marker."""
+    head = page_head(workload_name, page_index)
+    return WRITE_MARKER + head[len(WRITE_MARKER):]

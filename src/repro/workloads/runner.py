@@ -1,0 +1,88 @@
+"""Remote execution: replay a reference trace through the kernel.
+
+The body interleaves CPU time with memory references.  Every real
+reference verifies page contents against the deterministic pattern the
+source wrote — the end-to-end proof that copy-on-reference migration
+delivered the right bytes — and every write stamps a marker (breaking
+copy-on-write sharing where it exists).
+"""
+
+from repro.accent.constants import PAGE_SIZE
+from repro.workloads.content import WRITE_MARKER, page_head, written_head
+
+
+class RemoteRunResult:
+    """What happened while the migrated process ran remotely."""
+
+    def __init__(self, workload_name):
+        self.workload_name = workload_name
+        self.steps_executed = 0
+        #: (page_index, expected_head, actual_head) for corrupt pages.
+        self.mismatches = []
+        self.started_at = None
+        self.finished_at = None
+
+    def __repr__(self):
+        return (
+            f"<RemoteRunResult {self.workload_name} steps={self.steps_executed} "
+            f"mismatches={len(self.mismatches)}>"
+        )
+
+    @property
+    def verified(self):
+        """True when every referenced page held the expected bytes."""
+        return self.steps_executed > 0 and not self.mismatches
+
+    @property
+    def elapsed_s(self):
+        if self.started_at is None or self.finished_at is None:
+            return None
+        return self.finished_at - self.started_at
+
+
+def remote_body(host, process, trace, result, terminate=True):
+    """Generator: run the trace on ``host`` as ``process``.
+
+    Yields simulation events; finishes by terminating the process
+    (sending Imaginary Segment Death to any remaining backers) unless
+    ``terminate`` is False.
+    """
+    engine = host.engine
+    kernel = host.kernel
+    space = process.space
+    expected_name = process.blueprint or result.workload_name
+    head_len = len(page_head(expected_name, 0))
+    result.started_at = engine.now
+
+    compute_slice = trace.compute_slice_s
+    for step in trace.steps:
+        if compute_slice > 0:
+            # Compute runs on the host CPU; with co-located processes
+            # the queueing delay is real (uncontended: pure timeout).
+            with host.cpu.held() as grant:
+                yield grant
+                yield engine.timeout(compute_slice)
+        cost = kernel.touch(process, step.page_index, write=step.write)
+        if cost is not None:
+            yield from cost
+        address = step.page_index * PAGE_SIZE
+        if step.kind in ("real", "revisit"):
+            actual = space.peek(address, head_len)
+            expected = page_head(expected_name, step.page_index)
+            if actual != expected:
+                # A revisited page may legitimately carry the marker an
+                # earlier write step stamped on it.
+                if not (
+                    step.kind == "revisit"
+                    and actual == written_head(expected_name, step.page_index)
+                ):
+                    result.mismatches.append(
+                        (step.page_index, expected, actual)
+                    )
+        if step.write:
+            space.poke(address, WRITE_MARKER)
+        result.steps_executed += 1
+
+    result.finished_at = engine.now
+    if terminate:
+        yield from kernel.terminate(process.name)

@@ -1,0 +1,107 @@
+"""Workload descriptors: the ground truth behind every experiment."""
+
+import enum
+from dataclasses import dataclass
+
+from repro.accent.constants import PAGE_SIZE
+
+
+class Locality(enum.Enum):
+    """Memory access pattern class (drives prefetch behaviour, §4.3.3)."""
+
+    #: Large tracts accessed in order (Pasmac reading mapped files).
+    SEQUENTIAL = "sequential"
+    #: Poor locality (Lisp heaps): short runs scattered over the space.
+    SCATTERED = "scattered"
+    #: A few working-set clusters (Minprog, Chess).
+    CLUSTERED = "clustered"
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One representative process.
+
+    Byte quantities come straight from Tables 4-1/4-2; fractions from
+    Table 4-3 (``touched_fraction`` = the IOU column over RealMem,
+    ``rs_union_fraction`` = the RS column: resident pages shipped plus
+    pages demand-fetched on top of them).  ``real_runs`` is fitted to
+    the RIMAS-collapse times of Table 4-4 at 4 ms/run; ``map_entries``
+    to the AMap-construction times at 4 ms/entry.  ``compute_s`` is the
+    process's remote CPU demand excluding fault service, inferred from
+    §4.3.3 (Minprog 44× slowdown, Chess +3%, Lisp-Del finishing just
+    after pure-copy starts executing).
+    """
+
+    name: str
+    description: str
+    real_bytes: int
+    total_bytes: int
+    resident_bytes: int
+    touched_fraction: float
+    rs_union_fraction: float
+    real_runs: int
+    map_entries: int
+    locality: Locality
+    compute_s: float
+    zero_touch_pages: int
+    write_fraction: float = 0.3
+    #: Extra re-references per first touch (temporal locality): a trace
+    #: with revisit_fraction=1.0 touches each page again about once.
+    #: Revisits hit resident pages, so they change pacing, not faults.
+    revisit_fraction: float = 0.0
+
+    def __post_init__(self):
+        for field_name in ("real_bytes", "total_bytes", "resident_bytes"):
+            value = getattr(self, field_name)
+            if value % PAGE_SIZE:
+                raise ValueError(f"{field_name}={value} not page aligned")
+        if not self.resident_bytes <= self.real_bytes <= self.total_bytes:
+            raise ValueError(f"inconsistent sizes in {self.name}")
+        if not 0.0 <= self.touched_fraction <= 1.0:
+            raise ValueError("touched_fraction out of range")
+        if self.rs_union_fraction < self.resident_fraction - 1e-9:
+            raise ValueError(
+                "RS union cannot be smaller than the resident set"
+            )
+
+    # -- page counts -------------------------------------------------------------
+    @property
+    def real_pages(self):
+        return self.real_bytes // PAGE_SIZE
+
+    @property
+    def total_pages(self):
+        return self.total_bytes // PAGE_SIZE
+
+    @property
+    def real_zero_bytes(self):
+        return self.total_bytes - self.real_bytes
+
+    @property
+    def real_zero_pages(self):
+        return self.total_pages - self.real_pages
+
+    @property
+    def resident_pages(self):
+        return self.resident_bytes // PAGE_SIZE
+
+    @property
+    def touched_pages(self):
+        return max(1, round(self.touched_fraction * self.real_pages))
+
+    @property
+    def resident_fraction(self):
+        return self.resident_bytes / self.real_bytes
+
+    @property
+    def rs_union_pages(self):
+        return round(self.rs_union_fraction * self.real_pages)
+
+    @property
+    def touched_in_rs_pages(self):
+        """|touched ∩ RS| implied by Table 4-3's union column."""
+        overlap = self.resident_pages + self.touched_pages - self.rs_union_pages
+        return max(0, min(overlap, self.resident_pages, self.touched_pages))
+
+    def __str__(self):
+        return self.name

@@ -1,0 +1,99 @@
+"""Factory for synthetic workload specs.
+
+The seven paper representatives are fixed ground truth; synthetic
+specs let users probe the design space — breakeven location, prefetch
+sensitivity, RS overlap effects — with one call::
+
+    spec = make_synthetic(real_kb=400, utilisation=0.3,
+                          locality="sequential", compute_s=5.0)
+    Testbed().migrate(spec, strategy="pure-iou")
+"""
+
+from repro.accent.constants import PAGE_SIZE
+from repro.workloads.spec import Locality, WorkloadSpec
+
+_LOCALITIES = {member.value: member for member in Locality}
+
+
+def make_synthetic(
+    real_kb,
+    utilisation,
+    locality="clustered",
+    compute_s=5.0,
+    name=None,
+    zero_fill_ratio=1.5,
+    resident_fraction=0.4,
+    rs_overlap=0.5,
+    runs_per_100_pages=8,
+    map_entries=None,
+    zero_touch_pages=10,
+    write_fraction=0.3,
+):
+    """Build a :class:`WorkloadSpec` from high-level knobs.
+
+    Parameters
+    ----------
+    real_kb:
+        Real (non-zero) memory in kilobytes.
+    utilisation:
+        Fraction of real memory the process touches remotely (0–1].
+    locality:
+        ``"sequential"``, ``"scattered"`` or ``"clustered"`` (or a
+        :class:`Locality`).
+    zero_fill_ratio:
+        RealZero memory as a multiple of real memory (Table 4-1 shows
+        ≥1 for every non-Lisp representative).
+    resident_fraction:
+        Resident set as a fraction of real memory.
+    rs_overlap:
+        Fraction of the *touched* pages that are inside the resident
+        set (drives how much RS shipment helps).
+    """
+    if isinstance(locality, str):
+        try:
+            locality = _LOCALITIES[locality]
+        except KeyError:
+            raise ValueError(
+                f"unknown locality {locality!r}; choose from "
+                f"{sorted(_LOCALITIES)}"
+            ) from None
+    if not 0.0 < utilisation <= 1.0:
+        raise ValueError(f"utilisation must be in (0, 1], got {utilisation}")
+    if zero_fill_ratio <= 0:
+        raise ValueError("zero_fill_ratio must be positive")
+
+    real_pages = max(8, int(real_kb * 1024) // PAGE_SIZE)
+    zero_pages = max(real_pages + 2, int(real_pages * zero_fill_ratio))
+    total_pages = real_pages + zero_pages
+    resident_pages = min(
+        real_pages, max(1, round(resident_fraction * real_pages))
+    )
+    touched_pages = max(1, round(utilisation * real_pages))
+    overlap_pages = min(
+        resident_pages, touched_pages, round(rs_overlap * touched_pages)
+    )
+    union_pages = min(
+        real_pages, resident_pages + touched_pages - overlap_pages
+    )
+    runs = max(1, min(real_pages, zero_pages - 1,
+                      real_pages * runs_per_100_pages // 100))
+    return WorkloadSpec(
+        name=name or f"synthetic-{real_kb}k-{int(100 * utilisation)}pct",
+        description=(
+            f"synthetic workload: {real_kb} KB real, "
+            f"{int(100 * utilisation)}% touched, {locality.value}"
+        ),
+        real_bytes=real_pages * PAGE_SIZE,
+        total_bytes=total_pages * PAGE_SIZE,
+        resident_bytes=resident_pages * PAGE_SIZE,
+        touched_fraction=touched_pages / real_pages,
+        rs_union_fraction=union_pages / real_pages,
+        real_runs=runs,
+        map_entries=(
+            map_entries if map_entries is not None else max(10, runs)
+        ),
+        locality=locality,
+        compute_s=compute_s,
+        zero_touch_pages=zero_touch_pages,
+        write_fraction=write_fraction,
+    )

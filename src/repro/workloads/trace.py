@@ -1,0 +1,103 @@
+"""Reference traces: the remote execution script of a workload."""
+
+from collections import namedtuple
+
+TraceStep = namedtuple("TraceStep", "page_index write kind")
+TraceStep.__doc__ = (
+    "One remote memory reference: kind is 'real' (first touch of "
+    "existing data), 'zero' (validated-but-untouched memory -> "
+    "FillZero fault) or 'revisit' (re-reference of a page touched "
+    "earlier; resident, so free)."
+)
+
+
+class ReferenceTrace:
+    """The ordered references a process makes after migration.
+
+    ``compute_s`` is spread uniformly across the steps as inter-touch
+    CPU time, so fault service and computation interleave like a real
+    program rather than front-loading either.
+    """
+
+    def __init__(self, steps, compute_s):
+        self.steps = list(steps)
+        self.compute_s = float(compute_s)
+
+    def __len__(self):
+        return len(self.steps)
+
+    def __repr__(self):
+        return f"<ReferenceTrace steps={len(self.steps)} cpu={self.compute_s}s>"
+
+    @property
+    def compute_slice_s(self):
+        """CPU time between consecutive references."""
+        if not self.steps:
+            return self.compute_s
+        return self.compute_s / len(self.steps)
+
+    @property
+    def real_steps(self):
+        return [s for s in self.steps if s.kind == "real"]
+
+    @property
+    def zero_steps(self):
+        return [s for s in self.steps if s.kind == "zero"]
+
+    @property
+    def revisit_steps(self):
+        return [s for s in self.steps if s.kind == "revisit"]
+
+    def touched_real_pages(self):
+        """Distinct real pages referenced."""
+        return {s.page_index for s in self.real_steps}
+
+
+def build_trace(spec, plan, rng):
+    """Interleave real touches (in locality order) with zero touches.
+
+    Every ``write_fraction`` of real touches is a write (exercising the
+    copy-on-write break path); zero touches are spread evenly through
+    the run.
+    """
+    real_steps = []
+    for position, index in enumerate(plan.touched_order):
+        write = (position % max(1, round(1 / spec.write_fraction))) == 0
+        real_steps.append(TraceStep(index, write, "real"))
+
+    steps = list(real_steps)
+    zero_pages = list(plan.zero_touches)
+    if zero_pages:
+        stride = max(1, len(steps) // len(zero_pages)) if steps else 1
+        position = 0
+        for zero_index in zero_pages:
+            position = min(position + stride, len(steps))
+            steps.insert(position, TraceStep(zero_index, True, "zero"))
+            position += 1
+    steps = _insert_revisits(spec, steps, rng)
+    return ReferenceTrace(steps, spec.compute_s)
+
+
+def _insert_revisits(spec, steps, rng):
+    """Weave re-references of already-touched pages through the trace.
+
+    Each revisit lands after its page's first touch and re-reads an
+    earlier real page — a resident hit, exercising temporal locality
+    without changing which pages fault.
+    """
+    count = round(spec.revisit_fraction * sum(
+        1 for step in steps if step.kind == "real"
+    ))
+    if count <= 0:
+        return steps
+    out = list(steps)
+    for _ in range(count):
+        position = rng.randrange(1, len(out) + 1)
+        earlier_reals = [
+            step for step in out[:position] if step.kind == "real"
+        ]
+        if not earlier_reals:
+            continue
+        target = rng.choice(earlier_reals)
+        out.insert(position, TraceStep(target.page_index, False, "revisit"))
+    return out

@@ -1,0 +1,26 @@
+"""Shared fixtures: a minimal two-host world for substrate tests."""
+
+import pytest
+
+from repro.testbed import Testbed, TestbedWorld
+
+
+@pytest.fixture
+def world():
+    """A fresh two-host world with network, managers and metrics."""
+    return Testbed(seed=42).world()
+
+
+@pytest.fixture
+def source(world):
+    return world.source
+
+
+@pytest.fixture
+def dest(world):
+    return world.dest
+
+
+@pytest.fixture
+def engine(world):
+    return world.engine

@@ -1,0 +1,152 @@
+"""Unit tests for Accessibility Maps."""
+
+import pytest
+
+from repro.accent.constants import PAGE_SIZE
+from repro.accent.vm.accessibility import (
+    Accessibility,
+    BAD_MEM,
+    IMAG_MEM,
+    REAL_MEM,
+    REAL_ZERO_MEM,
+)
+from repro.accent.vm.address_space import AddressSpace
+from repro.accent.vm.amap import AMap
+from repro.accent.vm.page import Page
+
+
+class FakeHandle:
+    segment_id = 7
+    backing_port = None
+
+
+def test_accessibility_distance_ordering():
+    assert REAL_ZERO_MEM < REAL_MEM < IMAG_MEM < BAD_MEM
+    assert REAL_ZERO_MEM.distance == "immediate"
+    assert REAL_MEM.distance == "moderate"
+    assert IMAG_MEM.distance == "distant"
+    assert BAD_MEM.distance == "infinite"
+    assert not BAD_MEM.is_legal
+    assert IMAG_MEM.is_legal
+
+
+def test_add_run_and_classify():
+    amap = AMap()
+    amap.add_run(0, 100, REAL_MEM)
+    assert amap.classify(0) is REAL_MEM
+    assert amap.classify(99) is REAL_MEM
+    assert amap.classify(100) is BAD_MEM
+
+
+def test_bad_mem_cannot_be_stored():
+    amap = AMap()
+    with pytest.raises(ValueError):
+        amap.add_run(0, 10, BAD_MEM)
+
+
+def test_add_run_type_checked():
+    amap = AMap()
+    with pytest.raises(TypeError):
+        amap.add_run(0, 10, "real")
+
+
+def test_equal_class_runs_coalesce():
+    amap = AMap()
+    amap.add_run(0, 10, REAL_MEM)
+    amap.add_run(10, 20, REAL_MEM)
+    assert amap.entry_count == 1
+
+
+def test_byte_accounting_per_class():
+    amap = AMap()
+    amap.add_run(0, 512, REAL_MEM)
+    amap.add_run(512, 1536, REAL_ZERO_MEM)
+    amap.add_run(1536, 2048, IMAG_MEM)
+    assert amap.real_bytes == 512
+    assert amap.real_zero_bytes == 1024
+    assert amap.imaginary_bytes == 512
+    assert amap.total_bytes == 2048
+
+
+def test_runs_of_filters_class():
+    amap = AMap()
+    amap.add_run(0, 512, REAL_MEM)
+    amap.add_run(512, 1024, REAL_ZERO_MEM)
+    amap.add_run(1024, 1536, REAL_MEM)
+    reals = list(amap.runs_of(REAL_MEM))
+    assert [(r.start, r.end) for r in reals] == [(0, 512), (1024, 1536)]
+
+
+def test_wire_bytes_scale_with_entries():
+    amap = AMap()
+    amap.add_run(0, 512, REAL_MEM)
+    amap.add_run(512, 1024, REAL_ZERO_MEM)
+    assert amap.wire_bytes == 2 * AMap.RUN_ENCODING_BYTES
+
+
+def test_copy_independent():
+    amap = AMap()
+    amap.add_run(0, 512, REAL_MEM)
+    clone = amap.copy()
+    clone.add_run(512, 1024, IMAG_MEM)
+    assert amap.entry_count == 1
+    assert clone.entry_count == 2
+
+
+def test_overlapping_clips():
+    amap = AMap()
+    amap.add_run(0, 1024, REAL_MEM)
+    clipped = list(amap.overlapping(256, 512))
+    assert clipped == [(256, 512, REAL_MEM)]
+
+
+# ---------------------------------------------- built from address spaces --
+def test_amap_from_space_interleaves_classes():
+    space = AddressSpace()
+    space.validate(0, 8 * PAGE_SIZE)
+    space.install_page(2, Page())
+    space.install_page(3, Page())
+    space.install_page(6, Page())
+    amap = space.amap()
+    classes = [(r.start // PAGE_SIZE, r.end // PAGE_SIZE, r.accessibility)
+               for r in amap.runs()]
+    assert classes == [
+        (0, 2, REAL_ZERO_MEM),
+        (2, 4, REAL_MEM),
+        (4, 6, REAL_ZERO_MEM),
+        (6, 7, REAL_MEM),
+        (7, 8, REAL_ZERO_MEM),
+    ]
+
+
+def test_amap_from_space_with_imaginary_region():
+    space = AddressSpace()
+    space.validate(0, 2 * PAGE_SIZE)
+    space.map_imaginary(2 * PAGE_SIZE, 4 * PAGE_SIZE, FakeHandle())
+    space.install_page(3, Page())  # one fetched page inside imaginary
+    amap = space.amap()
+    assert amap.classify(0) is REAL_ZERO_MEM
+    assert amap.classify(2 * PAGE_SIZE) is IMAG_MEM
+    assert amap.classify(3 * PAGE_SIZE) is REAL_MEM
+    assert amap.classify(4 * PAGE_SIZE) is IMAG_MEM
+
+
+def test_amap_total_matches_space_totals():
+    space = AddressSpace()
+    space.validate(0, 100 * PAGE_SIZE)
+    for index in (1, 5, 50):
+        space.install_page(index, Page())
+    amap = space.amap()
+    assert amap.total_bytes == space.total_bytes
+    assert amap.real_bytes == space.real_bytes
+    assert amap.real_zero_bytes == space.real_zero_bytes
+
+
+def test_amap_fully_real_space():
+    space = AddressSpace()
+    space.validate(0, 4 * PAGE_SIZE)
+    for index in range(4):
+        space.install_page(index, Page())
+    amap = space.amap()
+    assert amap.entry_count == 1
+    assert amap.real_bytes == 4 * PAGE_SIZE

@@ -1,0 +1,181 @@
+"""Unit tests for the interval map underpinning regions and AMaps."""
+
+import pytest
+
+from repro.accent.vm.intervals import IntervalMap
+
+
+def runs(imap):
+    return list(imap.runs())
+
+
+def test_empty_map():
+    imap = IntervalMap()
+    assert len(imap) == 0
+    assert imap.span() == 0
+    assert imap.get(0) is None
+
+
+def test_single_interval():
+    imap = IntervalMap()
+    imap.add(10, 20, "a")
+    assert runs(imap) == [(10, 20, "a")]
+    assert imap.get(10) == "a"
+    assert imap.get(19) == "a"
+    assert imap.get(20) is None
+    assert imap.get(9) is None
+    assert imap.span() == 10
+
+
+def test_empty_interval_rejected():
+    imap = IntervalMap()
+    with pytest.raises(ValueError):
+        imap.add(5, 5, "x")
+    with pytest.raises(ValueError):
+        imap.add(6, 5, "x")
+    with pytest.raises(ValueError):
+        imap.remove(5, 5)
+
+
+def test_disjoint_intervals_stay_sorted():
+    imap = IntervalMap()
+    imap.add(30, 40, "c")
+    imap.add(0, 10, "a")
+    imap.add(15, 20, "b")
+    assert runs(imap) == [(0, 10, "a"), (15, 20, "b"), (30, 40, "c")]
+
+
+def test_adjacent_equal_values_coalesce():
+    imap = IntervalMap()
+    imap.add(0, 10, "x")
+    imap.add(10, 20, "x")
+    assert runs(imap) == [(0, 20, "x")]
+
+
+def test_adjacent_different_values_stay_separate():
+    imap = IntervalMap()
+    imap.add(0, 10, "x")
+    imap.add(10, 20, "y")
+    assert len(imap) == 2
+
+
+def test_overwrite_middle_splits():
+    imap = IntervalMap()
+    imap.add(0, 30, "base")
+    imap.add(10, 20, "mid")
+    assert runs(imap) == [(0, 10, "base"), (10, 20, "mid"), (20, 30, "base")]
+
+
+def test_overwrite_left_edge():
+    imap = IntervalMap()
+    imap.add(0, 30, "base")
+    imap.add(0, 10, "new")
+    assert runs(imap) == [(0, 10, "new"), (10, 30, "base")]
+
+
+def test_overwrite_right_edge():
+    imap = IntervalMap()
+    imap.add(0, 30, "base")
+    imap.add(20, 30, "new")
+    assert runs(imap) == [(0, 20, "base"), (20, 30, "new")]
+
+
+def test_overwrite_spanning_multiple():
+    imap = IntervalMap()
+    imap.add(0, 10, "a")
+    imap.add(10, 20, "b")
+    imap.add(20, 30, "c")
+    imap.add(5, 25, "z")
+    assert runs(imap) == [(0, 5, "a"), (5, 25, "z"), (25, 30, "c")]
+
+
+def test_overwrite_exact_match():
+    imap = IntervalMap()
+    imap.add(5, 10, "old")
+    imap.add(5, 10, "new")
+    assert runs(imap) == [(5, 10, "new")]
+
+
+def test_remove_middle():
+    imap = IntervalMap()
+    imap.add(0, 30, "a")
+    imap.remove(10, 20)
+    assert runs(imap) == [(0, 10, "a"), (20, 30, "a")]
+
+
+def test_remove_everything():
+    imap = IntervalMap()
+    imap.add(0, 10, "a")
+    imap.add(20, 30, "b")
+    imap.remove(0, 30)
+    assert len(imap) == 0
+
+
+def test_remove_nothing_mapped():
+    imap = IntervalMap()
+    imap.add(0, 10, "a")
+    imap.remove(50, 60)
+    assert runs(imap) == [(0, 10, "a")]
+
+
+def test_covers():
+    imap = IntervalMap()
+    imap.add(0, 10, "a")
+    imap.add(10, 20, "b")
+    assert imap.covers(0, 20)
+    assert imap.covers(5, 15)
+    assert not imap.covers(5, 25)
+    assert not imap.covers(25, 30)
+
+
+def test_covers_with_gap():
+    imap = IntervalMap()
+    imap.add(0, 10, "a")
+    imap.add(15, 20, "a")
+    assert not imap.covers(0, 20)
+    assert imap.covers(15, 20)
+
+
+def test_overlapping_clips_to_query():
+    imap = IntervalMap()
+    imap.add(0, 10, "a")
+    imap.add(10, 30, "b")
+    clipped = list(imap.overlapping(5, 15))
+    assert clipped == [(5, 10, "a"), (10, 15, "b")]
+
+
+def test_overlapping_empty_region():
+    imap = IntervalMap()
+    imap.add(0, 10, "a")
+    assert list(imap.overlapping(20, 30)) == []
+
+
+def test_copy_is_independent():
+    imap = IntervalMap()
+    imap.add(0, 10, "a")
+    clone = imap.copy()
+    clone.add(20, 30, "b")
+    assert len(imap) == 1
+    assert len(clone) == 2
+
+
+def test_equality_by_runs():
+    a = IntervalMap()
+    b = IntervalMap()
+    a.add(0, 10, "x")
+    b.add(0, 5, "x")
+    b.add(5, 10, "x")  # coalesces
+    assert a == b
+    b.add(20, 25, "y")
+    assert a != b
+
+
+def test_large_interval_values():
+    """4 GB address spaces must work without materialising anything."""
+    imap = IntervalMap()
+    four_gb = 4 * 1024**3
+    imap.add(0, four_gb, "validated")
+    assert imap.span() == four_gb
+    imap.add(1024, 2048, "real")
+    assert imap.span() == four_gb
+    assert len(imap) == 3

@@ -1,0 +1,202 @@
+"""Unit tests for ports, rights and messages."""
+
+import pytest
+
+from repro.accent.constants import PAGE_SIZE
+from repro.accent.ipc.message import (
+    AMapSection,
+    HEADER_BYTES,
+    InlineSection,
+    IOUSection,
+    Message,
+    RegionSection,
+    RightsSection,
+)
+from repro.accent.ipc.port import (
+    OWNERSHIP,
+    PortRegistry,
+    PortRight,
+    RECEIVE,
+    RightKind,
+    SEND,
+)
+from repro.accent.ipc.port import DeadPortError
+from repro.accent.ipc.stats import TransferStats
+from repro.accent.vm.amap import AMap
+from repro.accent.vm.accessibility import REAL_MEM
+from repro.accent.vm.page import Page
+from repro.sim import Engine
+
+
+class HostStub:
+    def __init__(self, name):
+        self.name = name
+
+
+# ------------------------------------------------------------------ ports --
+def test_registry_creates_unique_ports():
+    eng = Engine()
+    registry = PortRegistry(eng)
+    host = HostStub("alpha")
+    a = registry.create(host, name="a")
+    b = registry.create(host)
+    assert a.port_id != b.port_id
+    assert registry.lookup(a.port_id) is a
+    assert a in registry
+    assert len(registry) == 2
+
+
+def test_port_enqueue_receive_fifo():
+    eng = Engine()
+    registry = PortRegistry(eng)
+    port = registry.create(HostStub("alpha"))
+    received = []
+
+    def consumer():
+        for _ in range(2):
+            message = yield port.receive()
+            received.append(message.op)
+
+    def producer():
+        yield port.enqueue(Message(port, "first"))
+        yield port.enqueue(Message(port, "second"))
+
+    eng.process(consumer())
+    eng.process(producer())
+    eng.run()
+    assert received == ["first", "second"]
+
+
+def test_dead_port_rejects_operations():
+    eng = Engine()
+    registry = PortRegistry(eng)
+    port = registry.create(HostStub("alpha"))
+    registry.destroy(port)
+    assert port not in registry
+    with pytest.raises(DeadPortError):
+        port.enqueue(Message(port, "late"))
+    with pytest.raises(DeadPortError):
+        port.receive()
+
+
+def test_move_home():
+    eng = Engine()
+    registry = PortRegistry(eng)
+    alpha, beta = HostStub("alpha"), HostStub("beta")
+    port = registry.create(alpha)
+    port.move_home(beta)
+    assert port.home_host is beta
+    with pytest.raises(ValueError):
+        port.move_home(None)
+
+
+def test_port_right_kinds():
+    eng = Engine()
+    port = PortRegistry(eng).create(HostStub("alpha"))
+    right = PortRight(port, RECEIVE)
+    assert right.kind is RightKind.RECEIVE
+    assert right.port is port
+    with pytest.raises(TypeError):
+        PortRight(port, "send")
+    assert {RECEIVE, SEND, OWNERSHIP} == set(RightKind)
+
+
+# --------------------------------------------------------------- sections --
+def test_inline_section_wire_bytes():
+    section = InlineSection(b"x" * 100)
+    assert section.wire_bytes == InlineSection.DESCRIPTOR_BYTES + 100
+
+
+def test_rights_section_wire_bytes():
+    eng = Engine()
+    port = PortRegistry(eng).create(HostStub("alpha"))
+    section = RightsSection([PortRight(port, SEND)] * 3)
+    assert section.wire_bytes == 8 + 3 * PortRight.WIRE_BYTES
+
+
+def test_amap_section_wire_bytes():
+    amap = AMap()
+    amap.add_run(0, 512, REAL_MEM)
+    section = AMapSection(amap)
+    assert section.wire_bytes == 8 + AMap.RUN_ENCODING_BYTES
+
+
+def test_region_section_sizes():
+    pages = {i: Page() for i in range(4)}
+    section = RegionSection(pages)
+    assert section.byte_size == 4 * PAGE_SIZE
+    assert section.wire_bytes == 8 + 4 * (PAGE_SIZE + 4)
+    assert not section.force_copy
+
+
+def test_region_section_share_pages():
+    page = Page()
+    section = RegionSection({0: page})
+    section.share_pages()
+    assert page.refs == 2
+
+
+def test_iou_section_runs_and_wire_bytes():
+    class Handle:
+        segment_id = 1
+        backing_port = None
+
+    section = IOUSection(Handle(), [5, 6, 7, 10, 20, 21])
+    assert section.runs() == [(5, 7), (10, 10), (20, 21)]
+    assert section.wire_bytes == 8 + 3 * IOUSection.RUN_BYTES
+    assert section.byte_size == 6 * PAGE_SIZE
+    assert section.page_indices == [5, 6, 7, 10, 20, 21]
+
+
+def test_message_wire_bytes_sums_sections():
+    eng = Engine()
+    port = PortRegistry(eng).create(HostStub("alpha"))
+    message = Message(
+        port,
+        "op",
+        sections=[InlineSection(b"abc"), InlineSection(b"defg")],
+    )
+    assert message.wire_bytes == HEADER_BYTES + (8 + 3) + (8 + 4)
+
+
+def test_message_section_lookup():
+    eng = Engine()
+    port = PortRegistry(eng).create(HostStub("alpha"))
+    inline = InlineSection(b"x")
+    region = RegionSection({0: Page()})
+    message = Message(port, "op", sections=[inline, region])
+    assert message.first_section(InlineSection) is inline
+    assert message.first_section(RegionSection) is region
+    assert message.sections_of(InlineSection) == [inline]
+    assert message.first_section(IOUSection) is None
+
+
+def test_message_meta_is_copied():
+    eng = Engine()
+    port = PortRegistry(eng).create(HostStub("alpha"))
+    meta = {"k": 1}
+    message = Message(port, "op", meta=meta)
+    meta["k"] = 2
+    assert message.meta["k"] == 1
+
+
+# ------------------------------------------------------------------ stats --
+def test_transfer_stats_fractions():
+    stats = TransferStats()
+    stats.mapped_bytes = 9998
+    stats.copied_bytes = 2
+    assert stats.logical_bytes == 10000
+    assert stats.avoided_copy_fraction == pytest.approx(0.9998)
+
+
+def test_transfer_stats_empty():
+    assert TransferStats().avoided_copy_fraction == 0.0
+
+
+def test_transfer_stats_merge():
+    a, b = TransferStats(), TransferStats()
+    a.mapped_bytes, b.mapped_bytes = 10, 20
+    a.cow_breaks, b.cow_breaks = 1, 2
+    a.merge(b)
+    assert a.mapped_bytes == 30
+    assert a.cow_breaks == 3

@@ -1,0 +1,87 @@
+"""Unit tests for copy-on-write pages."""
+
+import pytest
+
+from repro.accent.constants import PAGE_SIZE
+from repro.accent.vm.page import Page
+
+
+def test_default_page_is_zero_filled():
+    page = Page()
+    assert page.data == bytes(PAGE_SIZE)
+    assert page.refs == 1
+    assert not page.shared
+
+
+def test_short_data_zero_padded():
+    page = Page(b"hello")
+    assert page.data[:5] == b"hello"
+    assert page.data[5:] == bytes(PAGE_SIZE - 5)
+    assert len(page.data) == PAGE_SIZE
+
+
+def test_oversized_data_rejected():
+    with pytest.raises(ValueError):
+        Page(bytes(PAGE_SIZE + 1))
+
+
+def test_share_and_release_refcounting():
+    page = Page()
+    assert page.share() is page
+    assert page.refs == 2
+    assert page.shared
+    page.release()
+    assert page.refs == 1
+    assert not page.shared
+
+
+def test_release_below_zero_rejected():
+    page = Page()
+    page.release()
+    with pytest.raises(ValueError):
+        page.release()
+
+
+def test_write_unshared_mutates_in_place():
+    page = Page(b"abcdef")
+    result = page.write(2, b"XY")
+    assert result is page
+    assert page.data[:6] == b"abXYef"
+
+
+def test_write_shared_performs_deferred_copy():
+    page = Page(b"original")
+    page.share()
+    result = page.write(0, b"modified")
+    assert result is not page
+    assert result.data[:8] == b"modified"
+    # The original keeps its data and loses one reference.
+    assert page.data[:8] == b"original"
+    assert page.refs == 1
+    assert result.refs == 1
+
+
+def test_write_bounds_checked():
+    page = Page()
+    with pytest.raises(ValueError):
+        page.write(PAGE_SIZE - 1, b"toolong")
+    with pytest.raises(ValueError):
+        page.write(-1, b"x")
+
+
+def test_write_at_exact_end():
+    page = Page()
+    page.write(PAGE_SIZE - 3, b"end")
+    assert page.data[-3:] == b"end"
+
+
+def test_fork_copy_is_independent():
+    page = Page(b"data")
+    copy = page.fork_copy()
+    assert copy.data == page.data
+    copy.write(0, b"DIFF")
+    assert page.data[:4] == b"data"
+
+
+def test_zero_factory():
+    assert Page.zero().data == bytes(PAGE_SIZE)

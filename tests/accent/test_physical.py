@@ -1,0 +1,75 @@
+"""Unit tests for the physical frame pool and LRU eviction."""
+
+import pytest
+
+from repro.accent.vm.physical import PhysicalMemory
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError):
+        PhysicalMemory(0)
+
+
+def test_allocate_until_full_then_evict_lru():
+    mem = PhysicalMemory(2)
+    assert mem.allocate(("s", 1)) is None
+    assert mem.allocate(("s", 2)) is None
+    assert mem.used == 2
+    assert mem.free == 0
+    victim = mem.allocate(("s", 3))
+    assert victim == ("s", 1)  # oldest
+    assert ("s", 1) not in mem
+    assert ("s", 3) in mem
+
+
+def test_touch_refreshes_lru_position():
+    mem = PhysicalMemory(2)
+    mem.allocate(("s", 1))
+    mem.allocate(("s", 2))
+    mem.touch(("s", 1))
+    victim = mem.allocate(("s", 3))
+    assert victim == ("s", 2)
+
+
+def test_touch_nonresident_raises():
+    mem = PhysicalMemory(2)
+    with pytest.raises(KeyError):
+        mem.touch(("s", 9))
+
+
+def test_allocate_existing_key_is_a_touch():
+    mem = PhysicalMemory(2)
+    mem.allocate(("s", 1))
+    mem.allocate(("s", 2))
+    assert mem.allocate(("s", 1)) is None  # refresh, no eviction
+    victim = mem.allocate(("s", 3))
+    assert victim == ("s", 2)
+
+
+def test_evict_releases_frame():
+    mem = PhysicalMemory(1)
+    mem.allocate(("s", 1))
+    mem.evict(("s", 1))
+    assert mem.used == 0
+    # Evicting an absent key is a no-op.
+    mem.evict(("s", 1))
+
+
+def test_release_space_drops_only_that_space():
+    mem = PhysicalMemory(4)
+    mem.allocate(("a", 1))
+    mem.allocate(("b", 1))
+    mem.allocate(("a", 2))
+    dropped = mem.release_space("a")
+    assert dropped == 2
+    assert mem.resident_keys() == [("b", 1)]
+
+
+def test_resident_keys_filter_and_order():
+    mem = PhysicalMemory(4)
+    mem.allocate(("a", 1))
+    mem.allocate(("b", 1))
+    mem.allocate(("a", 2))
+    mem.touch(("a", 1))
+    assert mem.resident_keys("a") == [("a", 2), ("a", 1)]
+    assert mem.resident_keys() == [("b", 1), ("a", 2), ("a", 1)]

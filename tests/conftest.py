@@ -1,0 +1,15 @@
+"""Session-wide fixtures.
+
+The trial matrix is expensive (77 deterministic simulations for the
+full paper sweep), so integration and experiment tests share one
+session-scoped instance; cells are simulated lazily on first use.
+"""
+
+import pytest
+
+from repro.experiments.matrix import TrialMatrix
+
+
+@pytest.fixture(scope="session")
+def matrix():
+    return TrialMatrix(seed=1987)

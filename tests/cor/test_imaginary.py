@@ -1,0 +1,89 @@
+"""Unit tests for imaginary segments and prefetch selection."""
+
+import pytest
+
+from repro.accent.vm.page import Page
+from repro.cor.imaginary import ImaginaryHandle, ImaginarySegment
+
+
+def make_segment(indices):
+    return ImaginarySegment(
+        backing_port=None, pages={i: Page(bytes([i % 256])) for i in indices}
+    )
+
+
+def test_handle_fields():
+    segment = make_segment([0])
+    handle = segment.handle
+    assert isinstance(handle, ImaginaryHandle)
+    assert handle.segment_id == segment.segment_id
+    assert handle.backing_port is segment.backing_port
+
+
+def test_take_demanded_page_only():
+    segment = make_segment([3, 4, 5])
+    pages = segment.take(4, prefetch=0)
+    assert list(pages) == [4]
+    assert 4 not in segment.owed
+    assert segment.owed == {3, 5}
+    assert segment.requests == 1
+    assert segment.pages_delivered == 1
+
+
+def test_take_unknown_page_raises():
+    segment = make_segment([1])
+    with pytest.raises(KeyError):
+        segment.take(9)
+
+
+def test_prefetch_ascending_contiguous():
+    segment = make_segment(range(10))
+    pages = segment.take(2, prefetch=3)
+    assert sorted(pages) == [2, 3, 4, 5]
+
+
+def test_prefetch_skips_already_delivered():
+    segment = make_segment(range(10))
+    segment.take(3, prefetch=0)
+    segment.take(4, prefetch=0)
+    pages = segment.take(2, prefetch=2)
+    # 3 and 4 already delivered; the next owed above 2 are 5 and 6.
+    assert sorted(pages) == [2, 5, 6]
+
+
+def test_prefetch_spans_index_gaps():
+    """'Nearby' pages follow the stash order even across holes."""
+    segment = make_segment([1, 2, 50, 51])
+    pages = segment.take(2, prefetch=2)
+    assert sorted(pages) == [2, 50, 51]
+
+
+def test_prefetch_stops_at_stash_end():
+    segment = make_segment([8, 9])
+    pages = segment.take(9, prefetch=5)
+    assert sorted(pages) == [9]
+
+
+def test_take_is_idempotent_for_redelivery():
+    """A raced demand for an already-delivered page still succeeds."""
+    segment = make_segment([0, 1])
+    segment.take(0, prefetch=1)  # delivers 0 and 1
+    again = segment.take(1, prefetch=0)
+    assert list(again) == [1]
+    assert segment.fully_delivered
+
+
+def test_death_clears_segment():
+    segment = make_segment([0, 1])
+    segment.take(0)
+    segment.die()
+    assert segment.dead
+    assert not segment.stash
+    assert not segment.owed
+
+
+def test_fully_delivered_flag():
+    segment = make_segment([0, 1])
+    assert not segment.fully_delivered
+    segment.take(0, prefetch=1)
+    assert segment.fully_delivered

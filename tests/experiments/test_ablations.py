@@ -1,0 +1,50 @@
+"""Tests for the programmatic ablation studies."""
+
+import pytest
+
+from repro.experiments import ablations
+
+
+def test_noious_study_rows(matrix):
+    rows = ablations.noious_study(matrix, workloads=("minprog", "lisp-t"))
+    by_name = {row["workload"]: row for row in rows}
+    assert by_name["lisp-t"]["transfer_ratio"] > 500
+    assert by_name["minprog"]["transfer_ratio"] > 30
+
+
+def test_fragment_size_monotonic():
+    rows = ablations.fragment_size_study(sizes=(288, 1152, 4608))
+    times = [row["copy_transfer_s"] for row in rows]
+    assert times == sorted(times, reverse=True)
+
+
+def test_rs_carve_reproduces_anomaly():
+    rows = ablations.rs_carve_study(carve_ms_values=(0.0, 3.0))
+    assert rows[0]["anomaly_ratio"] < 1.25
+    assert rows[1]["anomaly_ratio"] > 1.6
+
+
+def test_prefetch_depth_families_diverge(matrix):
+    rows = ablations.prefetch_depth_study(matrix, prefetches=(1, 15))
+    first, last = rows[0], rows[-1]
+    assert abs(first["pasmac_hit_ratio"] - last["pasmac_hit_ratio"]) < 0.1
+    assert first["lisp_hit_ratio"] > last["lisp_hit_ratio"] + 0.15
+
+
+def test_ws_window_spans_iou_to_copy():
+    rows = ablations.ws_window_study(windows_s=(0.5, 10.0, 3600.0))
+    shipped = [row["pages_shipped"] for row in rows]
+    assert shipped == sorted(shipped)
+    assert shipped[0] < shipped[-1]
+
+
+def test_ws_window_local_sweet_spot():
+    """The calibrated τ=10 s beats both a too-small window (misses the
+    hot pages) and a moderately larger one (ships cooling disk-cache
+    pages).  For a >50%-touched workload the τ→∞ limit — ship
+    everything ever referenced — eventually wins again, exactly the
+    §4.3.4 breakeven law."""
+    rows = ablations.ws_window_study(windows_s=(0.5, 10.0, 60.0))
+    te = [row["transfer_plus_exec_s"] for row in rows]
+    assert te[1] < te[0]
+    assert te[1] < te[2]

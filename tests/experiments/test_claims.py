@@ -1,0 +1,141 @@
+"""The paper's narrative claims, asserted with tolerances."""
+
+import pytest
+
+from repro.calibration import DEFAULT_CALIBRATION
+from repro.experiments import claims
+
+
+def test_minprog_iou_exec_slowdown_about_44x(matrix):
+    assert claims.minprog_iou_exec_slowdown(matrix) == pytest.approx(44, rel=0.25)
+
+
+def test_chess_penalty_about_3_percent(matrix):
+    assert claims.chess_iou_exec_penalty_pct(matrix) == pytest.approx(3.0, abs=1.5)
+
+
+def test_imaginary_touch_about_2_8x_disk():
+    ratio = claims.imag_vs_disk_cost_ratio(DEFAULT_CALIBRATION)
+    assert ratio == pytest.approx(2.8, rel=0.12)
+
+
+def test_pasmac_prefetch_gain_approaches_2x(matrix):
+    assert claims.pasmac_prefetch_exec_gain(matrix) == pytest.approx(2.0, rel=0.2)
+
+
+def test_pasmac_hit_ratio_steady_near_78(matrix):
+    ratios = claims.pasmac_hit_ratios(matrix)
+    for prefetch, ratio in ratios.items():
+        assert ratio == pytest.approx(0.78, abs=0.06), f"pf={prefetch}"
+
+
+def test_lisp_hit_ratio_declines_40_to_20(matrix):
+    ratios = claims.lisp_hit_ratios(matrix)
+    assert ratios[1] == pytest.approx(0.40, abs=0.08)
+    assert ratios[15] == pytest.approx(0.20, abs=0.08)
+    assert ratios[1] > ratios[3] > ratios[15]
+
+
+def test_average_byte_saving_near_58_percent(matrix):
+    assert claims.avg_byte_saving_pct(matrix) == pytest.approx(58.2, abs=7.0)
+
+
+def test_average_message_saving_near_47_8_percent(matrix):
+    # Paper: 47.8%.  Our simulated NetMsgServer saves slightly more
+    # because its request handling is a touch cheaper than Accent's.
+    assert claims.avg_message_saving_pct(matrix) == pytest.approx(47.8, abs=9.0)
+
+
+def test_extreme_transfer_ratio_approaches_1000x(matrix):
+    ratio = claims.extreme_copy_over_iou_transfer(matrix)
+    assert 500 <= ratio <= 1500
+
+
+def test_copy_transfer_spread_near_20x(matrix):
+    assert claims.copy_transfer_spread(matrix) == pytest.approx(20, rel=0.3)
+
+
+def test_iou_transfer_spread_small(matrix):
+    assert claims.iou_transfer_spread(matrix) < 2.5
+
+
+def test_excise_spread_near_4x(matrix):
+    assert claims.excise_spread(matrix) == pytest.approx(4.0, rel=0.15)
+
+
+def test_insert_spread_near_3_3x(matrix):
+    assert claims.insert_spread(matrix) == pytest.approx(3.3, rel=0.15)
+
+
+def test_prefetch_one_always_helps(matrix):
+    verdicts = claims.prefetch_one_always_helps(matrix)
+    failures = [key for key, ok in verdicts.items() if not ok]
+    assert not failures
+
+
+def test_resident_sets_dont_pay_their_way(matrix):
+    """§4.3.3/§4.3.4: RS shipment only has a *significant* impact for
+    the extremely short-lived representatives (Minprog, Lisp-T); for
+    everything else it is within a few percent of pure-IOU — the added
+    shipment expense does not buy better overall performance.
+
+    (The Lisp-Del numbers in the paper itself imply a modest RS win —
+    25.8 s of shipment vs ~38 s of avoided faults — so we only require
+    that RS never *significantly* beats IOU outside the short-lived
+    pair and Lisp-Del.)"""
+    deltas = claims.resident_sets_dont_pay(matrix)
+    for name, delta in deltas.items():
+        copy_te = matrix.copy(name).transfer_plus_exec_s
+        if name in ("minprog", "lisp-t"):
+            # The shipment cost dominates: RS is strictly worse than
+            # pure-IOU end-to-end even here (it only wins on the
+            # *remote execution* phase, Figure 4-1).
+            assert delta > 0, f"{name}: RS shipment should cost more"
+        else:
+            # RS never *significantly* beats IOU: its best case (high
+            # touched∩RS overlap, e.g. Lisp-Del/PM-Mid) is bounded.
+            assert delta > -0.15 * copy_te, f"{name}: RS wins too big"
+
+
+def test_breakeven_near_quarter_of_realmem(matrix):
+    """§4.3.4: processes touching less than ~1/4 of RealMem win with
+    IOU at PF0; those touching much more lose (Chess excepted — its
+    longevity drowns the differences)."""
+    from repro.workloads.registry import WORKLOADS
+
+    for name, spec in WORKLOADS.items():
+        if name == "chess":
+            continue
+        copy_te = matrix.copy(name).transfer_plus_exec_s
+        iou_te = matrix.iou(name).transfer_plus_exec_s
+        if spec.touched_fraction < 0.2:
+            assert iou_te < copy_te, f"{name} should win below breakeven"
+        if spec.touched_fraction > 0.5:
+            assert iou_te > copy_te, f"{name} should lose above breakeven"
+
+
+def test_sustained_rate_reduction_at_least_the_papers(matrix):
+    """§4.4.3: 'sustained network transmission speeds are reduced up
+    to 66%'.  Our evenly-paced traces spread fault traffic even more
+    thinly, so we measure at least that reduction."""
+    reduction = claims.sustained_rate_reduction(matrix)
+    assert 0.6 <= reduction <= 0.95
+
+
+def test_costs_more_evenly_distributed_under_iou(matrix):
+    """§4.4.3: 'not only are costs reduced overall, but they are also
+    more evenly distributed' — IOU's peak-to-mean byte rate is lower
+    than pure-copy's burst signature."""
+    iou_ratio, copy_ratio = claims.cost_distribution_evenness(matrix)
+    assert iou_ratio < copy_ratio
+    assert iou_ratio < 1.5
+
+
+def test_all_claims_mapping_complete(matrix):
+    from repro.experiments.paper_data import CLAIMS
+
+    measured = claims.all_claims(matrix)
+    missing = set(measured) - set(CLAIMS)
+    assert not missing
+    for key, value in measured.items():
+        assert value is not None and value > 0

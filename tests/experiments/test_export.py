@@ -1,0 +1,46 @@
+"""CSV export tests."""
+
+import csv
+
+import pytest
+
+from repro.experiments.export import export_all, write_rows
+
+
+def test_write_rows_round_trip(tmp_path):
+    rows = [{"a": 1, "b": "x"}, {"a": 2, "b": "y"}]
+    path = write_rows(str(tmp_path / "t.csv"), rows)
+    with open(path, newline="") as handle:
+        back = list(csv.DictReader(handle))
+    assert back == [{"a": "1", "b": "x"}, {"a": "2", "b": "y"}]
+
+
+def test_write_rows_rejects_empty(tmp_path):
+    with pytest.raises(ValueError):
+        write_rows(str(tmp_path / "t.csv"), [])
+
+
+def test_export_all_writes_every_dataset(matrix, tmp_path):
+    written = export_all(matrix, str(tmp_path))
+    expected = {
+        "table_4_1", "table_4_2", "table_4_3", "table_4_4", "table_4_5",
+        "insertion_times",
+        "figure_4_1", "figure_4_2", "figure_4_3", "figure_4_4",
+        "figure_4_5_pure_iou", "figure_4_5_resident_set",
+        "figure_4_5_pure_copy",
+        "claims",
+    }
+    assert set(written) == expected
+    for path in written.values():
+        with open(path, newline="") as handle:
+            rows = list(csv.DictReader(handle))
+        assert rows, path
+
+
+def test_exported_table_4_5_matches_matrix(matrix, tmp_path):
+    written = export_all(matrix, str(tmp_path))
+    with open(written["table_4_5"], newline="") as handle:
+        rows = {row["workload"]: row for row in csv.DictReader(handle)}
+    assert float(rows["lisp-t"]["copy_s"]) == pytest.approx(
+        matrix.copy("lisp-t").transfer_s
+    )

@@ -1,0 +1,37 @@
+"""§4.4.2's message-count observation.
+
+"Pure-copy is the clear winner when evaluated by the number of
+messages processed... However, it does not fare nearly as well in a
+more important metric, the amount of time required to process and
+deliver these messages."
+"""
+
+
+def test_copy_processes_fewer_messages_but_spends_more_time(matrix):
+    for workload in ("minprog", "lisp-t", "pm-mid", "chess"):
+        copy = matrix.copy(workload)
+        iou = matrix.iou(workload)
+        assert iou.message_handling_s < copy.message_handling_s, workload
+
+
+def test_message_counts_favour_copy_for_high_utilisation(matrix):
+    """Per-fault request/reply pairs outnumber bulk fragments once a
+    large share of memory is demanded page by page."""
+    copy = matrix.copy("pm-start")
+    iou = matrix.iou("pm-start")
+    bytes_per_message_copy = copy.bytes_total / copy.messages_total
+    bytes_per_message_iou = iou.bytes_total / iou.messages_total
+    # Bulk fragments carry much more payload per message hop.
+    assert bytes_per_message_copy > bytes_per_message_iou
+
+
+def test_prefetch_cuts_message_count(matrix):
+    """Batching pages into one reply is where prefetch saves handling.
+
+    Replies still fragment for the wire, so hops shrink less than the
+    12x fault reduction — but the per-request traffic disappears.
+    """
+    base = matrix.iou("pm-start", 0)
+    deep = matrix.iou("pm-start", 15)
+    assert deep.faults["imaginary"] < 0.1 * base.faults["imaginary"]
+    assert deep.messages_total < 0.75 * base.messages_total

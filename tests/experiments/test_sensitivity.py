@@ -1,0 +1,48 @@
+"""Sensitivity analysis: the paper's conclusions must be robust."""
+
+import pytest
+
+from repro.experiments.sensitivity import (
+    PERTURBABLE,
+    check_conclusions,
+    fragile_conclusions,
+    sweep,
+)
+
+
+def test_baseline_conclusions_all_hold(matrix):
+    verdicts = check_conclusions(matrix)
+    failed = [name for name, ok in verdicts.items() if not ok]
+    assert not failed
+
+
+@pytest.mark.parametrize("parameter", ["nms_per_byte_s", "migration_setup_s"])
+def test_single_parameter_halving_and_doubling(parameter):
+    rows = sweep(parameters=(parameter,), factors=(0.5, 2.0))
+    assert len(rows) == 2
+    for row in rows:
+        assert row["all_hold"], (
+            f"{parameter} x{row['factor']} broke "
+            f"{[k for k, v in row.items() if v is False]}"
+        )
+
+
+def test_fragile_conclusions_empty_for_network_constants():
+    rows = sweep(parameters=("nms_fixed_s", "link_latency_s"), factors=(0.5, 2.0))
+    assert fragile_conclusions(rows) == []
+
+
+def test_sweep_row_shape():
+    rows = sweep(parameters=("pager_overhead_s",), factors=(2.0,))
+    row = rows[0]
+    assert row["parameter"] == "pager_overhead_s"
+    assert row["factor"] == 2.0
+    assert "iou_transfer_fastest" in row
+    assert isinstance(row["all_hold"], bool)
+
+
+def test_perturbable_list_names_real_fields():
+    from repro.calibration import DEFAULT_CALIBRATION
+
+    for name in PERTURBABLE:
+        assert hasattr(DEFAULT_CALIBRATION, name)

@@ -1,0 +1,113 @@
+"""Multi-hop migration chains (§6: dispersed address spaces).
+
+After two lazy hops a process's memory is physically spread over
+several hosts: pages fetched at the intermediate host are backed there,
+the rest still at the origin.  The destination's faults must route to
+whichever host actually holds each page — and every byte must still
+verify.
+"""
+
+import pytest
+
+from repro.migration.strategy import PURE_COPY, PURE_IOU, RESIDENT_SET
+from repro.testbed import Testbed
+from repro.workloads.registry import WORKLOADS
+
+
+@pytest.fixture(scope="module")
+def bed():
+    return Testbed(seed=1987)
+
+
+@pytest.mark.parametrize("strategy", [PURE_COPY, PURE_IOU, RESIDENT_SET])
+def test_three_hop_chain_verifies(bed, strategy):
+    result = bed.migrate_chain("minprog", strategy=strategy)
+    assert result.verified
+    assert len(result.hop_times_s) == 2
+
+
+def test_chain_with_intermediate_execution_verifies(bed):
+    result = bed.migrate_chain(
+        "pm-start", strategy=PURE_IOU, run_fractions=(0.4,)
+    )
+    assert result.verified
+    assert not result.run_result.mismatches
+    spec = WORKLOADS["pm-start"]
+    # Every trace step executed somewhere along the chain, and each
+    # touched page faulted exactly once (at whichever hop touched it).
+    assert (
+        result.run_result.steps_executed
+        == spec.touched_pages + spec.zero_touch_pages
+    )
+    assert result.faults["imaginary"] == spec.touched_pages
+
+
+def test_chain_disperses_custody(bed):
+    """Pages touched at the intermediate host transfer custody to it."""
+    result = bed.migrate_chain(
+        "pm-start", strategy=PURE_IOU, run_fractions=(0.4,)
+    )
+    spec = WORKLOADS["pm-start"]
+    # The origin served every demand fault (it holds the original data).
+    assert result.pages_served["alpha"] == spec.touched_pages
+    # The intermediate host inherited custody of what was fetched there
+    # (trace touches each page once, so none are re-demanded).
+    assert result.pages_unclaimed["beta"] > 0
+    # The final host backs nothing.
+    assert result.pages_served["gamma"] == 0
+    assert result.pages_unclaimed["gamma"] == 0
+
+
+def test_four_hop_chain(bed):
+    result = bed.migrate_chain(
+        "chess",
+        path=("a", "b", "c", "d"),
+        strategy=PURE_IOU,
+        run_fractions=(0.25, 0.25),
+    )
+    assert result.verified
+    assert len(result.hop_times_s) == 3
+    assert result.end_to_end_s > sum(result.hop_times_s)
+
+
+def test_pure_copy_chain_reships_everything(bed):
+    """Under pure-copy each hop physically reships all real memory."""
+    spec = WORKLOADS["minprog"]
+    two_hop = bed.migrate_chain("minprog", strategy=PURE_COPY)
+    single = bed.migrate("minprog", strategy=PURE_COPY)
+    assert two_hop.bytes_total > 1.9 * single.bytes_total
+    # IOU chains don't pay that: only touched pages ever move.
+    lazy = bed.migrate_chain("minprog", strategy=PURE_IOU)
+    assert lazy.bytes_total < 0.5 * two_hop.bytes_total
+
+
+def test_iou_chain_hops_stay_fast(bed):
+    """Lazy hop time is independent of address-space size even on
+    re-excision with inherited IOUs."""
+    small = bed.migrate_chain("minprog", strategy=PURE_IOU)
+    large = bed.migrate_chain("lisp-t", strategy=PURE_IOU)
+    # Both second hops are dominated by the ~1s Core phase + excise.
+    assert large.hop_times_s[1] < 12 * small.hop_times_s[1]
+    assert large.hop_times_s[1] < 10.0
+
+
+def test_chain_path_validation(bed):
+    with pytest.raises(ValueError, match="at least two"):
+        bed.migrate_chain("minprog", path=("alpha",))
+    with pytest.raises(ValueError, match="run fractions"):
+        bed.migrate_chain(
+            "minprog", path=("a", "b", "c"), run_fractions=(0.1, 0.2)
+        )
+
+
+def test_world_requires_two_hosts(bed):
+    with pytest.raises(ValueError):
+        bed.world(host_names=("solo",))
+
+
+def test_chain_without_intermediate_execution_terminates_cleanly(bed):
+    result = bed.migrate_chain("minprog", strategy=PURE_IOU)
+    # Every cached segment eventually received Segment Death.
+    assert sum(result.pages_unclaimed.values()) + sum(
+        result.pages_served.values()
+    ) >= WORKLOADS["minprog"].touched_pages

@@ -1,0 +1,131 @@
+"""Concurrency on the shared medium: crossing migrations and overlapped
+remote executions must stay correct (and slower, since the 10 Mbit
+Ethernet and the NetMsgServers are genuinely shared)."""
+
+import pytest
+
+from repro.sim import SeededStreams
+from repro.testbed import Testbed
+from repro.workloads.builder import build_process
+from repro.workloads.registry import WORKLOADS
+from repro.workloads.runner import RemoteRunResult, remote_body
+
+
+def migrate_and_run(world, built, src_name, dst_name, strategy):
+    """Generator: migrate a built process and replay its trace."""
+    name = built.process.name
+    result = RemoteRunResult(name)
+    insertion = world.manager(dst_name).expect_insertion(name)
+    yield from world.manager(src_name).migrate(
+        name, world.manager(dst_name), strategy
+    )
+    inserted = yield insertion
+    yield from remote_body(
+        world.host(dst_name), inserted, built.trace, result
+    )
+    return result
+
+
+def test_crossing_migrations_verify():
+    """A minprog moves alpha->beta while a chess moves beta->alpha,
+    sharing the link and both NetMsgServers."""
+    world = Testbed(seed=55).world()
+    streams = SeededStreams(55)
+    going = build_process(
+        world.source, WORKLOADS["minprog"], streams, name="going"
+    )
+    coming = build_process(
+        world.dest, WORKLOADS["chess"], streams, name="coming"
+    )
+
+    p1 = world.engine.process(
+        migrate_and_run(world, going, "alpha", "beta", "pure-iou")
+    )
+    p2 = world.engine.process(
+        migrate_and_run(world, coming, "beta", "alpha", "pure-iou")
+    )
+    r1 = world.engine.run(until=p1)
+    r2 = world.engine.run(until=p2)
+    world.engine.run()
+    assert r1.verified and r2.verified
+
+
+def test_contention_slows_but_preserves_results():
+    """Two simultaneous pure-copy transfers through one link take
+    longer than either alone, and both arrive intact."""
+    solo_world = Testbed(seed=56).world()
+    streams = SeededStreams(56)
+    solo = build_process(
+        solo_world.source, WORKLOADS["pm-start"], streams, name="solo"
+    )
+    proc = solo_world.engine.process(
+        migrate_and_run(solo_world, solo, "alpha", "beta", "pure-copy")
+    )
+    solo_result = solo_world.engine.run(until=proc)
+    solo_elapsed = solo_world.engine.now
+
+    pair_world = Testbed(seed=56).world()
+    pair_streams = SeededStreams(56)
+    first = build_process(
+        pair_world.source, WORKLOADS["pm-start"], pair_streams, name="first"
+    )
+    second = build_process(
+        pair_world.source, WORKLOADS["pm-mid"], pair_streams, name="second"
+    )
+    p1 = pair_world.engine.process(
+        migrate_and_run(pair_world, first, "alpha", "beta", "pure-copy")
+    )
+    p2 = pair_world.engine.process(
+        migrate_and_run(pair_world, second, "alpha", "beta", "pure-copy")
+    )
+    r1 = pair_world.engine.run(until=p1)
+    r2 = pair_world.engine.run(until=p2)
+    assert solo_result.verified and r1.verified and r2.verified
+    # The pair contends for the source NMS: the first transfer alone
+    # finishes later than the uncontended solo run.
+    assert pair_world.engine.now > solo_elapsed
+
+
+def test_two_remote_executions_share_one_backer():
+    """Two processes at beta fault against segments backed by the same
+    alpha NetMsgServer; requests interleave through one server."""
+    world = Testbed(seed=57).world()
+    streams = SeededStreams(57)
+    jobs = []
+    for index, workload in enumerate(("minprog", "chess")):
+        built = build_process(
+            world.source, WORKLOADS[workload], streams, name=f"j{index}"
+        )
+        jobs.append(
+            world.engine.process(
+                migrate_and_run(world, built, "alpha", "beta", "pure-iou")
+            )
+        )
+    results = [world.engine.run(until=job) for job in jobs]
+    assert all(result.verified for result in results)
+    # One backer served both processes' segments.
+    backer = world.source.nms.backing
+    assert len(backer.retired) + len(backer.segments) >= 2
+
+
+def test_three_workloads_fan_out_to_two_destinations():
+    world = Testbed(seed=58).world(host_names=("hub", "east", "west"))
+    streams = SeededStreams(58)
+    plan = [
+        ("minprog", "east"),
+        ("pm-end", "west"),
+        ("chess", "east"),
+    ]
+    procs = []
+    for index, (workload, dest) in enumerate(plan):
+        built = build_process(
+            world.host("hub"), WORKLOADS[workload], streams, name=f"w{index}"
+        )
+        procs.append(
+            world.engine.process(
+                migrate_and_run(world, built, "hub", dest, "pure-iou")
+            )
+        )
+    results = [world.engine.run(until=proc) for proc in procs]
+    world.engine.run()
+    assert all(result.verified for result in results)

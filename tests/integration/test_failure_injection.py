@@ -1,0 +1,146 @@
+"""Failure injection: the pipeline must *detect* what it cannot survive.
+
+The reproduction's verification machinery is only trustworthy if it
+actually fires when something goes wrong, so these tests corrupt and
+break the copy-on-reference pipeline on purpose.
+"""
+
+import pytest
+
+from repro.accent.constants import PAGE_SIZE
+from repro.accent.ipc.port import DeadPortError
+from repro.accent.process import AccentProcess
+from repro.accent.vm.address_space import AddressSpace
+from repro.accent.vm.page import Page
+from repro.calibration import Calibration
+from repro.cor.backer import BackerError, BackingServer
+from repro.testbed import Testbed
+from repro.workloads.builder import build_process
+from repro.workloads.registry import WORKLOADS
+from repro.workloads.runner import RemoteRunResult, remote_body
+
+
+def test_corrupted_backer_page_is_detected():
+    """Flip bytes in the backer's stash mid-flight: the destination's
+    content verification must flag the page."""
+    bed = Testbed(seed=3)
+    world = bed.world()
+    built = build_process(world.source, WORKLOADS["minprog"], world.streams)
+    run_result = RemoteRunResult("minprog")
+    victim_page = built.plan.touched_order[5]
+
+    def trial():
+        insertion = world.dest_manager.expect_insertion("minprog")
+        yield from world.source_manager.migrate(
+            "minprog", world.dest_manager, "pure-iou"
+        )
+        inserted = yield insertion
+        # Corrupt one touched page in the NMS backer's stash.
+        segment = next(iter(world.source.nms.backing.segments.values()))
+        segment.stash[victim_page] = Page(b"\xde\xad" * 256)
+        yield from remote_body(world.dest, inserted, built.trace, run_result)
+
+    world.engine.run(until=world.engine.process(trial()))
+    assert not run_result.verified
+    corrupted = [index for index, _, _ in run_result.mismatches]
+    assert corrupted == [victim_page]
+
+
+def test_lost_stash_page_raises_at_the_fault():
+    """Deleting a page from the backer makes the demand fault fail loudly
+    (KeyError from the segment) instead of silently zero-filling."""
+    bed = Testbed(seed=3)
+    world = bed.world()
+    built = build_process(world.source, WORKLOADS["minprog"], world.streams)
+    victim_page = built.plan.touched_order[0]
+
+    def trial():
+        insertion = world.dest_manager.expect_insertion("minprog")
+        yield from world.source_manager.migrate(
+            "minprog", world.dest_manager, "pure-iou"
+        )
+        inserted = yield insertion
+        segment = next(iter(world.source.nms.backing.segments.values()))
+        del segment.stash[victim_page]
+        segment.owed.discard(victim_page)
+        result = RemoteRunResult("minprog")
+        yield from remote_body(world.dest, inserted, built.trace, result)
+
+    with pytest.raises(KeyError):
+        world.engine.run(until=world.engine.process(trial()))
+
+
+def test_dead_backing_port_fails_the_fault():
+    """Destroying the backing port makes imaginary faults fail with a
+    DeadPortError, not hang."""
+    bed = Testbed(seed=3)
+    world = bed.world()
+    backer = BackingServer(world.source, prefetch=0)
+    segment = backer.create_segment({0: Page(b"x")})
+    space = AddressSpace(name="victim")
+    space.map_imaginary(0, PAGE_SIZE, segment.handle)
+    process = AccentProcess(name="victim", space=space)
+    world.dest.kernel.register(process)
+    world.registry.destroy(backer.port)
+
+    cost = world.dest.kernel.touch(process, 0)
+    with pytest.raises(DeadPortError):
+        world.engine.run(until=world.engine.process(cost))
+
+
+def test_request_for_retired_segment_raises():
+    """Faulting after Imaginary Segment Death is a protocol error."""
+    bed = Testbed(seed=3)
+    world = bed.world()
+    backer = BackingServer(world.source, prefetch=0)
+    segment = backer.create_segment({0: Page(b"x")})
+    space = AddressSpace(name="late")
+    space.map_imaginary(0, PAGE_SIZE, segment.handle)
+    process = AccentProcess(name="late", space=space)
+    world.dest.kernel.register(process)
+    # Retire the segment as if all references had died.
+    backer.segments.pop(segment.segment_id)
+
+    cost = world.dest.kernel.touch(process, 0)
+    with pytest.raises(BackerError):
+        world.engine.run(until=world.engine.process(cost))
+
+
+def test_frame_pressure_still_verifies():
+    """With a frame pool smaller than the address space, insertion and
+    remote execution evict to disk — and every page still verifies."""
+    spec = WORKLOADS["chess"]
+    calibration = Calibration(frame_count=230)  # RS is 215 pages
+    bed = Testbed(seed=9, calibration=calibration)
+    result = bed.migrate("chess", strategy="pure-copy")
+    assert result.verified
+    assert result.faults.get("disk", 0) > 0  # evicted pages came back
+
+
+def test_builder_rejects_impossible_frame_pool():
+    calibration = Calibration(frame_count=64)  # < minprog's 140-page RS
+    bed = Testbed(seed=9, calibration=calibration)
+    with pytest.raises(RuntimeError, match="frame pool"):
+        bed.migrate("minprog", strategy="pure-copy")
+
+
+def test_verification_catches_wrong_blueprint_content():
+    """Sanity for the detector itself: a process claiming the wrong
+    blueprint fails verification everywhere."""
+    bed = Testbed(seed=3)
+    world = bed.world()
+    built = build_process(world.source, WORKLOADS["minprog"], world.streams)
+    built.process.blueprint = "chess"  # lies about its identity
+    run_result = RemoteRunResult("minprog")
+
+    def trial():
+        insertion = world.dest_manager.expect_insertion("minprog")
+        yield from world.source_manager.migrate(
+            "minprog", world.dest_manager, "pure-copy"
+        )
+        inserted = yield insertion
+        yield from remote_body(world.dest, inserted, built.trace, run_result)
+
+    world.engine.run(until=world.engine.process(trial()))
+    assert not run_result.verified
+    assert len(run_result.mismatches) == len(built.trace.real_steps)

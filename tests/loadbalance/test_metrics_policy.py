@@ -1,0 +1,140 @@
+"""Unit tests for load metrics and migration policies."""
+
+import pytest
+
+from repro.loadbalance.metrics import HostLoad
+from repro.loadbalance.policy import (
+    BreakevenPolicy,
+    EagerCopyPolicy,
+    MigrationDecision,
+    NoMigrationPolicy,
+)
+from repro.migration.strategy import PURE_COPY, PURE_IOU
+from repro.workloads.spec import Locality
+
+
+class JobStub:
+    def __init__(self, name, host_name, remaining_steps, remaining_touched,
+                 real_pages, locality=Locality.CLUSTERED, finished=False):
+        self.name = name
+        self.finished = finished
+        self.remaining_steps = remaining_steps
+        self.remaining_touched_pages = remaining_touched
+
+        class Spec:
+            pass
+
+        self.spec = Spec()
+        self.spec.real_pages = real_pages
+        self.spec.locality = locality
+
+        class Host:
+            pass
+
+        self.current_host = Host()
+        self.current_host.name = host_name
+
+
+def loads(**scores):
+    return {
+        name: HostLoad(name, running_jobs=jobs, cpu_queue=0, backed_pages=0)
+        for name, jobs in scores.items()
+    }
+
+
+def test_host_load_score_includes_backing_duty():
+    idle_but_backing = HostLoad("a", 0, 0, backed_pages=8192)
+    truly_idle = HostLoad("b", 0, 0, backed_pages=0)
+    assert idle_but_backing.score > truly_idle.score
+    assert idle_but_backing.score == pytest.approx(2.0)
+
+
+def test_no_migration_policy_never_moves():
+    jobs = [JobStub("j", "a", 100, 10, 100)]
+    assert NoMigrationPolicy().decide(loads(a=5, b=0), jobs) is None
+
+
+def test_imbalance_below_gap_means_no_move():
+    jobs = [JobStub("x", "a", 10, 5, 100), JobStub("y", "a", 10, 5, 100)]
+    assert EagerCopyPolicy().decide(loads(a=2, b=1), jobs) is None
+
+
+def test_never_strips_last_job_from_busiest():
+    jobs = [JobStub("only", "a", 100, 10, 100)]
+    assert EagerCopyPolicy().decide(loads(a=4, b=0), jobs) is None
+
+
+def test_eager_policy_moves_biggest_remaining_job():
+    jobs = [
+        JobStub("small", "a", 10, 5, 100),
+        JobStub("big", "a", 90, 40, 100),
+        JobStub("elsewhere", "b", 50, 20, 100),
+    ]
+    decision = EagerCopyPolicy().decide(loads(a=3, b=1), jobs)
+    assert isinstance(decision, MigrationDecision)
+    assert decision.job_name == "big"
+    assert decision.source == "a"
+    assert decision.dest == "b"
+    assert decision.strategy == PURE_COPY
+
+
+def test_finished_jobs_are_not_candidates():
+    jobs = [
+        JobStub("done", "a", 0, 0, 100, finished=True),
+        JobStub("alive", "a", 10, 5, 100),
+    ]
+    assert EagerCopyPolicy().decide(loads(a=4, b=0), jobs) is None
+
+
+def test_breakeven_policy_picks_iou_below_quarter():
+    jobs = [
+        JobStub("lazy-win", "a", 60, 20, 100),  # 20% of real
+        JobStub("filler", "a", 10, 9, 100),
+    ]
+    decision = BreakevenPolicy().decide(loads(a=4, b=0), jobs)
+    assert decision.job_name == "lazy-win"
+    assert decision.strategy == PURE_IOU
+    assert decision.prefetch == 1
+
+
+def test_breakeven_policy_picks_copy_above_quarter():
+    jobs = [
+        JobStub("hot", "a", 60, 50, 100),  # 50% of real
+        JobStub("filler", "a", 10, 2, 100),
+    ]
+    decision = BreakevenPolicy().decide(loads(a=4, b=0), jobs)
+    assert decision.strategy == PURE_COPY
+    assert decision.prefetch == 0
+
+
+def test_breakeven_policy_deep_prefetch_for_sequential():
+    jobs = [
+        JobStub("seq", "a", 60, 20, 100, locality=Locality.SEQUENTIAL),
+        JobStub("filler", "a", 10, 2, 100),
+    ]
+    decision = BreakevenPolicy().decide(loads(a=4, b=0), jobs)
+    assert decision.strategy == PURE_IOU
+    assert decision.prefetch == 7
+
+
+def test_working_set_variant_above_breakeven():
+    from repro.migration.strategy import WORKING_SET
+
+    jobs = [
+        JobStub("hot", "a", 60, 50, 100),
+        JobStub("filler", "a", 10, 2, 100),
+    ]
+    policy = BreakevenPolicy(use_working_set=True)
+    assert policy.name == "breakeven-ws"
+    decision = policy.decide(loads(a=4, b=0), jobs)
+    assert decision.strategy == WORKING_SET
+    assert decision.prefetch == 1  # lazy remainder still prefetches
+
+
+def test_custom_breakeven_threshold():
+    jobs = [
+        JobStub("j", "a", 60, 30, 100),  # 30%
+        JobStub("filler", "a", 10, 2, 100),
+    ]
+    assert BreakevenPolicy(breakeven=0.25).decide(loads(a=4, b=0), jobs).strategy == PURE_COPY
+    assert BreakevenPolicy(breakeven=0.40).decide(loads(a=4, b=0), jobs).strategy == PURE_IOU

@@ -1,0 +1,170 @@
+"""Integration tests for managed jobs and the balancer scenarios."""
+
+import pytest
+
+from repro.loadbalance import (
+    BreakevenPolicy,
+    EagerCopyPolicy,
+    ManagedJob,
+    NoMigrationPolicy,
+    Scenario,
+)
+from repro.testbed import Testbed
+from repro.workloads.builder import build_process
+from repro.workloads.registry import WORKLOADS
+
+
+# --------------------------------------------------------------- ManagedJob --
+@pytest.fixture
+def world():
+    return Testbed(seed=77).world(host_names=("a", "b"))
+
+
+def test_job_runs_to_completion_locally(world):
+    built = build_process(world.host("a"), WORKLOADS["minprog"], world.streams)
+    job = ManagedJob(world, built)
+    job.start(world.host("a"))
+    world.engine.run(until=job.done)
+    assert job.finished
+    assert job.result.verified
+    assert job.remaining_steps == 0
+
+
+def test_job_pauses_at_step_boundary(world):
+    built = build_process(world.host("a"), WORKLOADS["chess"], world.streams)
+    job = ManagedJob(world, built)
+    job.start(world.host("a"))
+
+    def pauser():
+        yield world.engine.timeout(20.0)
+        paused = job.request_pause()
+        yield paused
+
+    proc = world.engine.process(pauser())
+    world.engine.run(until=proc)
+    assert not job.finished
+    assert 0 < job.position < len(job.steps)
+    before = job.position
+    # Nothing advances while paused.
+    world.engine.run(until=world.engine.timeout(50.0))
+    assert job.position == before
+
+
+def test_paused_job_resumes_and_completes(world):
+    built = build_process(world.host("a"), WORKLOADS["minprog"], world.streams)
+    job = ManagedJob(world, built)
+    job.start(world.host("a"))
+
+    def orchestrate():
+        yield world.engine.timeout(0.5)
+        yield job.request_pause()
+        if not job.finished:
+            job.start(world.host("a"))  # resume in place
+        yield job.done
+
+    world.engine.run(until=world.engine.process(orchestrate()))
+    assert job.finished and job.result.verified
+
+
+def test_pause_event_fires_even_if_job_finishes_first(world):
+    built = build_process(world.host("a"), WORKLOADS["minprog"], world.streams)
+    job = ManagedJob(world, built)
+    job.start(world.host("a"))
+    world.engine.run(until=job.done)
+    paused = job.request_pause()
+    # Job is already done; the pause event must not deadlock a waiter.
+    assert job.finished
+
+
+def test_job_migrates_mid_run_and_verifies(world):
+    built = build_process(world.host("a"), WORKLOADS["pm-start"], world.streams)
+    job = ManagedJob(world, built)
+    job.start(world.host("a"))
+
+    def orchestrate():
+        yield world.engine.timeout(5.0)
+        yield job.request_pause()
+        assert not job.finished
+        insertion = world.manager("b").expect_insertion(job.name)
+        yield from world.manager("a").migrate(
+            job.name, world.manager("b"), "pure-iou"
+        )
+        inserted = yield insertion
+        job.resume_as(inserted, world.host("b"))
+        yield job.done
+
+    world.engine.run(until=world.engine.process(orchestrate()))
+    assert job.finished
+    assert job.result.verified
+    assert job.migrations == 1
+    assert job.current_host.name == "b"
+
+
+# ----------------------------------------------------------------- Scenario --
+@pytest.fixture(scope="module")
+def mix():
+    # Two compute giants plus fillers, all born on node0: without
+    # migration the chesses serialise for ~1000 s.
+    return Scenario(
+        ["chess", "chess", "pm-mid", "minprog"], hosts=3, seed=1987
+    )
+
+
+def test_no_migration_baseline_serialises_on_one_host(mix):
+    result = mix.run(NoMigrationPolicy())
+    assert result.verified
+    assert result.migrations == []
+    assert result.makespan_s > 950  # both chess jobs share one CPU
+
+
+def test_balancing_improves_makespan(mix):
+    baseline = mix.run(NoMigrationPolicy())
+    balanced = mix.run(BreakevenPolicy())
+    assert balanced.verified
+    assert balanced.migrations
+    assert balanced.makespan_s < 0.65 * baseline.makespan_s
+
+
+def test_policies_spread_jobs_across_hosts(mix):
+    result = mix.run(EagerCopyPolicy())
+    destinations = {d.dest for d in result.migrations}
+    assert len(destinations) >= 2
+
+
+def test_breakeven_policy_uses_lazy_transfer_when_profitable():
+    scenario = Scenario(
+        ["lisp-del", "lisp-del", "lisp-t"], hosts=2, seed=1987
+    )
+    result = scenario.run(BreakevenPolicy())
+    assert result.verified
+    assert any(d.strategy == "pure-iou" for d in result.migrations)
+
+
+def test_lazy_policy_beats_eager_for_low_utilisation_mix():
+    """Moving a Lisp giant by pure-copy stalls the link for minutes;
+    the breakeven policy ships an IOU instead."""
+    scenario = Scenario(
+        ["lisp-del", "lisp-del", "lisp-t"], hosts=2, seed=1987
+    )
+    eager = scenario.run(EagerCopyPolicy())
+    lazy = scenario.run(BreakevenPolicy())
+    assert lazy.verified and eager.verified
+    assert lazy.makespan_s < eager.makespan_s
+
+
+def test_working_set_policy_scenario_verifies():
+    scenario = Scenario(
+        ["pm-mid", "pm-mid", "pm-end"], hosts=2, seed=1987
+    )
+    result = scenario.run(BreakevenPolicy(use_working_set=True))
+    assert result.verified
+    assert result.policy_name == "breakeven-ws"
+
+
+def test_all_steps_execute_exactly_once(mix):
+    result = mix.run(BreakevenPolicy())
+    expected = 0
+    for name in ("chess", "chess", "pm-mid", "minprog"):
+        spec = WORKLOADS[name]
+        expected += spec.touched_pages + spec.zero_touch_pages
+    assert result.steps_executed == expected

@@ -1,0 +1,69 @@
+"""Unit tests for the ASCII chart utilities."""
+
+from repro.metrics.charts import bar_chart, hbar, rate_panel, signed_bar
+
+
+def test_hbar_scales_against_peak():
+    assert hbar(5, 10, width=10) == "#####"
+    assert hbar(10, 10, width=10) == "#" * 10
+    assert hbar(0, 10, width=10) == ""
+
+
+def test_hbar_clamps_overflow_and_zero_peak():
+    assert hbar(20, 10, width=10) == "#" * 10
+    assert hbar(5, 0) == ""
+
+
+def test_bar_chart_alignment():
+    text = bar_chart([("a", 2.0), ("bb", 4.0)], width=4)
+    lines = text.splitlines()
+    assert lines[0].startswith("a ")
+    assert "####" in lines[1]
+    assert "2.0" in lines[0]
+
+
+def test_bar_chart_empty():
+    assert bar_chart([]) == "(no data)"
+
+
+def test_signed_bar_directions():
+    positive = signed_bar(5, scale=1.0, half_width=6)
+    negative = signed_bar(-5, scale=1.0, half_width=6)
+    assert positive.endswith("#####")
+    assert negative.strip("-") == " "  # only leading spaces and dashes
+    assert len(negative) == 6
+
+
+def test_signed_bar_clamps():
+    assert signed_bar(1000, scale=1.0, half_width=5).count("#") == 5
+
+
+def test_rate_panel_tags_fault_bins():
+    text = rate_panel([(0.0, 100.0, 10.0), (1.0, 0.0, 500.0), (2.0, 0.0, 0.0)])
+    lines = text.splitlines()
+    assert lines[0].endswith("fault")
+    assert lines[1].endswith("bulk")
+    assert lines[2].rstrip().endswith("B/s")
+
+
+def test_rate_panel_empty():
+    assert rate_panel([]) == "(no data)"
+
+
+def test_debugger_records_badmem(world):
+    from repro.accent.kernel import AddressingError
+    from repro.accent.process import AccentProcess
+    from repro.accent.vm.address_space import AddressSpace
+    from repro.accent.constants import PAGE_SIZE
+
+    space = AddressSpace(name="delinquent")
+    space.validate(0, PAGE_SIZE)
+    process = AccentProcess(name="delinquent", space=space)
+    world.source.kernel.register(process)
+    cost = world.source.kernel.touch(process, 999)
+    try:
+        world.engine.run(until=world.engine.process(cost))
+    except AddressingError:
+        pass
+    invocations = world.source.kernel.debugger.invocations
+    assert invocations == [(0.0, "delinquent", 999)]

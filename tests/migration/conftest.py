@@ -1,0 +1,8 @@
+import pytest
+
+from repro.testbed import Testbed
+
+
+@pytest.fixture
+def world():
+    return Testbed(seed=23).world()

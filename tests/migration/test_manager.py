@@ -1,0 +1,132 @@
+"""Integration tests for the MigrationManager protocol."""
+
+import pytest
+
+from repro.accent.constants import PAGE_SIZE
+from repro.accent.process import ProcessStatus
+from repro.migration.manager import MigrationError
+from repro.sim import SeededStreams
+from repro.workloads.builder import build_process
+from repro.workloads.registry import WORKLOADS
+
+
+def migrate(world, name, strategy, prefetch=0):
+    built = build_process(
+        world.source, WORKLOADS[name], SeededStreams(5)
+    )
+    world.source.nms.prefetch = prefetch
+    world.dest.nms.prefetch = prefetch
+
+    def trial():
+        insertion = world.dest_manager.expect_insertion(name)
+        yield from world.source_manager.migrate(
+            name, world.dest_manager, strategy
+        )
+        process = yield insertion
+        return process
+
+    proc = world.engine.process(trial())
+    inserted = world.engine.run(until=proc)
+    return built, inserted
+
+
+def test_migration_moves_process_between_hosts(world):
+    built, inserted = migrate(world, "minprog", "pure-copy")
+    assert inserted.host is world.dest
+    assert inserted.status is ProcessStatus.RUNNABLE
+    assert inserted.name == "minprog"
+    assert "minprog" not in world.source.kernel.processes
+    assert built.process.status is ProcessStatus.EXCISED
+
+
+def test_migration_preserves_space_shape(world):
+    built, inserted = migrate(world, "minprog", "pure-copy")
+    spec = built.spec
+    assert inserted.space.total_bytes == spec.total_bytes
+    assert inserted.space.real_bytes == spec.real_bytes
+
+
+def test_pure_iou_leaves_memory_owed(world):
+    built, inserted = migrate(world, "minprog", "pure-iou")
+    assert inserted.space.real_bytes == 0
+    assert inserted.space.imaginary_bytes == built.spec.real_bytes
+
+
+def test_rs_ships_resident_set_only(world):
+    built, inserted = migrate(world, "minprog", "resident-set")
+    assert inserted.space.real_bytes == built.spec.resident_bytes
+    assert (
+        inserted.space.imaginary_bytes
+        == built.spec.real_bytes - built.spec.resident_bytes
+    )
+    # The shipped pages are resident at the destination.
+    assert inserted.space.resident_bytes() == built.spec.resident_bytes
+
+
+def test_marks_are_stamped_in_order(world):
+    migrate(world, "minprog", "pure-iou")
+    marks = world.metrics.marks
+    order = [
+        "excise.start",
+        "excise.amap.start",
+        "excise.amap.end",
+        "excise.rimas.start",
+        "excise.rimas.end",
+        "excise.end",
+        "core.start",
+        "core.end",
+        "rimas.start",
+        "rimas.end",
+        "insert.start",
+        "insert.end",
+    ]
+    times = [marks[name] for name in order]
+    assert times == sorted(times)
+
+
+def test_core_phase_is_about_one_second(world):
+    """§4.3.2: approximately one second in all cases."""
+    migrate(world, "minprog", "pure-iou")
+    span = world.metrics.span("core.start", "core.end")
+    assert 0.8 <= span <= 1.3
+
+
+def test_insertion_event_fires_with_process(world):
+    built, inserted = migrate(world, "minprog", "pure-copy")
+    assert inserted.blueprint == "minprog"
+
+
+def test_duplicate_context_message_raises(world):
+    from repro.accent.ipc.message import Message
+
+    bogus = Message(
+        world.dest_manager.port, "migrate.core", meta={"process_name": "x"}
+    )
+    bogus2 = Message(
+        world.dest_manager.port, "migrate.core", meta={"process_name": "x"}
+    )
+    world.dest.kernel.post(bogus)
+    world.dest.kernel.post(bogus2)
+    with pytest.raises(MigrationError, match="duplicate"):
+        world.engine.run()
+
+
+def test_unexpected_op_raises(world):
+    from repro.accent.ipc.message import Message
+
+    bogus = Message(world.dest_manager.port, "migrate.bogus", meta={})
+    world.dest.kernel.post(bogus)
+    with pytest.raises(MigrationError, match="unexpected op"):
+        world.engine.run()
+
+
+def test_migrating_unknown_process_raises(world):
+    from repro.accent.kernel import KernelError
+
+    def trial():
+        yield from world.source_manager.migrate(
+            "ghost", world.dest_manager, "pure-copy"
+        )
+
+    with pytest.raises(KernelError):
+        world.engine.run(until=world.engine.process(trial()))

@@ -1,0 +1,110 @@
+"""Unit tests for transfer strategies."""
+
+import pytest
+
+from repro.accent.ipc.message import Message, RegionSection
+from repro.accent.vm.page import Page
+from repro.migration.strategy import (
+    PURE_COPY,
+    PURE_IOU,
+    PureCopy,
+    PureIOU,
+    RESIDENT_SET,
+    ResidentSet,
+    Strategy,
+    WORKING_SET,
+    WorkingSet,
+)
+
+
+def test_registry_lookup():
+    assert isinstance(Strategy.by_name(PURE_COPY), PureCopy)
+    assert isinstance(Strategy.by_name(PURE_IOU), PureIOU)
+    assert isinstance(Strategy.by_name(RESIDENT_SET), ResidentSet)
+    assert isinstance(Strategy.by_name(WORKING_SET), WorkingSet)
+    assert Strategy.names() == sorted(
+        [PURE_COPY, PURE_IOU, RESIDENT_SET, WORKING_SET]
+    )
+
+
+def test_lookup_accepts_instance():
+    strategy = PureIOU()
+    assert Strategy.by_name(strategy) is strategy
+
+
+def test_unknown_name_raises():
+    with pytest.raises(ValueError, match="unknown strategy"):
+        Strategy.by_name("teleport")
+
+
+def make_rimas(world, resident):
+    pages = {i: Page() for i in range(10)}
+    return Message(
+        world.dest_manager.port,
+        "migrate.rimas",
+        sections=[RegionSection(pages, label="rimas")],
+        meta={"process_name": "x", "resident_indices": list(resident)},
+    )
+
+
+def run(world, generator):
+    proc = world.engine.process(generator)
+    return world.engine.run(until=proc)
+
+
+def test_pure_copy_sets_no_ious(world):
+    rimas = make_rimas(world, [])
+    run(world, PureCopy().prepare(world.source_manager, rimas))
+    assert rimas.no_ious is True
+
+
+def test_pure_iou_clears_no_ious(world):
+    rimas = make_rimas(world, [])
+    rimas.no_ious = True
+    run(world, PureIOU().prepare(world.source_manager, rimas))
+    assert rimas.no_ious is False
+
+
+def test_resident_set_splits_sections(world):
+    rimas = make_rimas(world, [0, 1, 2])
+    run(world, ResidentSet().prepare(world.source_manager, rimas))
+    regions = rimas.sections_of(RegionSection)
+    assert len(regions) == 2
+    resident, owed = regions
+    assert resident.force_copy and sorted(resident.pages) == [0, 1, 2]
+    assert not owed.force_copy and sorted(owed.pages) == list(range(3, 10))
+
+
+def test_resident_set_charges_carve_time_per_owed_page(world):
+    rimas = make_rimas(world, [0, 1, 2])
+    before = world.engine.now
+    run(world, ResidentSet().prepare(world.source_manager, rimas))
+    elapsed = world.engine.now - before
+    assert elapsed == pytest.approx(
+        7 * world.calibration.rs_carve_per_owed_page_s
+    )
+
+
+def test_resident_set_with_everything_resident(world):
+    rimas = make_rimas(world, range(10))
+    run(world, ResidentSet().prepare(world.source_manager, rimas))
+    regions = rimas.sections_of(RegionSection)
+    assert len(regions) == 1
+    assert regions[0].force_copy
+    assert len(regions[0].pages) == 10
+
+
+def test_resident_set_with_nothing_resident(world):
+    rimas = make_rimas(world, [])
+    run(world, ResidentSet().prepare(world.source_manager, rimas))
+    regions = rimas.sections_of(RegionSection)
+    assert len(regions) == 1
+    assert not regions[0].force_copy
+
+
+def test_resident_set_without_region_section_is_noop(world):
+    rimas = Message(
+        world.dest_manager.port, "migrate.rimas", sections=[], meta={}
+    )
+    run(world, ResidentSet().prepare(world.source_manager, rimas))
+    assert rimas.sections == []

@@ -1,0 +1,51 @@
+"""Unit tests for the shared-medium link."""
+
+import pytest
+
+from repro.net.link import Link
+from repro.sim import Engine
+from repro.calibration import Calibration
+
+
+def test_transmit_time_is_serialisation_plus_latency():
+    eng = Engine()
+    calibration = Calibration()
+    link = Link(eng, calibration)
+
+    def sender():
+        yield from link.transmit(1250)  # 1250 B at 10 Mbit/s = 1 ms
+
+    eng.run(until=eng.process(sender()))
+    assert eng.now == pytest.approx(0.001 + calibration.link_latency_s)
+    assert link.frames == 1
+    assert link.bytes == 1250
+
+
+def test_medium_serialises_but_latency_overlaps():
+    eng = Engine()
+    calibration = Calibration(link_latency_s=0.010)
+    link = Link(eng, calibration)
+    done = []
+
+    def sender(tag):
+        yield from link.transmit(12500)  # 10 ms serialisation
+        done.append((tag, eng.now))
+
+    eng.process(sender("a"))
+    eng.process(sender("b"))
+    eng.run()
+    # a: 10 ms serialise + 10 ms latency = 20 ms.
+    # b: waits 10 ms for the medium, then 10 + 10 -> 30 ms.
+    assert done[0] == ("a", pytest.approx(0.020))
+    assert done[1] == ("b", pytest.approx(0.030))
+
+
+def test_utilisation_reflects_busy_medium():
+    eng = Engine()
+    link = Link(eng, Calibration(link_latency_s=0.0))
+
+    def sender():
+        yield from link.transmit(125_000)  # 100 ms
+
+    eng.run(until=eng.process(sender()))
+    assert link.utilisation() == pytest.approx(1.0)

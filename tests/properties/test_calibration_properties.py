@@ -1,0 +1,54 @@
+"""Property-based tests for the calibration cost model."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.calibration import Calibration, DEFAULT_CALIBRATION
+
+
+@given(st.integers(0, 10_000), st.integers(0, 10_000))
+@settings(max_examples=100)
+def test_excise_models_are_monotonic(a, b):
+    lo, hi = sorted((a, b))
+    calibration = DEFAULT_CALIBRATION
+    assert calibration.excise_amap_s(lo) <= calibration.excise_amap_s(hi)
+    assert calibration.excise_rimas_s(lo) <= calibration.excise_rimas_s(hi)
+
+
+@given(
+    st.integers(0, 5_000),
+    st.integers(0, 5_000),
+    st.integers(0, 5_000),
+    st.integers(0, 5_000),
+)
+@settings(max_examples=100)
+def test_insert_model_monotone_in_both_arguments(r1, r2, e1, e2):
+    calibration = DEFAULT_CALIBRATION
+    lo_r, hi_r = sorted((r1, r2))
+    lo_e, hi_e = sorted((e1, e2))
+    assert calibration.insert_s(lo_r, lo_e) <= calibration.insert_s(hi_r, hi_e)
+
+
+@given(st.integers(1, 100_000), st.integers(1, 100_000))
+@settings(max_examples=100)
+def test_nms_hop_and_link_time_monotone(a, b):
+    lo, hi = sorted((a, b))
+    calibration = DEFAULT_CALIBRATION
+    assert calibration.nms_hop_s(lo) <= calibration.nms_hop_s(hi)
+    assert calibration.link_time_s(lo) <= calibration.link_time_s(hi)
+    assert calibration.nms_hop_s(lo) >= calibration.nms_fixed_s
+    assert calibration.link_time_s(lo) >= calibration.link_latency_s
+
+
+@given(
+    st.floats(0.5, 2.0, allow_nan=False),
+    st.floats(0.5, 2.0, allow_nan=False),
+)
+@settings(max_examples=50)
+def test_with_overrides_never_mutates_default(f1, f2):
+    before = DEFAULT_CALIBRATION.describe()
+    DEFAULT_CALIBRATION.with_overrides(
+        nms_fixed_s=DEFAULT_CALIBRATION.nms_fixed_s * f1,
+        disk_service_s=DEFAULT_CALIBRATION.disk_service_s * f2,
+    )
+    assert DEFAULT_CALIBRATION.describe() == before

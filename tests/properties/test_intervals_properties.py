@@ -1,0 +1,90 @@
+"""Property-based tests for the interval map.
+
+The IntervalMap is the foundation of 4 GB sparse address spaces and
+AMaps, so its invariants are checked against a naive dict-of-points
+model over arbitrary operation sequences.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.accent.vm.intervals import IntervalMap
+
+POINTS = 64
+
+interval = st.tuples(
+    st.integers(0, POINTS - 1), st.integers(1, 16), st.sampled_from("abc")
+)
+operation = st.tuples(st.sampled_from(["add", "remove"]), interval)
+
+
+def apply_ops(ops):
+    imap = IntervalMap()
+    model = {}
+    for op, (start, length, value) in ops:
+        end = start + length
+        if op == "add":
+            imap.add(start, end, value)
+            for point in range(start, end):
+                model[point] = value
+        else:
+            imap.remove(start, end)
+            for point in range(start, end):
+                model.pop(point, None)
+    return imap, model
+
+
+@given(st.lists(operation, max_size=30))
+@settings(max_examples=200)
+def test_point_queries_match_model(ops):
+    imap, model = apply_ops(ops)
+    for point in range(POINTS + 16):
+        assert imap.get(point) == model.get(point)
+
+
+@given(st.lists(operation, max_size=30))
+@settings(max_examples=100)
+def test_runs_are_sorted_disjoint_and_maximal(ops):
+    imap, _ = apply_ops(ops)
+    runs = list(imap.runs())
+    for start, end, _ in runs:
+        assert start < end
+    for (s1, e1, v1), (s2, e2, v2) in zip(runs, runs[1:]):
+        assert e1 <= s2
+        # Maximality: adjacent runs never share a value.
+        if e1 == s2:
+            assert v1 != v2
+
+
+@given(st.lists(operation, max_size=30))
+@settings(max_examples=100)
+def test_span_matches_model(ops):
+    imap, model = apply_ops(ops)
+    assert imap.span() == len(model)
+
+
+@given(st.lists(operation, max_size=20), st.integers(0, POINTS), st.integers(1, 20))
+@settings(max_examples=100)
+def test_overlapping_clips_and_covers(ops, start, length):
+    imap, model = apply_ops(ops)
+    end = start + length
+    covered = set()
+    for run_start, run_end, value in imap.overlapping(start, end):
+        assert start <= run_start < run_end <= end
+        for point in range(run_start, run_end):
+            assert model.get(point) == value
+            covered.add(point)
+    expected = {p for p in range(start, end) if p in model}
+    assert covered == expected
+    assert imap.covers(start, end) == (len(expected) == length)
+
+
+@given(st.lists(operation, max_size=20))
+@settings(max_examples=50)
+def test_copy_equality_and_independence(ops):
+    imap, _ = apply_ops(ops)
+    clone = imap.copy()
+    assert clone == imap
+    clone.add(0, POINTS + 32, "z")
+    for point in range(POINTS):
+        assert clone.get(point) == "z"

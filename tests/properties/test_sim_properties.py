@@ -1,0 +1,97 @@
+"""Property-based tests for the simulation kernel's guarantees."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Engine, Resource, Store
+
+
+@given(st.lists(st.floats(0.0, 100.0, allow_nan=False), max_size=40))
+@settings(max_examples=100)
+def test_timeouts_process_in_nondecreasing_time_order(delays):
+    eng = Engine()
+    order = []
+    for delay in delays:
+        eng.timeout(delay, value=delay).callbacks.append(
+            lambda e: order.append(e.value)
+        )
+    eng.run()
+    assert order == sorted(order)
+    assert len(order) == len(delays)
+
+
+@given(
+    st.lists(st.integers(0, 1000), min_size=1, max_size=50),
+    st.integers(1, 5),
+)
+@settings(max_examples=100)
+def test_store_is_fifo_under_any_capacity(items, capacity):
+    eng = Engine()
+    store = Store(eng, capacity=capacity)
+    received = []
+
+    def producer():
+        for item in items:
+            yield store.put(item)
+
+    def consumer():
+        for _ in items:
+            value = yield store.get()
+            received.append(value)
+
+    eng.process(producer())
+    eng.process(consumer())
+    eng.run()
+    assert received == items
+
+
+@given(
+    st.lists(st.floats(0.01, 5.0, allow_nan=False), min_size=1, max_size=20),
+    st.integers(1, 4),
+)
+@settings(max_examples=60, deadline=None)
+def test_resource_conserves_work(service_times, capacity):
+    """Total busy time equals the sum of service times, and elapsed
+    time is bounded by the ideal parallel schedule."""
+    eng = Engine()
+    resource = Resource(eng, capacity=capacity)
+
+    def job(service):
+        with resource.held() as grant:
+            yield grant
+            yield eng.timeout(service)
+
+    for service in service_times:
+        eng.process(job(service))
+    eng.run()
+    total = sum(service_times)
+    assert resource.busy_time + 1e-9 >= total - 1e-9
+    assert resource.busy_time <= total + 1e-9
+    # Makespan bounds: at least the critical path, at most serial time.
+    assert eng.now <= total + 1e-9
+    assert eng.now + 1e-9 >= total / capacity
+    assert eng.now + 1e-9 >= max(service_times)
+
+
+@given(st.integers(0, 2**32), st.integers(2, 30))
+@settings(max_examples=30, deadline=None)
+def test_engine_runs_are_bitwise_reproducible(seed, jobs):
+    """The same program produces the same event history twice."""
+    import random
+
+    def run_once():
+        eng = Engine()
+        rng = random.Random(seed)
+        history = []
+
+        def worker(tag):
+            for _ in range(3):
+                yield eng.timeout(rng.random())
+                history.append((round(eng.now, 12), tag))
+
+        for tag in range(jobs):
+            eng.process(worker(tag))
+        eng.run()
+        return history
+
+    assert run_once() == run_once()

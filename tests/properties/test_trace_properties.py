@@ -1,0 +1,85 @@
+"""Property-based tests for layout + trace generation invariants."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.accent.constants import PAGE_SIZE
+from repro.workloads.layout import make_layout
+from repro.workloads.spec import Locality, WorkloadSpec
+from repro.workloads.trace import build_trace
+
+
+@st.composite
+def spec_and_seed(draw):
+    real_pages = draw(st.integers(8, 120))
+    zero_pages = draw(st.integers(real_pages + 2, 4 * real_pages))
+    rs_pages = draw(st.integers(1, real_pages))
+    touched = draw(st.integers(1, real_pages))
+    overlap = draw(st.integers(0, min(rs_pages, touched)))
+    union = min(real_pages, rs_pages + touched - overlap)
+    runs = draw(st.integers(1, min(real_pages, zero_pages - 1)))
+    spec = WorkloadSpec(
+        name="prop",
+        description="hypothesis layout probe",
+        real_bytes=real_pages * PAGE_SIZE,
+        total_bytes=(real_pages + zero_pages) * PAGE_SIZE,
+        resident_bytes=rs_pages * PAGE_SIZE,
+        touched_fraction=touched / real_pages,
+        rs_union_fraction=union / real_pages,
+        real_runs=runs,
+        map_entries=draw(st.integers(1, 40)),
+        locality=draw(st.sampled_from(list(Locality))),
+        compute_s=1.0,
+        zero_touch_pages=draw(st.integers(0, 8)),
+    )
+    return spec, draw(st.integers(0, 2**32))
+
+
+@given(spec_and_seed())
+@settings(max_examples=120, deadline=None)
+def test_layout_invariants(build):
+    spec, seed = build
+    plan = make_layout(spec, random.Random(seed))
+    real = plan.real_indices
+    # Exact counts.
+    assert len(real) == spec.real_pages
+    assert len(set(real)) == spec.real_pages
+    assert len(plan.resident) == spec.resident_pages
+    assert len(plan.touched_order) == len(set(plan.touched_order))
+    # Containment.
+    assert set(plan.touched_order) <= set(real)
+    assert plan.resident <= set(real)
+    assert plan.recent <= plan.resident
+    # Everything inside the validated region.
+    first = plan.region_start // PAGE_SIZE
+    last = first + spec.total_pages - 1
+    assert all(first <= index <= last for index in real)
+    assert all(first <= index <= last for index in plan.zero_touches)
+    # Run count exact.
+    runs = 1 + sum(
+        1 for a, b in zip(real, real[1:]) if b != a + 1
+    )
+    assert runs == spec.real_runs
+    # Overlap honoured.
+    overlap = len(set(plan.touched_order) & plan.resident)
+    assert overlap == min(spec.touched_in_rs_pages, len(plan.touched_order))
+
+
+@given(spec_and_seed())
+@settings(max_examples=80, deadline=None)
+def test_trace_invariants(build):
+    spec, seed = build
+    rng = random.Random(seed)
+    plan = make_layout(spec, rng)
+    trace = build_trace(spec, plan, rng)
+    # One real step per touched page, one zero step per zero touch.
+    assert len(trace.real_steps) == len(plan.touched_order)
+    assert len(trace.zero_steps) == len(plan.zero_touches)
+    assert trace.touched_real_pages() == plan.touched
+    # Zero steps are writes (they materialise memory).
+    assert all(step.write for step in trace.zero_steps)
+    # Compute budget conserved (up to float rounding).
+    if len(trace):
+        assert abs(trace.compute_slice_s * len(trace) - spec.compute_s) < 1e-9

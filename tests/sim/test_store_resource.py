@@ -1,0 +1,224 @@
+"""Unit tests for Store and Resource queueing primitives."""
+
+import pytest
+
+from repro.sim import Engine, Resource, SimulationError, Store
+
+
+# ---------------------------------------------------------------- Store ----
+def test_store_put_then_get_fifo():
+    eng = Engine()
+    store = Store(eng)
+    received = []
+
+    def consumer():
+        for _ in range(3):
+            item = yield store.get()
+            received.append(item)
+
+    def producer():
+        for item in ("x", "y", "z"):
+            yield store.put(item)
+
+    eng.process(producer())
+    eng.process(consumer())
+    eng.run()
+    assert received == ["x", "y", "z"]
+
+
+def test_store_get_blocks_until_put():
+    eng = Engine()
+    store = Store(eng)
+    times = []
+
+    def consumer():
+        item = yield store.get()
+        times.append((eng.now, item))
+
+    def producer():
+        yield eng.timeout(7.0)
+        yield store.put("late")
+
+    eng.process(consumer())
+    eng.process(producer())
+    eng.run()
+    assert times == [(7.0, "late")]
+
+
+def test_bounded_store_blocks_producer():
+    eng = Engine()
+    store = Store(eng, capacity=1)
+    log = []
+
+    def producer():
+        yield store.put("first")
+        log.append(("queued-first", eng.now))
+        yield store.put("second")
+        log.append(("queued-second", eng.now))
+
+    def consumer():
+        yield eng.timeout(5.0)
+        item = yield store.get()
+        log.append(("got", item, eng.now))
+
+    eng.process(producer())
+    eng.process(consumer())
+    eng.run()
+    assert ("queued-first", 0.0) in log
+    assert ("queued-second", 5.0) in log  # unblocked only after the get
+
+
+def test_store_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        Store(Engine(), capacity=0)
+
+
+def test_store_len_counts_buffered_items():
+    eng = Engine()
+    store = Store(eng)
+    store.put(1)
+    store.put(2)
+    eng.run()
+    assert len(store) == 2
+
+
+def test_try_get_returns_item_or_none():
+    eng = Engine()
+    store = Store(eng)
+    assert store.try_get() is None
+    store.put("thing")
+    eng.run()
+    assert store.try_get() == "thing"
+    assert store.try_get() is None
+
+
+def test_try_get_conflicts_with_blocking_getters():
+    eng = Engine()
+    store = Store(eng)
+
+    def blocked():
+        yield store.get()
+
+    eng.process(blocked())
+    eng.run(until=eng.timeout(1.0))
+    with pytest.raises(SimulationError):
+        store.try_get()
+
+
+def test_multiple_getters_served_fifo():
+    eng = Engine()
+    store = Store(eng)
+    order = []
+
+    def getter(tag):
+        item = yield store.get()
+        order.append((tag, item))
+
+    eng.process(getter("g1"))
+    eng.process(getter("g2"))
+
+    def producer():
+        yield eng.timeout(1.0)
+        yield store.put("a")
+        yield store.put("b")
+
+    eng.process(producer())
+    eng.run()
+    assert order == [("g1", "a"), ("g2", "b")]
+
+
+# ------------------------------------------------------------- Resource ----
+def test_resource_serialises_two_holders():
+    eng = Engine()
+    cpu = Resource(eng, capacity=1)
+    spans = []
+
+    def job(tag, service):
+        with cpu.held() as req:
+            yield req
+            start = eng.now
+            yield eng.timeout(service)
+            spans.append((tag, start, eng.now))
+
+    eng.process(job("a", 3.0))
+    eng.process(job("b", 2.0))
+    eng.run()
+    assert spans == [("a", 0.0, 3.0), ("b", 3.0, 5.0)]
+
+
+def test_resource_capacity_allows_parallelism():
+    eng = Engine()
+    cpu = Resource(eng, capacity=2)
+    ends = []
+
+    def job(service):
+        with cpu.held() as req:
+            yield req
+            yield eng.timeout(service)
+            ends.append(eng.now)
+
+    for _ in range(2):
+        eng.process(job(4.0))
+    eng.run()
+    assert ends == [4.0, 4.0]
+
+
+def test_resource_release_grants_next_waiter():
+    eng = Engine()
+    res = Resource(eng, capacity=1)
+    req1 = res.request()
+    req2 = res.request()
+    eng.run(until=req1)
+    assert req1.triggered and not req2.triggered
+    res.release(req1)
+    eng.run(until=req2)
+    assert req2.triggered
+
+
+def test_release_of_waiting_request_cancels_it():
+    eng = Engine()
+    res = Resource(eng, capacity=1)
+    req1 = res.request()
+    req2 = res.request()
+    res.release(req2)  # cancel before grant
+    res.release(req1)
+    assert res.count == 0
+    assert res.queued == 0
+
+
+def test_release_unknown_request_raises():
+    eng = Engine()
+    res = Resource(eng, capacity=1)
+    other = Resource(eng, capacity=1)
+    req = other.request()
+    with pytest.raises(SimulationError):
+        res.release(req)
+
+
+def test_resource_utilisation_accounting():
+    eng = Engine()
+    res = Resource(eng, capacity=1)
+
+    def job():
+        with res.held() as req:
+            yield req
+            yield eng.timeout(4.0)
+
+    eng.process(job())
+    eng.run()
+    eng.run(until=8.0)
+    assert res.utilisation() == pytest.approx(0.5)
+
+
+def test_resource_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        Resource(Engine(), capacity=0)
+
+
+def test_queued_and_count_reporting():
+    eng = Engine()
+    res = Resource(eng, capacity=1)
+    res.request()
+    res.request()
+    assert res.count == 1
+    assert res.queued == 1

@@ -1,0 +1,80 @@
+"""Calibration-table tests: the constants must keep matching the
+numbers the paper states, or every downstream experiment drifts."""
+
+import pytest
+
+from repro.calibration import Calibration, DEFAULT_CALIBRATION
+
+
+def test_local_disk_fault_is_40_8_ms():
+    """§4.3.3 states 40.8 ms exactly."""
+    assert DEFAULT_CALIBRATION.local_disk_fault_s == pytest.approx(0.0408)
+
+
+def test_bulk_page_hop_is_about_33ms():
+    """Table 4-5 / Table 4-1 ratios give ≈30.6–36.5 ms per 512-byte
+    page of bulk copy; the bottleneck NMS hop must sit in that band."""
+    calibration = DEFAULT_CALIBRATION
+    page_fragment = 512 + 4 + calibration.fragment_header_bytes
+    hop = calibration.nms_hop_s(page_fragment)
+    assert 0.030 <= hop <= 0.037
+
+
+def test_imaginary_fault_round_trip_near_115ms():
+    """§4.3.3: ≈115 ms end to end; we accept ±15%."""
+    from repro.experiments.claims import imag_vs_disk_cost_ratio
+
+    ratio = imag_vs_disk_cost_ratio(DEFAULT_CALIBRATION)
+    round_trip = ratio * DEFAULT_CALIBRATION.local_disk_fault_s
+    assert round_trip == pytest.approx(0.115, rel=0.15)
+
+
+def test_fault_reply_fits_one_fragment():
+    """A one-page imaginary read reply must not split across fragments
+    (that would double-charge the fixed hop cost per fault)."""
+    calibration = DEFAULT_CALIBRATION
+    reply_wire = 32 + 8 + 4 + 512  # header + descriptors + page
+    assert reply_wire <= calibration.fragment_data_bytes
+
+
+def test_excision_model_matches_table_4_4_anchor_rows():
+    calibration = DEFAULT_CALIBRATION
+    # Minprog: 55 map entries, 65 runs -> 0.37 / 0.36 (Table 4-4).
+    assert calibration.excise_amap_s(55) == pytest.approx(0.37, abs=0.01)
+    assert calibration.excise_rimas_s(65) == pytest.approx(0.36, abs=0.01)
+    # Lisp-Del: 575 entries, 158 runs -> 2.46 / 0.73.
+    assert calibration.excise_amap_s(575) == pytest.approx(2.46, abs=0.02)
+    assert calibration.excise_rimas_s(158) == pytest.approx(0.73, abs=0.02)
+
+
+def test_insert_model_matches_paper_range():
+    calibration = DEFAULT_CALIBRATION
+    minprog = calibration.insert_s(65, 55)
+    lisp_del = calibration.insert_s(158, 575)
+    assert minprog == pytest.approx(0.263, rel=0.15)
+    assert lisp_del == pytest.approx(0.853, rel=0.15)
+
+
+def test_with_overrides_returns_modified_copy():
+    custom = DEFAULT_CALIBRATION.with_overrides(frame_count=128)
+    assert custom.frame_count == 128
+    assert DEFAULT_CALIBRATION.frame_count != 128
+    assert custom.disk_service_s == DEFAULT_CALIBRATION.disk_service_s
+
+
+def test_calibration_is_frozen():
+    with pytest.raises(Exception):
+        DEFAULT_CALIBRATION.frame_count = 1
+
+
+def test_describe_covers_every_field():
+    described = DEFAULT_CALIBRATION.describe()
+    assert described["disk_service_s"] == DEFAULT_CALIBRATION.disk_service_s
+    assert len(described) >= 25
+
+
+def test_link_time_includes_latency_and_serialisation():
+    calibration = Calibration(
+        link_latency_s=0.002, link_bandwidth_bps=10e6
+    )
+    assert calibration.link_time_s(1250) == pytest.approx(0.003)

@@ -1,0 +1,111 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(argv):
+    lines = []
+    code = main(argv, out=lines.append)
+    return code, "\n".join(lines)
+
+
+def test_workloads_lists_all_seven():
+    code, text = run_cli(["workloads"])
+    assert code == 0
+    for name in ("minprog", "lisp-t", "lisp-del", "pm-start", "chess"):
+        assert name in text
+
+
+def test_migrate_pure_iou():
+    code, text = run_cli(["migrate", "minprog", "--strategy", "pure-iou"])
+    assert code == 0
+    assert "verified          True" in text
+    assert "space transfer" in text
+    assert "8.6% of RealMem" in text
+
+
+def test_migrate_with_prefetch_reports_hits():
+    code, text = run_cli(
+        ["migrate", "pm-start", "--strategy", "pure-iou", "--prefetch", "3"]
+    )
+    assert code == 0
+    assert "prefetch hits" in text
+
+
+def test_migrate_rejects_unknown_workload():
+    with pytest.raises(SystemExit):
+        run_cli(["migrate", "tetris"])
+
+
+def test_migrate_rejects_unknown_strategy():
+    with pytest.raises(SystemExit):
+        run_cli(["migrate", "minprog", "--strategy", "teleport"])
+
+
+def test_sweep_prints_all_trials():
+    code, text = run_cli(["sweep", "minprog"])
+    assert code == 0
+    for tag in ("iou-pf0", "iou-pf15", "rs-pf0", "rs-pf15"):
+        assert tag in text
+
+
+def test_chain_command():
+    code, text = run_cli(
+        ["chain", "minprog", "--path", "a", "b", "c", "--run", "0.3"]
+    )
+    assert code == 0
+    assert "hop 1" in text and "hop 2" in text
+    assert "verified          True" in text
+
+
+def test_precopy_command():
+    code, text = run_cli(["precopy", "minprog"])
+    assert code == 0
+    assert "rounds" in text
+    assert "downtime" in text
+    assert "verified          True" in text
+
+
+def test_balance_command():
+    code, text = run_cli(
+        ["balance", "minprog", "minprog", "pm-end", "--hosts", "2",
+         "--policy", "breakeven"]
+    )
+    assert code == 0
+    assert "makespan" in text
+
+
+def test_balance_rejects_unknown_workload():
+    code, text = run_cli(["balance", "tetris"])
+    assert code == 2
+    assert "unknown workload" in text
+
+
+def test_report_command(tmp_path):
+    output = tmp_path / "EXP.md"
+    code, text = run_cli(["report", str(output)])
+    assert code == 0
+    content = output.read_text()
+    assert "Table 4-5" in content
+    assert "Figure 4-2" in content
+
+
+def test_export_command(tmp_path):
+    code, text = run_cli(["export", str(tmp_path / "results")])
+    assert code == 0
+    assert "table_4_5.csv" in text
+    assert (tmp_path / "results" / "claims.csv").exists()
+
+
+def test_figures_command(tmp_path):
+    code, text = run_cli(["figures", str(tmp_path / "figs")])
+    assert code == 0
+    assert "figure_4_2.svg" in text
+    assert (tmp_path / "figs" / "figure_4_5_pure_copy.svg").exists()
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])

@@ -1,0 +1,61 @@
+"""Documentation quality gate: every public item carries a docstring."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _walk_modules():
+    names = ["repro"]
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if info.name.endswith("__main__"):
+            continue  # imports with side effects by design
+        names.append(info.name)
+    return sorted(names)
+
+
+MODULES = _walk_modules()
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_module_has_docstring(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__ and module.__doc__.strip(), module_name
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_public_classes_and_functions_documented(module_name):
+    module = importlib.import_module(module_name)
+    undocumented = []
+    for name, obj in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if not (inspect.isclass(obj) or inspect.isfunction(obj)):
+            continue
+        if getattr(obj, "__module__", None) != module_name:
+            continue  # re-export; documented at home
+        if not (inspect.getdoc(obj) or "").strip():
+            undocumented.append(name)
+            continue
+        if inspect.isclass(obj):
+            for member_name in vars(obj):
+                if member_name.startswith("_"):
+                    continue
+                member = getattr(obj, member_name, None)
+                if not callable(member) or isinstance(member, type):
+                    continue
+                # getdoc walks the MRO: overriding a documented base
+                # method without restating the docstring is fine.
+                if not (inspect.getdoc(member) or "").strip():
+                    undocumented.append(f"{name}.{member_name}")
+    assert not undocumented, (
+        f"{module_name}: missing docstrings on {undocumented}"
+    )
+
+
+def test_package_exposes_version():
+    assert repro.__version__

@@ -1,0 +1,130 @@
+"""Unit tests for layout generation and page-set selection."""
+
+import random
+
+import pytest
+
+from repro.workloads.layout import make_layout, partition
+from repro.workloads.registry import WORKLOADS
+from repro.workloads.spec import Locality
+
+
+@pytest.fixture(params=["minprog", "pm-start", "chess", "lisp-t"])
+def spec(request):
+    return WORKLOADS[request.param]
+
+
+def layout_for(spec, seed=3):
+    return make_layout(spec, random.Random(seed))
+
+
+# -------------------------------------------------------------- partition --
+def test_partition_sums_and_minimum():
+    rng = random.Random(1)
+    sizes = partition(100, 7, rng)
+    assert sum(sizes) == 100
+    assert len(sizes) == 7
+    assert all(size >= 1 for size in sizes)
+
+
+def test_partition_exact_fit():
+    sizes = partition(5, 5, random.Random(0))
+    assert sizes == [1, 1, 1, 1, 1]
+
+
+def test_partition_single_part():
+    assert partition(42, 1, random.Random(0)) == [42]
+
+
+def test_partition_impossible_raises():
+    with pytest.raises(ValueError):
+        partition(3, 5, random.Random(0))
+    with pytest.raises(ValueError):
+        partition(3, 0, random.Random(0))
+
+
+def test_partition_deterministic():
+    assert partition(1000, 9, random.Random(4)) == partition(
+        1000, 9, random.Random(4)
+    )
+
+
+# ------------------------------------------------------------------ plans --
+def test_plan_page_counts_match_spec(spec):
+    plan = layout_for(spec)
+    assert len(plan.real_indices) == spec.real_pages
+    assert len(plan.touched_order) == spec.touched_pages
+    assert len(plan.resident) == spec.resident_pages
+    assert len(plan.zero_touches) == spec.zero_touch_pages
+
+
+def test_plan_run_count_matches_spec(spec):
+    plan = layout_for(spec)
+    runs = 1
+    for prev, cur in zip(plan.real_indices, plan.real_indices[1:]):
+        if cur != prev + 1:
+            runs += 1
+    assert runs == spec.real_runs
+
+
+def test_real_indices_sorted_and_unique(spec):
+    plan = layout_for(spec)
+    assert plan.real_indices == sorted(set(plan.real_indices))
+
+
+def test_touched_and_resident_are_real_pages(spec):
+    plan = layout_for(spec)
+    real = set(plan.real_indices)
+    assert set(plan.touched_order) <= real
+    assert plan.resident <= real
+
+
+def test_touched_order_has_no_duplicates(spec):
+    plan = layout_for(spec)
+    assert len(plan.touched_order) == len(set(plan.touched_order))
+
+
+def test_zero_touches_are_outside_real_pages(spec):
+    plan = layout_for(spec)
+    real = set(plan.real_indices)
+    region_first = plan.region_start // 512
+    region_last = region_first + spec.total_pages - 1
+    for index in plan.zero_touches:
+        assert index not in real
+        assert region_first <= index <= region_last
+
+
+def test_overlap_matches_table_4_3(spec):
+    plan = layout_for(spec)
+    overlap = len(plan.touched & plan.resident)
+    assert overlap == min(spec.touched_in_rs_pages, spec.touched_pages)
+
+
+def test_sequential_order_is_ascending():
+    plan = layout_for(WORKLOADS["pm-start"])
+    order = plan.touched_order
+    # The bulk of the sweep ascends (a small tail of skipped pages may
+    # be appended when the sweep exhausts the space).
+    ascending = sum(1 for a, b in zip(order, order[1:]) if b > a)
+    assert ascending >= 0.95 * (len(order) - 1)
+
+
+def test_scattered_order_is_not_ascending():
+    plan = layout_for(WORKLOADS["lisp-t"])
+    order = plan.touched_order
+    ascending = sum(1 for a, b in zip(order, order[1:]) if b == a + 1)
+    assert ascending < 0.6 * (len(order) - 1)
+
+
+def test_layout_deterministic_per_seed():
+    a = layout_for(WORKLOADS["chess"], seed=9)
+    b = layout_for(WORKLOADS["chess"], seed=9)
+    assert a.real_indices == b.real_indices
+    assert a.touched_order == b.touched_order
+    assert a.resident == b.resident
+
+
+def test_layout_varies_with_seed():
+    a = layout_for(WORKLOADS["chess"], seed=1)
+    b = layout_for(WORKLOADS["chess"], seed=2)
+    assert a.touched_order != b.touched_order

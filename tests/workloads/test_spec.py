@@ -1,0 +1,129 @@
+"""Unit tests for workload descriptors and the paper's ground truth."""
+
+import pytest
+
+from repro.accent.constants import PAGE_SIZE
+from repro.experiments.paper_data import TABLE_4_1, TABLE_4_2
+from repro.workloads.registry import WORKLOADS, workload_by_name
+from repro.workloads.spec import Locality, WorkloadSpec
+
+
+def test_all_seven_representatives_present():
+    assert list(WORKLOADS) == [
+        "minprog",
+        "lisp-t",
+        "lisp-del",
+        "pm-start",
+        "pm-mid",
+        "pm-end",
+        "chess",
+    ]
+
+
+@pytest.mark.parametrize("name", list(WORKLOADS))
+def test_specs_match_table_4_1(name):
+    spec = WORKLOADS[name]
+    real, realz, total, pct = TABLE_4_1[name]
+    assert spec.real_bytes == real
+    assert spec.real_zero_bytes == realz
+    assert spec.total_bytes == total
+    assert 100.0 * realz / total == pytest.approx(pct, abs=0.06)
+
+
+@pytest.mark.parametrize("name", list(WORKLOADS))
+def test_specs_match_table_4_2(name):
+    spec = WORKLOADS[name]
+    rs, pct_real, pct_total = TABLE_4_2[name]
+    assert spec.resident_bytes == rs
+    assert 100.0 * rs / spec.real_bytes == pytest.approx(pct_real, abs=0.06)
+    assert 100.0 * rs / spec.total_bytes == pytest.approx(pct_total, abs=0.06)
+
+
+@pytest.mark.parametrize("name", list(WORKLOADS))
+def test_page_counts_are_integral(name):
+    spec = WORKLOADS[name]
+    assert spec.real_pages * PAGE_SIZE == spec.real_bytes
+    assert spec.total_pages * PAGE_SIZE == spec.total_bytes
+    assert spec.resident_pages * PAGE_SIZE == spec.resident_bytes
+
+
+@pytest.mark.parametrize("name", list(WORKLOADS))
+def test_overlap_is_feasible(name):
+    spec = WORKLOADS[name]
+    overlap = spec.touched_in_rs_pages
+    assert 0 <= overlap <= min(spec.resident_pages, spec.touched_pages)
+    union = spec.resident_pages + spec.touched_pages - overlap
+    assert union <= spec.real_pages
+
+
+def test_minprog_touched_entirely_inside_rs():
+    """Table 4-3: Minprog's RS column equals its RS size exactly."""
+    spec = WORKLOADS["minprog"]
+    assert spec.touched_in_rs_pages == spec.touched_pages
+
+
+def test_lisp_spaces_are_4gb():
+    for name in ("lisp-t", "lisp-del"):
+        assert WORKLOADS[name].total_bytes == 4_228_129_280
+        assert WORKLOADS[name].real_zero_bytes / WORKLOADS[name].total_bytes > 0.999
+
+
+def test_address_space_size_spread_is_12803x():
+    """§4.2.1: biggest/smallest validated space ≈ 12,803x."""
+    sizes = [spec.total_bytes for spec in WORKLOADS.values()]
+    assert max(sizes) / min(sizes) == pytest.approx(12803, rel=0.01)
+
+
+def test_real_mem_spread_is_about_15x():
+    """§4.2.1: RealMem varies only ~15x."""
+    sizes = [spec.real_bytes for spec in WORKLOADS.values()]
+    assert max(sizes) / min(sizes) == pytest.approx(15.5, rel=0.02)
+
+
+def test_rs_spread_is_about_4x():
+    """§4.2.2: resident sets vary by only a factor of ~4."""
+    sizes = [spec.resident_bytes for spec in WORKLOADS.values()]
+    assert 4.0 <= max(sizes) / min(sizes) <= 4.3
+
+
+def test_workload_by_name():
+    assert workload_by_name("chess") is WORKLOADS["chess"]
+    assert workload_by_name(WORKLOADS["chess"]) is WORKLOADS["chess"]
+    with pytest.raises(ValueError):
+        workload_by_name("tetris")
+
+
+def test_spec_validation_rejects_unaligned():
+    with pytest.raises(ValueError):
+        WorkloadSpec(
+            name="bad",
+            description="",
+            real_bytes=100,
+            total_bytes=1024,
+            resident_bytes=0,
+            touched_fraction=0.5,
+            rs_union_fraction=0.5,
+            real_runs=1,
+            map_entries=1,
+            locality=Locality.CLUSTERED,
+            compute_s=1.0,
+            zero_touch_pages=0,
+        )
+
+
+def test_spec_validation_rejects_rs_larger_than_real():
+    with pytest.raises(ValueError):
+        WorkloadSpec(
+            name="bad",
+            description="",
+            real_bytes=512,
+            total_bytes=1024,
+            resident_bytes=1024,
+            touched_fraction=0.5,
+            rs_union_fraction=2.5,
+            real_runs=1,
+            map_entries=1,
+            locality=Locality.CLUSTERED,
+            compute_s=1.0,
+            zero_touch_pages=0,
+        )

@@ -1,0 +1,141 @@
+"""Unit tests for trace generation, content and the builder."""
+
+import random
+
+import pytest
+
+from repro.accent.constants import PAGE_SIZE
+from repro.accent.vm.address_space import Residency
+from repro.sim import SeededStreams
+from repro.testbed import Testbed
+from repro.workloads.builder import build_process
+from repro.workloads.content import (
+    WRITE_MARKER,
+    page_head,
+    page_payload,
+    written_head,
+)
+from repro.workloads.layout import make_layout
+from repro.workloads.registry import WORKLOADS
+from repro.workloads.trace import build_trace
+
+
+# ---------------------------------------------------------------- content --
+def test_page_payload_is_deterministic_and_distinct():
+    assert page_payload("w", 1) == page_payload("w", 1)
+    assert page_payload("w", 1) != page_payload("w", 2)
+    assert page_payload("w", 1) != page_payload("x", 1)
+    assert len(page_payload("w", 1)) == PAGE_SIZE
+
+
+def test_page_head_prefixes_payload():
+    assert page_payload("w", 5).startswith(page_head("w", 5))
+
+
+def test_written_head_carries_marker():
+    head = written_head("w", 3)
+    assert head.startswith(WRITE_MARKER)
+    assert len(head) == len(page_head("w", 3))
+
+
+# ------------------------------------------------------------------ trace --
+def trace_for(name):
+    spec = WORKLOADS[name]
+    rng = random.Random(13)
+    plan = make_layout(spec, rng)
+    return spec, plan, build_trace(spec, plan, rng)
+
+
+def test_trace_covers_touched_pages_exactly():
+    spec, plan, trace = trace_for("minprog")
+    assert trace.touched_real_pages() == plan.touched
+    assert len(trace.real_steps) == spec.touched_pages
+
+
+def test_trace_includes_zero_touches():
+    spec, plan, trace = trace_for("minprog")
+    zero_steps = trace.zero_steps
+    assert len(zero_steps) == spec.zero_touch_pages
+    assert {s.page_index for s in zero_steps} == set(plan.zero_touches)
+
+
+def test_trace_compute_slice():
+    spec, plan, trace = trace_for("chess")
+    assert trace.compute_slice_s * len(trace) == pytest.approx(spec.compute_s)
+
+
+def test_trace_has_writes_and_reads():
+    spec, plan, trace = trace_for("pm-start")
+    writes = [s for s in trace.real_steps if s.write]
+    assert 0 < len(writes) < len(trace.real_steps)
+    ratio = len(writes) / len(trace.real_steps)
+    assert ratio == pytest.approx(spec.write_fraction, abs=0.1)
+
+
+# ---------------------------------------------------------------- builder --
+@pytest.fixture
+def world():
+    return Testbed(seed=31).world()
+
+
+def test_builder_materialises_footprint(world):
+    spec = WORKLOADS["minprog"]
+    built = build_process(world.source, spec, world.streams)
+    space = built.process.space
+    assert space.real_bytes == spec.real_bytes
+    assert space.total_bytes == spec.total_bytes
+    assert space.resident_bytes() == spec.resident_bytes
+    assert len(space.real_runs()) == spec.real_runs
+
+
+def test_builder_places_nonresident_pages_on_disk(world):
+    spec = WORKLOADS["minprog"]
+    built = build_process(world.source, spec, world.streams)
+    space = built.process.space
+    for index in built.plan.real_indices:
+        entry = space.entry(index)
+        if index in built.plan.resident:
+            assert entry.residency is Residency.RESIDENT
+            assert (space.space_id, index) in world.source.physical
+        else:
+            assert entry.residency is Residency.ON_DISK
+            assert world.source.disk.holds(space.space_id, index)
+
+
+def test_builder_writes_verifiable_contents(world):
+    spec = WORKLOADS["minprog"]
+    built = build_process(world.source, spec, world.streams)
+    space = built.process.space
+    for index in built.plan.real_indices[:10]:
+        expected = page_payload(spec.name, index)
+        assert space.peek(index * PAGE_SIZE, PAGE_SIZE) == expected
+
+
+def test_builder_registers_process_with_rights(world):
+    built = build_process(world.source, WORKLOADS["chess"], world.streams)
+    process = built.process
+    assert world.source.kernel.lookup("chess") is process
+    assert len(process.port_rights) == 2
+    assert process.map_entries == WORKLOADS["chess"].map_entries
+    assert process.blueprint == "chess"
+
+
+def test_builder_is_deterministic():
+    world_a = Testbed(seed=31).world()
+    world_b = Testbed(seed=31).world()
+    a = build_process(world_a.source, WORKLOADS["chess"], world_a.streams)
+    b = build_process(world_b.source, WORKLOADS["chess"], world_b.streams)
+    assert a.plan.real_indices == b.plan.real_indices
+    assert [s.page_index for s in a.trace.steps] == [
+        s.page_index for s in b.trace.steps
+    ]
+
+
+def test_builder_lisp_is_fast_despite_4gb(world):
+    """Building a 4 GB Lisp space must not materialise 8M pages."""
+    import time
+
+    start = time.time()
+    built = build_process(world.source, WORKLOADS["lisp-t"], world.streams)
+    assert time.time() - start < 5.0
+    assert built.process.space.total_bytes == 4_228_129_280
