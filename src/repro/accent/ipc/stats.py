@@ -41,11 +41,22 @@ class TransferStats:
     @property
     def avoided_copy_fraction(self):
         """Fraction of logical bytes never physically copied — the
-        metric of Fitzgerald's study (paper §2.1: up to 99.98%)."""
+        metric of Fitzgerald's study (paper §2.1: up to 99.98%).
+
+        With no logical transfer at all, nothing *needed* copying, so
+        the avoided fraction is vacuously 1.0.
+        """
         total = self.logical_bytes
+        copied = self.physically_copied_bytes
+        assert copied <= total, (
+            f"physically copied {copied} bytes exceeds the {total} logical "
+            f"bytes transferred — COW-break accounting charged a copy this "
+            f"kernel never sent (mapped={self.mapped_bytes}, "
+            f"copied={self.copied_bytes}, cow_break={self.cow_break_bytes})"
+        )
         if total == 0:
-            return 0.0
-        return 1.0 - min(total, self.physically_copied_bytes) / total
+            return 1.0
+        return 1.0 - copied / total
 
     def merge(self, other):
         """Accumulate another stats object into this one."""

@@ -99,6 +99,7 @@ class Pager:
             self._inflight.pop(key, None)
 
     def _imaginary_fault_inner(self, space, index, mapping):
+        fault_started = self.engine.now
         self.host.metrics.record_fault("imaginary")
         calibration = self.calibration
         with self.cpu.held() as req:
@@ -119,8 +120,10 @@ class Pager:
         )
         reply_event = self.engine.event()
         self._pending_replies[fault_id] = reply_event
+        request_sent = self.engine.now
         yield from self.host.kernel.send(request)
         reply = yield reply_event
+        rtt = self.engine.now - request_sent
 
         region = reply.first_section(RegionSection)
         if region is None or index not in region.pages:
@@ -140,6 +143,9 @@ class Pager:
         with self.cpu.held() as req:
             yield req
             yield self.engine.timeout(calibration.map_in_s)
+        self.host.metrics.record_imag_latency(
+            self.engine.now - fault_started, rtt
+        )
 
     # -- reply dispatch ---------------------------------------------------------
     def _reply_loop(self):

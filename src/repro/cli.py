@@ -17,8 +17,38 @@ from repro.testbed import Testbed
 from repro.workloads.registry import WORKLOADS
 
 
-def _add_common(parser):
+def _add_common(parser, trace=False):
     parser.add_argument("--seed", type=int, default=1987)
+    if trace:
+        parser.add_argument(
+            "--trace",
+            metavar="FILE",
+            default=None,
+            help=(
+                "record spans + metrics and write a Chrome trace-event "
+                "JSON file (open in Perfetto or chrome://tracing; "
+                "render with `repro inspect FILE`)"
+            ),
+        )
+
+
+def _write_trace(path, runs, out):
+    """Export instrumented runs to ``path`` and tell the user.
+
+    Returns an exit code: the trial itself succeeded by the time this
+    runs, so a bad path reports cleanly instead of dumping a
+    traceback over the results.
+    """
+    from repro.obs import write_chrome
+
+    try:
+        write_chrome(path, runs)
+    except OSError as error:
+        out(f"cannot write trace {path!r}: {error}")
+        return 1
+    out(f"trace written to {path} ({len(runs)} run(s); "
+        f"view with `repro inspect {path}` or in Perfetto)")
+    return 0
 
 
 def build_parser():
@@ -38,13 +68,13 @@ def build_parser():
         "--strategy", choices=Strategy.names(), default=PURE_IOU
     )
     migrate.add_argument("--prefetch", type=int, default=0)
-    _add_common(migrate)
+    _add_common(migrate, trace=True)
 
     sweep = commands.add_parser(
         "sweep", help="strategy × prefetch sweep for one workload"
     )
     sweep.add_argument("workload", choices=sorted(WORKLOADS))
-    _add_common(sweep)
+    _add_common(sweep, trace=True)
 
     chain = commands.add_parser("chain", help="multi-hop migration")
     chain.add_argument("workload", choices=sorted(WORKLOADS))
@@ -57,14 +87,14 @@ def build_parser():
         help="trace fraction to execute at each intermediate host",
     )
     chain.add_argument("--strategy", choices=Strategy.names(), default=PURE_IOU)
-    _add_common(chain)
+    _add_common(chain, trace=True)
 
     precopy = commands.add_parser(
         "precopy", help="iterative pre-copy baseline (V system)"
     )
     precopy.add_argument("workload", choices=sorted(WORKLOADS))
     precopy.add_argument("--dirty-rate", type=float, default=None)
-    _add_common(precopy)
+    _add_common(precopy, trace=True)
 
     balance = commands.add_parser(
         "balance", help="automatic-migration scenario"
@@ -76,7 +106,7 @@ def build_parser():
         choices=("none", "eager-copy", "breakeven"),
         default="breakeven",
     )
-    _add_common(balance)
+    _add_common(balance, trace=True)
 
     report = commands.add_parser(
         "report", help="regenerate EXPERIMENTS.md (77-trial sweep)"
@@ -96,13 +126,22 @@ def build_parser():
     figures.add_argument("directory", nargs="?", default="figures")
     _add_common(figures)
 
+    inspect = commands.add_parser(
+        "inspect", help="render the span tree of a saved --trace file"
+    )
+    inspect.add_argument("tracefile")
+    inspect.add_argument(
+        "--top", type=int, default=5,
+        help="histograms to show, by observation count",
+    )
+
     commands.add_parser("workloads", help="list the seven representatives")
     return parser
 
 
 def cmd_migrate(args, out):
     """Run one migration trial and print its report."""
-    bed = Testbed(seed=args.seed)
+    bed = Testbed(seed=args.seed, instrument=bool(args.trace))
     result = bed.migrate(
         args.workload, strategy=args.strategy, prefetch=args.prefetch
     )
@@ -113,6 +152,7 @@ def cmd_migrate(args, out):
     out(f"core message      {result.core_transfer_s:.2f}s")
     out(f"space transfer    {result.transfer_s:.2f}s")
     out(f"insert            {result.insert_s:.3f}s")
+    out(f"migration total   {result.migration_s:.2f}s")
     out(f"remote execution  {result.exec_s:.2f}s")
     out(f"bytes on wire     {result.bytes_total:,}")
     out(f"message handling  {result.message_handling_s:.2f}s")
@@ -121,13 +161,22 @@ def cmd_migrate(args, out):
     if result.prefetch_hit_ratio is not None:
         out(f"prefetch hits     {result.prefetch_hit_ratio:.0%}")
     out(f"verified          {result.verified}")
+    if args.trace:
+        if _write_trace(
+            args.trace,
+            [(f"migrate-{result.spec.name}-{result.strategy}", result.obs)],
+            out,
+        ):
+            return 1
     return 0 if result.verified else 1
 
 
 def cmd_sweep(args, out):
     """Print the strategy x prefetch sweep for one workload."""
-    bed = Testbed(seed=args.seed)
+    bed = Testbed(seed=args.seed, instrument=bool(args.trace))
+    traced = []
     copy = bed.migrate(args.workload, strategy=PURE_COPY)
+    traced.append((f"{args.workload}-copy", copy.obs))
     base = copy.transfer_plus_exec_s
     out(f"{args.workload}: pure-copy transfer+exec = {base:.1f}s")
     out(f"{'trial':>10}  {'transfer':>8}  {'exec':>8}  {'speedup':>8}")
@@ -138,16 +187,20 @@ def cmd_sweep(args, out):
             )
             speedup = 100 * (base - result.transfer_plus_exec_s) / base
             tag = "iou" if strategy == PURE_IOU else "rs"
+            traced.append((f"{args.workload}-{tag}-pf{prefetch}", result.obs))
             out(
                 f"{tag + '-pf' + str(prefetch):>10}  {result.transfer_s:>7.2f}s"
                 f"  {result.exec_s:>7.2f}s  {speedup:>7.1f}%"
             )
+    if args.trace:
+        if _write_trace(args.trace, traced, out):
+            return 1
     return 0
 
 
 def cmd_chain(args, out):
     """Run a multi-hop migration chain."""
-    bed = Testbed(seed=args.seed)
+    bed = Testbed(seed=args.seed, instrument=bool(args.trace))
     fractions = args.run
     if fractions is None:
         fractions = [0.0] * (len(args.path) - 2)
@@ -165,12 +218,19 @@ def cmd_chain(args, out):
     served = ", ".join(f"{h}={n}" for h, n in result.pages_served.items())
     out(f"pages served by   {served}")
     out(f"verified          {result.verified}")
+    if args.trace:
+        if _write_trace(
+            args.trace,
+            [(f"chain-{result.spec.name}-{'-'.join(result.path)}", result.obs)],
+            out,
+        ):
+            return 1
     return 0 if result.verified else 1
 
 
 def cmd_precopy(args, out):
     """Run the iterative pre-copy baseline."""
-    bed = Testbed(seed=args.seed)
+    bed = Testbed(seed=args.seed, instrument=bool(args.trace))
     result = bed.migrate_precopy(args.workload, dirty_rate_pps=args.dirty_rate)
     out(f"pre-copy of {result.spec.name}: {len(result.rounds)} rounds")
     for index, round_ in enumerate(result.rounds, 1):
@@ -180,6 +240,11 @@ def cmd_precopy(args, out):
     out(f"pages shipped     {result.pages_shipped} "
         f"(address space holds {result.spec.real_pages})")
     out(f"verified          {result.verified}")
+    if args.trace:
+        if _write_trace(
+            args.trace, [(f"precopy-{result.spec.name}", result.obs)], out
+        ):
+            return 1
     return 0 if result.verified else 1
 
 
@@ -201,12 +266,20 @@ def cmd_balance(args, out):
         "eager-copy": EagerCopyPolicy,
         "breakeven": BreakevenPolicy,
     }[args.policy]()
-    scenario = Scenario(args.workloads, hosts=args.hosts, seed=args.seed)
+    scenario = Scenario(
+        args.workloads, hosts=args.hosts, seed=args.seed,
+        instrument=bool(args.trace),
+    )
     result = scenario.run(policy)
     out(f"policy {result.policy_name}: makespan {result.makespan_s:.1f}s, "
         f"{len(result.migrations)} migrations, verified {result.verified}")
     for decision in result.migrations:
         out(f"  {decision}")
+    if args.trace:
+        if _write_trace(
+            args.trace, [(f"balance-{result.policy_name}", result.obs)], out
+        ):
+            return 1
     return 0 if result.verified else 1
 
 
@@ -245,6 +318,22 @@ def cmd_figures(args, out):
     return 0
 
 
+def cmd_inspect(args, out):
+    """Render the span tree + metric summary of a saved trace file."""
+    from repro.obs import load_chrome, render_summary
+
+    try:
+        runs = load_chrome(args.tracefile)
+    except (OSError, ValueError) as error:
+        out(f"cannot read trace {args.tracefile!r}: {error}")
+        return 2
+    if not runs:
+        out(f"{args.tracefile} holds no spans or metrics")
+        return 1
+    out(render_summary(runs, top=args.top))
+    return 0
+
+
 def cmd_workloads(args, out):
     """List the seven representative workloads."""
     out(f"{'name':>10}  {'real':>12}  {'total':>14}  {'RS':>9}  description")
@@ -266,6 +355,7 @@ _COMMANDS = {
     "report": cmd_report,
     "export": cmd_export,
     "figures": cmd_figures,
+    "inspect": cmd_inspect,
     "workloads": cmd_workloads,
 }
 

@@ -58,8 +58,9 @@ class LoadBalancer:
 class ScenarioResult:
     """Outcome of one job-mix run."""
 
-    def __init__(self, policy_name, jobs, log, makespan_s):
+    def __init__(self, policy_name, jobs, log, makespan_s, obs=None):
         self.policy_name = policy_name
+        self.obs = obs
         self.makespan_s = makespan_s
         self.migrations = list(log)
         self.finish_times = {job.name: job.finished_at for job in jobs}
@@ -83,17 +84,21 @@ class Scenario:
     """
 
     def __init__(self, workloads, hosts=3, seed=1987, calibration=None,
-                 interval_s=4.0):
+                 interval_s=4.0, instrument=False):
         self.workload_names = list(workloads)
         self.host_names = tuple(f"node{i}" for i in range(hosts))
         self.seed = seed
         self.calibration = calibration
         self.interval_s = interval_s
+        self.instrument = instrument
 
     def run(self, policy=None):
         """Execute the scenario under ``policy``; returns a ScenarioResult."""
         policy = policy or NoMigrationPolicy()
-        bed = Testbed(seed=self.seed, calibration=self.calibration)
+        bed = Testbed(
+            seed=self.seed, calibration=self.calibration,
+            instrument=self.instrument,
+        )
         world = bed.world(host_names=self.host_names)
         origin = world.host(self.host_names[0])
 
@@ -120,4 +125,5 @@ class Scenario:
             jobs,
             balancer.log,
             makespan,
+            obs=world.obs,
         )

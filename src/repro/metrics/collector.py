@@ -3,9 +3,16 @@
 Everything the evaluation section measures funnels through here: bytes
 on the wire (Figure 4-3, 4-5), message-handling time (Figure 4-4),
 fault counts and kinds (§4.3.3), and phase boundaries (Tables 4-4/4-5).
+
+Storage lives in the :class:`repro.obs.Registry` owned by the world's
+:class:`repro.obs.Instrumentation`, so the same numbers appear in
+exported traces without being kept twice; the legacy attribute views
+(``faults``, ``nms_busy_s``, ...) are derived from the registry.
 """
 
 from collections import Counter, namedtuple
+
+from repro.obs import Instrumentation
 
 LinkRecord = namedtuple("LinkRecord", "time bytes category source dest")
 LinkRecord.__doc__ = "One fragment on the wire at a simulated instant."
@@ -18,20 +25,30 @@ class MetricsCollector:
     #: (the white areas of Figure 4-5).
     FAULT_CATEGORIES = frozenset({"imag.read", "imag.read.reply"})
 
-    def __init__(self, engine):
+    def __init__(self, engine, obs=None):
         self.engine = engine
+        if obs is None:
+            obs = Instrumentation(clock=lambda: engine.now, enabled=False)
+        #: The world's instrumentation (tracer + metrics registry).
+        self.obs = obs
+        registry = obs.registry
+        self._faults = registry.counter("faults_total", labels=("kind",))
+        self._link_bytes = registry.counter("link_bytes", labels=("category",))
+        self._link_fragments = registry.counter(
+            "link_fragments_total", labels=("category",)
+        )
+        self._nms_busy = registry.counter("nms_busy_seconds", labels=("host",))
+        self._nms_messages = registry.counter(
+            "nms_messages_total", labels=("host",)
+        )
+        self._prefetched = registry.counter("prefetched_pages_total")
+        self._prefetch_hits = registry.counter("prefetch_hits_total")
+        #: Fault-resolution latency: fault entry to page installed.
+        self._imag_fault = registry.histogram("imag_fault_seconds")
+        #: Wire round trip alone: request sent to reply received.
+        self._imag_rtt = registry.histogram("imag_rtt_seconds")
         #: Every fragment transmitted, in time order.
         self.link_records = []
-        #: Message-handling CPU seconds, per host name.
-        self.nms_busy_s = Counter()
-        #: Messages handled (hops), per host name.
-        self.nms_messages = Counter()
-        #: Fault counts by kind ("fill-zero", "disk", "imaginary", ...).
-        self.faults = Counter()
-        #: Pages delivered by prefetch (beyond the demanded page).
-        self.prefetched_pages = 0
-        #: Prefetched pages that were later actually referenced.
-        self.prefetch_hits = 0
         #: Named phase marks: name -> simulated time.
         self.marks = {}
 
@@ -41,59 +58,99 @@ class MetricsCollector:
         self.link_records.append(
             LinkRecord(self.engine.now, nbytes, category, source, dest)
         )
+        self._link_bytes.inc(nbytes, category=category)
+        self._link_fragments.inc(1, category=category)
+        self.obs.on_link(nbytes, category)
 
     def record_nms(self, host_name, busy_s):
         """The NetMsgServer at ``host_name`` spent ``busy_s`` on a hop."""
-        self.nms_busy_s[host_name] += busy_s
-        self.nms_messages[host_name] += 1
+        self._nms_busy.inc(busy_s, host=host_name)
+        self._nms_messages.inc(1, host=host_name)
 
     def record_fault(self, kind):
         """Count one fault of ``kind`` (fill-zero / disk / imaginary)."""
-        self.faults[kind] += 1
+        self._faults.inc(1, kind=kind)
+        self.obs.on_fault(kind)
+
+    def record_imag_latency(self, total_s, rtt_s):
+        """One imaginary fault resolved: total and wire-round-trip time."""
+        self._imag_fault.observe(total_s)
+        self._imag_rtt.observe(rtt_s)
 
     def record_prefetch(self, pages):
         """A backer just sent ``pages`` extra pages."""
-        self.prefetched_pages += pages
+        self._prefetched.inc(pages)
 
     def record_prefetch_hit(self):
         """A previously prefetched page was finally referenced."""
-        self.prefetch_hits += 1
+        self._prefetch_hits.inc(1)
 
     def mark(self, name):
         """Stamp the current simulated time under ``name``."""
         self.marks[name] = self.engine.now
 
+    # -- registry-derived legacy views -----------------------------------------
+    @property
+    def faults(self):
+        """Fault counts by kind ("fill-zero", "disk", "imaginary", ...)."""
+        return Counter(
+            {key[0]: child.value for key, child in self._faults.items()}
+        )
+
+    @property
+    def nms_busy_s(self):
+        """Message-handling CPU seconds, per host name."""
+        return Counter(
+            {key[0]: child.value for key, child in self._nms_busy.items()}
+        )
+
+    @property
+    def nms_messages(self):
+        """Messages handled (hops), per host name."""
+        return Counter(
+            {key[0]: child.value for key, child in self._nms_messages.items()}
+        )
+
+    @property
+    def prefetched_pages(self):
+        """Pages delivered by prefetch (beyond the demanded page)."""
+        return self._prefetched.value()
+
+    @property
+    def prefetch_hits(self):
+        """Prefetched pages that were later actually referenced."""
+        return self._prefetch_hits.value()
+
     # -- aggregate views ------------------------------------------------------
     @property
     def total_link_bytes(self):
         """Bytes exchanged between machines (Figure 4-3's metric)."""
-        return sum(record.bytes for record in self.link_records)
+        return sum(child.value for _, child in self._link_bytes.items())
 
     def link_bytes_by_category(self):
         """Bytes on the wire per message category."""
-        out = Counter()
-        for record in self.link_records:
-            out[record.category] += record.bytes
-        return out
+        return Counter(
+            {key[0]: child.value for key, child in self._link_bytes.items()}
+        )
 
     @property
     def fault_support_bytes(self):
         """Bytes moved in support of imaginary faults (Fig 4-5 white)."""
         return sum(
-            record.bytes
-            for record in self.link_records
-            if record.category in self.FAULT_CATEGORIES
+            child.value
+            for key, child in self._link_bytes.items()
+            if key[0] in self.FAULT_CATEGORIES
         )
 
     @property
     def total_message_handling_s(self):
         """Both hosts' message-manipulation time (Figure 4-4's metric)."""
-        return sum(self.nms_busy_s.values())
+        return sum(child.value for _, child in self._nms_busy.items())
 
     @property
     def total_messages(self):
         """Message hops processed across both NetMsgServers."""
-        return sum(self.nms_messages.values())
+        return sum(child.value for _, child in self._nms_messages.items())
 
     def span(self, start_mark, end_mark):
         """Elapsed simulated seconds between two marks."""

@@ -45,25 +45,50 @@ class MigrationManager:
         strategy = Strategy.by_name(strategy)
         metrics = self.host.metrics
         kernel = self.host.kernel
+        obs = metrics.obs
 
+        root = obs.tracer.span(
+            "migrate",
+            process=process_name,
+            strategy=strategy.name,
+            source=self.host.name,
+            dest=dest_manager.host.name,
+        )
+        obs.migration_roots[process_name] = root
+
+        excise_span = root.child("excise")
+        obs.push_phase(excise_span)
         metrics.mark("excise.start")
         core, rimas = yield from kernel.excise_process(process_name)
         metrics.mark("excise.end")
+        excise_span.finish()
+        obs.pop_phase(excise_span)
+
+        # The process no longer exists anywhere until InsertProcess
+        # completes at the peer; the freeze span (separate track, since
+        # it overlaps transfer + insert) measures that outage.
+        root.child("freeze", track="freeze")
 
         core.dest = dest_manager.port
         rimas.dest = dest_manager.port
 
+        transfer_span = root.child("transfer")
+        obs.push_phase(transfer_span)
         # Connection setup plus Core-message handling dominate this
         # phase; the paper measures it at roughly one second (§4.3.2).
-        metrics.mark("core.start")
-        yield self.engine.timeout(self.host.calibration.migration_setup_s)
-        yield from kernel.send(core)
-        metrics.mark("core.end")
+        with transfer_span.child("core"):
+            metrics.mark("core.start")
+            yield self.engine.timeout(self.host.calibration.migration_setup_s)
+            yield from kernel.send(core)
+            metrics.mark("core.end")
 
-        metrics.mark("rimas.start")
-        yield from strategy.prepare(self, rimas)
-        yield from kernel.send(rimas)
-        metrics.mark("rimas.end")
+        with transfer_span.child("rimas"):
+            metrics.mark("rimas.start")
+            yield from strategy.prepare(self, rimas)
+            yield from kernel.send(rimas)
+            metrics.mark("rimas.end")
+        transfer_span.finish()
+        obs.pop_phase(transfer_span)
 
     def expect_insertion(self, process_name):
         """Event that fires with the process once the peer inserts it.
@@ -97,11 +122,29 @@ class MigrationManager:
 
     def _insert(self, name, core, rimas):
         metrics = self.host.metrics
+        obs = metrics.obs
+        root = obs.migration_roots.get(name)
         if rimas.meta.get("precopy"):
             self._merge_precopy_stash(name, rimas)
+        insert_span = (
+            root.child("insert", host=self.host.name)
+            if root is not None
+            else None
+        )
+        if insert_span is not None:
+            obs.push_phase(insert_span)
         metrics.mark("insert.start")
         process = yield from self.host.kernel.insert_process(core, rimas)
         metrics.mark("insert.end")
+        if insert_span is not None:
+            insert_span.finish()
+            obs.pop_phase(insert_span)
+        if root is not None:
+            for child in root.children:
+                if child.name == "freeze" and child.end is None:
+                    child.finish()
+            root.finish()
+            obs.migration_roots.pop(name, None)
         event = self._insertion_events.pop(name, None)
         if event is not None:
             event.succeed(process)

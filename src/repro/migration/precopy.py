@@ -58,17 +58,32 @@ def precopy_migrate(
     engine = manager.engine
     kernel = host.kernel
     metrics = host.metrics
+    obs = metrics.obs
     rng = streams.stream(f"precopy:{process_name}")
 
     process = kernel.lookup(process_name)
     space = process.space
     all_indices = space.real_page_indices()
 
+    root = obs.tracer.span(
+        "migrate",
+        process=process_name,
+        strategy="pre-copy",
+        source=host.name,
+        dest=dest_manager.host.name,
+    )
+    obs.migration_roots[process_name] = root
+
     rounds = []
     round_indices = list(all_indices)
+    precopy_span = root.child("precopy")
+    obs.push_phase(precopy_span)
     metrics.mark("precopy.start")
     while True:
         started = engine.now
+        round_span = precopy_span.child(
+            f"round {len(rounds) + 1}", pages=len(round_indices)
+        )
         # By-value semantics: the kernel send path maps these pages
         # copy-on-write into the message (no manual sharing needed).
         pages = {
@@ -81,6 +96,7 @@ def precopy_migrate(
             meta={"process_name": process_name},
         )
         yield from kernel.send(message)
+        round_span.finish()
         elapsed = engine.now - started
         rounds.append(PrecopyRound(len(round_indices), elapsed))
 
@@ -92,19 +108,30 @@ def precopy_migrate(
         round_indices = sorted(rng.sample(all_indices, dirtied_count))
         _redirty(space, round_indices)
 
+    precopy_span.finish()
+    obs.pop_phase(precopy_span)
+
     # Stop the process: everything from here is downtime.
     metrics.mark("downtime.start")
     _redirty(space, final_dirty)
+    excise_span = root.child("excise")
+    obs.push_phase(excise_span)
     metrics.mark("excise.start")
     core, rimas = yield from kernel.excise_process(process_name)
     metrics.mark("excise.end")
+    excise_span.finish()
+    obs.pop_phase(excise_span)
+    root.child("freeze", track="freeze")
     core.dest = dest_manager.port
     rimas.dest = dest_manager.port
 
-    metrics.mark("core.start")
-    yield engine.timeout(host.calibration.migration_setup_s)
-    yield from kernel.send(core)
-    metrics.mark("core.end")
+    transfer_span = root.child("transfer")
+    obs.push_phase(transfer_span)
+    with transfer_span.child("core"):
+        metrics.mark("core.start")
+        yield engine.timeout(host.calibration.migration_setup_s)
+        yield from kernel.send(core)
+        metrics.mark("core.end")
 
     # Final RIMAS: only the pages dirtied since the last round travel;
     # the destination merges its pre-copied stash for the rest.
@@ -119,9 +146,12 @@ def precopy_migrate(
     )
     rimas.no_ious = True
     rimas.meta["precopy"] = True
-    metrics.mark("rimas.start")
-    yield from kernel.send(rimas)
-    metrics.mark("rimas.end")
+    with transfer_span.child("rimas"):
+        metrics.mark("rimas.start")
+        yield from kernel.send(rimas)
+        metrics.mark("rimas.end")
+    transfer_span.finish()
+    obs.pop_phase(transfer_span)
     return rounds
 
 

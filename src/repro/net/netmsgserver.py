@@ -86,35 +86,52 @@ class NetMsgServer:
         resources (source CPU, link medium, destination CPU).
         """
         link, peer = self.route_to(dest_host)
-        cached = self._substitute_ious(message)
-        if cached:
-            yield from self._cache_cost(cached)
+        obs = self.host.metrics.obs
+        ship_span = obs.tracer.span(
+            f"ship {message.op}",
+            parent=obs.current_phase,
+            track=f"nms/{self.host.name}",
+            dest=dest_host.name,
+        )
+        try:
+            cached = self._substitute_ious(message)
+            if cached:
+                obs.registry.counter(
+                    "iou_substitutions_total", labels=("host",)
+                ).inc(len(cached), host=self.host.name)
+                ship_span.add("iou_sections", len(cached))
+                with ship_span.child("iou-cache"):
+                    yield from self._cache_cost(cached)
 
-        calibration = self.calibration
-        payload = message.wire_bytes
-        frag_data = calibration.fragment_data_bytes
-        fragment_sizes = []
-        remaining = payload
-        while remaining > 0:
-            chunk = min(frag_data, remaining)
-            fragment_sizes.append(chunk + calibration.fragment_header_bytes)
-            remaining -= chunk
+            calibration = self.calibration
+            payload = message.wire_bytes
+            frag_data = calibration.fragment_data_bytes
+            fragment_sizes = []
+            remaining = payload
+            while remaining > 0:
+                chunk = min(frag_data, remaining)
+                fragment_sizes.append(chunk + calibration.fragment_header_bytes)
+                remaining -= chunk
 
-        self.messages_shipped += 1
-        for section in message.sections_of(RegionSection):
-            self.pages_shipped_by_op[message.op] += len(section.pages)
-        pipes = [
-            self.engine.process(
-                self._fragment_pipe(size, link, peer, message.op),
-                name=f"frag-{message.op}",
-            )
-            for size in fragment_sizes
-        ]
-        yield self.engine.all_of(pipes)
+            self.messages_shipped += 1
+            ship_span.add("payload_bytes", payload)
+            ship_span.add("fragments", len(fragment_sizes))
+            for section in message.sections_of(RegionSection):
+                self.pages_shipped_by_op[message.op] += len(section.pages)
+            pipes = [
+                self.engine.process(
+                    self._fragment_pipe(size, link, peer, message.op),
+                    name=f"frag-{message.op}",
+                )
+                for size in fragment_sizes
+            ]
+            yield self.engine.all_of(pipes)
 
-        delivered = peer._reassemble(message)
-        peer.messages_delivered += 1
-        yield message.dest.enqueue(delivered)
+            delivered = peer._reassemble(message)
+            peer.messages_delivered += 1
+            yield message.dest.enqueue(delivered)
+        finally:
+            ship_span.finish()
 
     def _fragment_pipe(self, wire_bytes, link, peer, category):
         """One fragment's passage: src NMS -> link -> dst NMS."""

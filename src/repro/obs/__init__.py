@@ -1,0 +1,149 @@
+"""Unified instrumentation: spans, a metrics registry, and exporters.
+
+The :class:`Instrumentation` object ties one simulated world's tracing
+together:
+
+* ``tracer`` — :class:`~repro.obs.span.Tracer` keyed to simulated time;
+  the MigrationManager opens one root span per migration with
+  excise/transfer/insert/freeze children.
+* ``registry`` — :class:`~repro.obs.registry.Registry` of named
+  counters, gauges and histograms (``faults_total{kind=...}``,
+  ``link_bytes{category=...}``, ``imag_fault_seconds`` ...).  The
+  registry is *always* live — it is the storage behind
+  :class:`~repro.metrics.collector.MetricsCollector` — while spans and
+  engine event counting only run when ``enabled``.
+
+Exporters live in :mod:`repro.obs.export`: Chrome trace-event JSON
+(openable in Perfetto / ``chrome://tracing``), a JSONL event stream,
+and the plain-text summary tree behind ``repro inspect``.
+"""
+
+from collections import Counter as _Counter
+
+from repro.obs.export import (
+    build_chrome,
+    load_chrome,
+    render_summary,
+    write_chrome,
+    write_jsonl,
+)
+from repro.obs.registry import (
+    DEFAULT_LATENCY_BUCKETS,
+    Histogram,
+    Registry,
+)
+from repro.obs.span import NULL_SPAN, Span, Tracer
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "Histogram",
+    "Instrumentation",
+    "NULL_SPAN",
+    "Registry",
+    "Span",
+    "Tracer",
+    "build_chrome",
+    "load_chrome",
+    "render_summary",
+    "write_chrome",
+    "write_jsonl",
+]
+
+
+class Instrumentation:
+    """One world's tracer + registry + phase-attribution state."""
+
+    def __init__(self, clock=None, enabled=True):
+        self.enabled = enabled
+        self.tracer = Tracer(clock=clock, enabled=enabled)
+        self.registry = Registry()
+        #: process name -> open root migration span (cross-host lookup:
+        #: the destination manager parents its insert span here).
+        self.migration_roots = {}
+        self._phases = []
+        #: The innermost open phase span, or None (maintained by
+        #: :meth:`push_phase` / :meth:`pop_phase`; a plain attribute
+        #: because the byte/fault hot paths read it per fragment).
+        self.current_phase = None
+        # category -> interned "bytes.<category>" counter key.
+        self._link_keys = {}
+        # category -> interned "faults.<kind>" counter key.
+        self._fault_keys = {}
+        # Engine event kinds land here as raw classes (one append per
+        # dispatch) and are folded into counts at finalize() — a
+        # labeled registry lookup per simulated event would be far
+        # too slow.
+        self._event_log = []
+        self._engines = []
+
+    def __repr__(self):
+        return (
+            f"<Instrumentation enabled={self.enabled} "
+            f"spans={len(self.tracer.spans)}>"
+        )
+
+    # -- engine hook ------------------------------------------------------------
+    def attach_engine(self, engine):
+        """Count event dispatches by kind (only when enabled).
+
+        Uses the engine's inline ``kind_log`` fast path rather than an
+        observer callback: the per-event cost is one list append of
+        the event class; counting and stringification happen once at
+        :meth:`finalize`.
+        """
+        if self.enabled:
+            engine.kind_log = self._event_log
+            self._engines.append(engine)
+
+    # -- phase attribution --------------------------------------------------------
+    def push_phase(self, span):
+        """Make ``span`` the target for byte/fault attribution."""
+        if span is NULL_SPAN:
+            return
+        self._phases.append(span)
+        self.current_phase = span
+
+    def pop_phase(self, span):
+        """Retire ``span`` as an attribution target."""
+        if self._phases and self._phases[-1] is span:
+            self._phases.pop()
+        elif span in self._phases:
+            self._phases.remove(span)
+        self.current_phase = self._phases[-1] if self._phases else None
+
+    def on_link(self, nbytes, category):
+        """A fragment crossed the wire: credit the active phase."""
+        phase = self.current_phase
+        if phase is None:
+            return
+        key = self._link_keys.get(category)
+        if key is None:
+            key = self._link_keys[category] = "bytes." + category
+        counters = phase.counters
+        counters["bytes"] = counters.get("bytes", 0) + nbytes
+        counters[key] = counters.get(key, 0) + nbytes
+
+    def on_fault(self, kind):
+        """A fault resolved: credit the active phase."""
+        phase = self.current_phase
+        if phase is None:
+            return
+        key = self._fault_keys.get(kind)
+        if key is None:
+            key = self._fault_keys[kind] = "faults." + kind
+        counters = phase.counters
+        counters[key] = counters.get(key, 0) + 1
+
+    # -- export -----------------------------------------------------------------
+    def finalize(self):
+        """Close open spans and sync engine event counts (idempotent)."""
+        if self._event_log:
+            family = self.registry.counter("sim_events_total", labels=("kind",))
+            for kind, total in _Counter(self._event_log).items():
+                family.labels(kind=kind.__name__).value = total
+        self.tracer.finish_open()
+
+    def summary(self, top=5):
+        """Plain-text span tree + histogram summary for this run."""
+        self.finalize()
+        return render_summary(load_chrome(build_chrome([("run", self)])), top=top)

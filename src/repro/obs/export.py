@@ -1,0 +1,349 @@
+"""Exporters and loaders for instrumentation data.
+
+Three formats:
+
+* **Chrome trace-event JSON** — one file loadable in Perfetto or
+  ``chrome://tracing``.  Spans become complete (``"ph": "X"``) events;
+  simulated seconds map to microseconds.  The registry snapshot rides
+  along under a top-level ``"repro"`` key (the trace-event format
+  permits extra top-level keys).
+* **JSONL** — one event per line (spans then metric series), for
+  streaming consumers and ad-hoc ``jq`` work.
+* **Text summary** — the span tree plus histogram percentiles, used by
+  ``repro inspect`` and the post-trial summaries.
+
+Several runs (e.g. every trial of a sweep) can share one file: each
+run gets its own Chrome ``pid``.
+"""
+
+import json
+
+
+# -- building --------------------------------------------------------------------
+def _span_event(span, pid, tid):
+    args = {"span_id": span.span_id}
+    if span.parent_id is not None:
+        args["parent_id"] = span.parent_id
+    args.update(span.attrs)
+    args.update(span.counters)
+    end = span.end if span.end is not None else span.start
+    return {
+        "name": span.name,
+        "ph": "X",
+        "ts": round(span.start * 1e6, 3),
+        "dur": round((end - span.start) * 1e6, 3),
+        "pid": pid,
+        "tid": tid,
+        "args": args,
+    }
+
+
+def build_chrome(runs):
+    """The Chrome trace object for ``runs``: a list of (label, obs).
+
+    ``obs`` is an :class:`repro.obs.Instrumentation`; every run is
+    finalized (open spans closed, engine event counts synced) first.
+    """
+    events = []
+    run_meta = []
+    for pid, (label, obs) in enumerate(runs, 1):
+        obs.finalize()
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": label},
+            }
+        )
+        tracks = {}
+        for root in obs.tracer.roots:
+            for span in root.walk():
+                tid = tracks.get(span.track)
+                if tid is None:
+                    tid = tracks[span.track] = len(tracks) + 1
+                    events.append(
+                        {
+                            "name": "thread_name",
+                            "ph": "M",
+                            "pid": pid,
+                            "tid": tid,
+                            "args": {"name": span.track},
+                        }
+                    )
+                events.append(_span_event(span, pid, tid))
+        run_meta.append(
+            {"pid": pid, "label": label, "metrics": obs.registry.snapshot()}
+        )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "repro": {"runs": run_meta},
+    }
+
+
+def write_chrome(path, runs):
+    """Write the Chrome trace for ``runs`` to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(build_chrome(runs), handle, sort_keys=True, indent=1)
+        handle.write("\n")
+    return path
+
+
+def write_jsonl(path, runs):
+    """Write one JSON object per line: spans, then metric series."""
+    with open(path, "w", encoding="utf-8") as handle:
+        for label, obs in runs:
+            obs.finalize()
+            for root in obs.tracer.roots:
+                for span in root.walk():
+                    record = {
+                        "type": "span",
+                        "run": label,
+                        "name": span.name,
+                        "span_id": span.span_id,
+                        "parent_id": span.parent_id,
+                        "track": span.track,
+                        "start": span.start,
+                        "end": span.end,
+                        "attrs": span.attrs,
+                        "counters": span.counters,
+                    }
+                    handle.write(json.dumps(record, sort_keys=True) + "\n")
+            for name, family in obs.registry.families():
+                snap = family.snapshot()
+                for series in snap["series"]:
+                    record = {
+                        "type": "metric",
+                        "run": label,
+                        "name": name,
+                        "kind": snap["kind"],
+                        **series,
+                    }
+                    handle.write(json.dumps(record, sort_keys=True) + "\n")
+    return path
+
+
+# -- loading ---------------------------------------------------------------------
+class SpanView:
+    """A span reconstructed from a saved trace."""
+
+    __slots__ = ("name", "start", "duration", "track", "args", "children")
+
+    def __init__(self, name, start, duration, track, args):
+        self.name = name
+        self.start = start
+        self.duration = duration
+        self.track = track
+        self.args = args
+        self.children = []
+
+    def __repr__(self):
+        return f"<SpanView {self.name!r} dur={self.duration:.6f}s>"
+
+    def walk(self):
+        """Yield this span and every descendant, depth first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, name):
+        """Descendant spans (including self) with this name."""
+        return [span for span in self.walk() if span.name == name]
+
+
+class RunView:
+    """One run (pid) of a saved trace: span roots plus metrics."""
+
+    def __init__(self, pid, label, roots, metrics):
+        self.pid = pid
+        self.label = label
+        self.roots = roots
+        self.metrics = metrics
+
+    def __repr__(self):
+        return f"<RunView {self.label!r} roots={len(self.roots)}>"
+
+
+def load_chrome(source):
+    """Rebuild :class:`RunView` objects from a Chrome trace.
+
+    ``source`` is a path or an already-parsed trace object.
+    """
+    if isinstance(source, (str, bytes)):
+        with open(source, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    else:
+        data = source
+    labels = {}
+    thread_names = {}
+    spans_by_pid = {}
+    for event in data.get("traceEvents", ()):
+        pid = event.get("pid")
+        if event.get("ph") == "M":
+            if event["name"] == "process_name":
+                labels[pid] = event["args"]["name"]
+            elif event["name"] == "thread_name":
+                thread_names[(pid, event["tid"])] = event["args"]["name"]
+            continue
+        if event.get("ph") != "X":
+            continue
+        args = dict(event.get("args", {}))
+        span_id = args.pop("span_id", None)
+        parent_id = args.pop("parent_id", None)
+        view = SpanView(
+            event["name"],
+            event["ts"] / 1e6,
+            event.get("dur", 0) / 1e6,
+            thread_names.get((pid, event.get("tid"))),
+            args,
+        )
+        spans_by_pid.setdefault(pid, []).append((span_id, parent_id, view))
+
+    metrics_by_pid = {
+        run["pid"]: run["metrics"]
+        for run in data.get("repro", {}).get("runs", ())
+    }
+    runs = []
+    for pid in sorted(spans_by_pid):
+        by_id = {
+            span_id: view
+            for span_id, _, view in spans_by_pid[pid]
+            if span_id is not None
+        }
+        roots = []
+        for span_id, parent_id, view in spans_by_pid[pid]:
+            # Foreign traces may lack our span_id/parent_id args; a
+            # span that can't name a distinct parent is a root.
+            parent = by_id.get(parent_id) if parent_id is not None else None
+            if parent is None or parent is view:
+                roots.append(view)
+            else:
+                parent.children.append(view)
+        runs.append(
+            RunView(pid, labels.get(pid, f"run-{pid}"), roots,
+                    metrics_by_pid.get(pid, {}))
+        )
+    # Runs that recorded metrics but no spans still deserve a view.
+    for pid in sorted(metrics_by_pid):
+        if pid not in spans_by_pid:
+            runs.append(
+                RunView(pid, labels.get(pid, f"run-{pid}"), [],
+                        metrics_by_pid[pid])
+            )
+    runs.sort(key=lambda run: run.pid)
+    return runs
+
+
+# -- rendering -------------------------------------------------------------------
+def _format_counters(counters):
+    parts = []
+    for name in sorted(counters):
+        value = counters[name]
+        if isinstance(value, float):
+            parts.append(f"{name}={value:,.3f}")
+        else:
+            parts.append(f"{name}={value:,}")
+    return "  ".join(parts)
+
+
+def _render_span(span, lines, prefix, is_last, is_root):
+    if is_root:
+        lead = ""
+        child_prefix = ""
+    else:
+        lead = prefix + ("└─ " if is_last else "├─ ")
+        child_prefix = prefix + ("   " if is_last else "│  ")
+    attrs = {
+        key: value for key, value in span.args.items()
+        if not key.startswith("bytes") and not key.startswith("faults")
+    }
+    counters = {
+        key: value for key, value in span.args.items()
+        if key.startswith("bytes") or key.startswith("faults")
+    }
+    label = span.name
+    if attrs:
+        inner = ", ".join(f"{k}={attrs[k]}" for k in sorted(attrs))
+        label += f" [{inner}]"
+    line = (
+        f"{lead}{label}  {span.start:.3f}s → "
+        f"{span.start + span.duration:.3f}s  (dur {span.duration:.3f}s)"
+    )
+    if counters:
+        line += "  " + _format_counters(counters)
+    lines.append(line)
+    for position, child in enumerate(span.children):
+        _render_span(
+            child, lines, child_prefix,
+            position == len(span.children) - 1, False,
+        )
+
+
+def _render_histograms(metrics, lines, top):
+    from repro.obs.registry import Histogram
+
+    rows = []
+    for name in sorted(metrics):
+        family = metrics[name]
+        if family.get("kind") != "histogram":
+            continue
+        for series in family.get("series", ()):
+            if series.get("count", 0) == 0:
+                continue
+            hist = Histogram.from_snapshot(series)
+            if series.get("labels"):
+                inner = ", ".join(
+                    f"{k}={v}" for k, v in sorted(series["labels"].items())
+                )
+                label_text = "{" + inner + "}"
+            else:
+                label_text = ""
+            rows.append(
+                (
+                    hist.count,
+                    f"    {name}{label_text}  count={hist.count}  "
+                    f"mean={hist.mean:.4f}s  p50={hist.percentile(0.50):.4f}s  "
+                    f"p95={hist.percentile(0.95):.4f}s  "
+                    f"p99={hist.percentile(0.99):.4f}s",
+                )
+            )
+    if not rows or top <= 0:
+        return
+    lines.append("  histograms (top %d by count):" % top)
+    for _, text in sorted(rows, key=lambda row: -row[0])[:top]:
+        lines.append(text)
+
+
+def _render_counters(metrics, lines, names=("link_bytes", "faults_total")):
+    for name in names:
+        family = metrics.get(name)
+        if not family or family.get("kind") != "counter":
+            continue
+        series = [s for s in family.get("series", ()) if s.get("value")]
+        if not series:
+            continue
+        lines.append(f"  {name}:")
+        for entry in series:
+            label_text = ", ".join(
+                f"{k}={v}" for k, v in sorted(entry["labels"].items())
+            )
+            value = entry["value"]
+            value_text = f"{value:,.0f}" if isinstance(value, float) else f"{value:,}"
+            lines.append(f"    {label_text or '(total)'}: {value_text}")
+
+
+def render_summary(runs, top=5):
+    """Human-readable span tree + metric summary of loaded runs."""
+    lines = []
+    for run in runs:
+        lines.append(f"run {run.pid}: {run.label}")
+        for root in run.roots:
+            span_lines = []
+            _render_span(root, span_lines, "", True, True)
+            lines.extend("  " + text for text in span_lines)
+        _render_counters(run.metrics, lines)
+        _render_histograms(run.metrics, lines, top)
+        lines.append("")
+    return "\n".join(lines).rstrip("\n")

@@ -37,9 +37,19 @@ class Engine:
         self._queue = []
         self._seq = count()
         self.active_process = None
-        #: Optional callable ``observer(now, event)`` invoked after each
-        #: event is processed (see :class:`repro.sim.trace.TraceLog`).
-        self.observer = None
+        #: Observers ``fn(now, event)`` invoked after each event is
+        #: processed (see :class:`repro.sim.trace.TraceLog`).  Use
+        #: :meth:`add_observer` / :meth:`remove_observer`; several can
+        #: coexist (two TraceLogs, say) without clobbering each other.
+        self._observers = []
+        #: Events processed so far (cheap dispatch count for obs).
+        self.dispatched = 0
+        #: When set to a list, :meth:`step` appends each processed
+        #: event's class — the instrumentation layer's fast path
+        #: (``list.append`` is ~4x cheaper per event than a Counter
+        #: increment, and an observer callback costs more still); the
+        #: log is folded into per-kind counts at export time.
+        self.kind_log = None
 
     def __repr__(self):
         return f"<Engine t={self._now:.6f} pending={len(self._queue)}>"
@@ -48,6 +58,41 @@ class Engine:
     def now(self):
         """Current simulated time in seconds."""
         return self._now
+
+    def clock(self):
+        """:attr:`now` as a plain method — a pre-bound callable for
+        hot readers (one call, no lambda or descriptor hop)."""
+        return self._now
+
+    # -- observers ----------------------------------------------------------
+    @property
+    def observer(self):
+        """The sole observer, None if none, or a tuple if several.
+
+        Assigning replaces *all* observers (legacy single-observer
+        behaviour); use :meth:`add_observer` to stack observers without
+        clobbering ones already installed.
+        """
+        if not self._observers:
+            return None
+        if len(self._observers) == 1:
+            return self._observers[0]
+        return tuple(self._observers)
+
+    @observer.setter
+    def observer(self, fn):
+        self._observers = [] if fn is None else [fn]
+
+    def add_observer(self, fn):
+        """Append ``fn(now, event)`` to the observer fan-out list."""
+        self._observers.append(fn)
+
+    def remove_observer(self, fn):
+        """Remove one installed observer (no-op if absent)."""
+        try:
+            self._observers.remove(fn)
+        except ValueError:
+            pass
 
     # -- factories ---------------------------------------------------------
     def event(self):
@@ -92,9 +137,13 @@ class Engine:
         except IndexError:
             raise EmptySchedule("no scheduled events remain") from None
         self._now = when
+        self.dispatched += 1
+        log = self.kind_log
+        if log is not None:
+            log.append(event.__class__)
         event._process()
-        if self.observer is not None:
-            self.observer(when, event)
+        for fn in self._observers:
+            fn(when, event)
 
     def run(self, until=None):
         """Run the simulation.

@@ -26,13 +26,25 @@ class TraceLog:
     def __init__(self, capacity=10_000, clock=None):
         self.entries = deque(maxlen=capacity)
         self._clock = clock
+        self._engine = None
 
     @classmethod
     def attach(cls, engine, capacity=10_000):
-        """Create a log and register it as the engine's observer."""
+        """Create a log and register it as *an* engine observer.
+
+        Joins the engine's observer fan-out list, so attaching never
+        clobbers an observer someone else installed (and vice versa).
+        """
         log = cls(capacity=capacity, clock=lambda: engine.now)
-        engine.observer = log.observe
+        log._engine = engine
+        engine.add_observer(log.observe)
         return log
+
+    def detach(self):
+        """Stop observing; other installed observers are untouched."""
+        if self._engine is not None:
+            self._engine.remove_observer(self.observe)
+            self._engine = None
 
     def observe(self, now, event):
         """Engine callback: record one processed event."""

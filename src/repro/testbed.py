@@ -22,6 +22,7 @@ from repro.migration.manager import MigrationManager
 from repro.migration.strategy import PURE_IOU, Strategy
 from repro.net.link import Link
 from repro.net.netmsgserver import NetMsgServer
+from repro.obs import Instrumentation
 from repro.sim import Engine, SeededStreams
 from repro.workloads.builder import build_process
 from repro.workloads.registry import workload_by_name
@@ -37,14 +38,20 @@ class TestbedWorld:
     among several computational hosts (migration chains).
     """
 
-    def __init__(self, seed, calibration, host_names=("alpha", "beta")):
+    def __init__(self, seed, calibration, host_names=("alpha", "beta"),
+                 instrument=False):
         if len(host_names) < 2:
             raise ValueError("a testbed needs at least two hosts")
         self.calibration = calibration
         self.engine = Engine()
         self.streams = SeededStreams(seed)
         self.registry = PortRegistry(self.engine)
-        self.metrics = MetricsCollector(self.engine)
+        #: Tracing + metrics registry; spans only when ``instrument``.
+        self.obs = Instrumentation(
+            clock=self.engine.clock, enabled=instrument
+        )
+        self.obs.attach_engine(self.engine)
+        self.metrics = MetricsCollector(self.engine, obs=self.obs)
         #: One shared medium, as on the SPICE 10 Mbit Ethernet.
         self.link = Link(self.engine, calibration)
         self.hosts = {}
@@ -97,6 +104,8 @@ class MigrationResult:
         self.strategy = strategy_name
         self.prefetch = prefetch
         self.run_result = run_result
+        #: The world's instrumentation (spans + registry), for export.
+        self.obs = world.obs
         metrics = world.metrics
         self._marks = dict(metrics.marks)
         self.link_records = list(metrics.link_records)
@@ -155,6 +164,12 @@ class MigrationResult:
     def insert_s(self):
         """InsertProcess time (§4.3.1: 263–853 ms)."""
         return self._span("insert.start", "insert.end")
+
+    @property
+    def migration_s(self):
+        """Whole migration: excise start to insert end — the duration
+        of the root ``migrate`` span in an exported trace."""
+        return self._span("excise.start", "insert.end")
 
     @property
     def exec_s(self):
@@ -224,13 +239,18 @@ class Testbed:
     # Not a pytest test class, despite the name.
     __test__ = False
 
-    def __init__(self, seed=1987, calibration=None):
+    def __init__(self, seed=1987, calibration=None, instrument=False):
         self.seed = seed
         self.calibration = calibration or DEFAULT_CALIBRATION
+        #: When true, every trial's world records spans (``--trace``).
+        self.instrument = instrument
 
     def world(self, host_names=("alpha", "beta")):
         """A fresh world (for tests that drive the pieces by hand)."""
-        return TestbedWorld(self.seed, self.calibration, host_names=host_names)
+        return TestbedWorld(
+            self.seed, self.calibration, host_names=host_names,
+            instrument=self.instrument,
+        )
 
     def migrate(self, workload, strategy=PURE_IOU, prefetch=0, run_remote=True):
         """Run one full trial; returns a :class:`MigrationResult`."""
@@ -250,12 +270,18 @@ class Testbed:
                 spec.name, world.dest_manager, strategy
             )
             inserted = yield insertion
+            # Post-insertion remote execution: imaginary-fault traffic
+            # lands on this span's byte/fault counters.
+            exec_span = world.obs.tracer.span("exec", process=spec.name)
+            world.obs.push_phase(exec_span)
             metrics.mark("exec.start")
             if run_remote:
                 yield from remote_body(
                     world.dest, inserted, built.trace, run_result
                 )
             metrics.mark("exec.end")
+            exec_span.finish()
+            world.obs.pop_phase(exec_span)
             metrics.mark("trial.end")
 
         trial_process = world.engine.process(trial(), name=f"trial-{spec.name}")
@@ -302,12 +328,16 @@ class Testbed:
                 max_rounds=max_rounds,
             )
             inserted = yield insertion
+            exec_span = world.obs.tracer.span("exec", process=spec.name)
+            world.obs.push_phase(exec_span)
             metrics.mark("exec.start")
             if run_remote:
                 yield from remote_body(
                     world.dest, inserted, built.trace, run_result
                 )
             metrics.mark("exec.end")
+            exec_span.finish()
+            world.obs.pop_phase(exec_span)
             metrics.mark("trial.end")
             return rounds
 
@@ -393,6 +423,10 @@ class Testbed:
                         segment, compute_per_step * len(segment)
                     )
                     last_hop = hop == len(path) - 2
+                    exec_span = world.obs.tracer.span(
+                        "exec", process=spec.name, host=dst_name
+                    )
+                    world.obs.push_phase(exec_span)
                     yield from remote_body(
                         world.host(dst_name),
                         inserted,
@@ -400,6 +434,8 @@ class Testbed:
                         run_result,
                         terminate=last_hop,
                     )
+                    exec_span.finish()
+                    world.obs.pop_phase(exec_span)
                 elif hop == len(path) - 2:
                     yield from world.host(dst_name).kernel.terminate(spec.name)
             metrics.mark("trial.end")
@@ -419,6 +455,7 @@ class PrecopyResult:
     def __init__(self, spec, world, run_result, rounds):
         self.spec = spec
         self.strategy = "pre-copy"
+        self.obs = world.obs
         self.run_result = run_result
         #: Iterative rounds before the stop: (pages, seconds) each.
         self.rounds = list(rounds)
@@ -472,6 +509,7 @@ class ChainResult:
         self.strategy = strategy
         self.prefetch = prefetch
         self.path = path
+        self.obs = world.obs
         self.run_result = run_result
         #: Elapsed seconds per hop (excise + core + transfer + insert).
         self.hop_times_s = list(hop_times)

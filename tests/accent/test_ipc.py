@@ -190,7 +190,16 @@ def test_transfer_stats_fractions():
 
 
 def test_transfer_stats_empty():
-    assert TransferStats().avoided_copy_fraction == 0.0
+    # Nothing transferred means nothing needed copying: vacuously 1.0.
+    assert TransferStats().avoided_copy_fraction == 1.0
+
+
+def test_transfer_stats_overcopy_asserts():
+    stats = TransferStats()
+    stats.mapped_bytes = 100
+    stats.cow_break_bytes = 200  # more copied than ever transferred
+    with pytest.raises(AssertionError, match="accounting"):
+        stats.avoided_copy_fraction
 
 
 def test_transfer_stats_merge():

@@ -1,0 +1,133 @@
+"""Exporter round-trips: Chrome trace, JSONL, and the text summary."""
+
+import json
+from pathlib import Path
+
+from repro.obs import (
+    Instrumentation,
+    build_chrome,
+    load_chrome,
+    render_summary,
+    write_chrome,
+    write_jsonl,
+)
+
+GOLDEN = Path(__file__).parent / "golden" / "scripted_trace.json"
+
+
+def scripted_obs():
+    """A small deterministic run driven by a hand-cranked clock."""
+    clock = {"now": 0.0}
+    obs = Instrumentation(clock=lambda: clock["now"], enabled=True)
+    root = obs.tracer.span(
+        "migrate", process="demo", source="alpha", dest="beta"
+    )
+    excise = root.child("excise")
+    clock["now"] = 0.5
+    excise.finish()
+    freeze = root.child("freeze", track="freeze")
+    transfer = root.child("transfer")
+    transfer.add("bytes", 4096)
+    transfer.add("bytes.migrate.core", 4096)
+    clock["now"] = 1.5
+    transfer.finish()
+    insert = root.child("insert", host="beta")
+    clock["now"] = 2.0
+    insert.finish()
+    freeze.finish()
+    root.finish()
+
+    obs.registry.counter("faults_total", labels=("kind",)).inc(
+        3, kind="imaginary"
+    )
+    obs.registry.counter("link_bytes", labels=("category",)).inc(
+        4096, category="migrate.core"
+    )
+    hist = obs.registry.histogram("imag_fault_seconds")
+    for value in (0.11, 0.115, 0.12):
+        hist.observe(value)
+    return obs
+
+
+def test_chrome_trace_matches_golden_file():
+    built = build_chrome([("scripted", scripted_obs())])
+    golden = json.loads(GOLDEN.read_text(encoding="utf-8"))
+    assert built == golden
+
+
+def test_written_chrome_trace_is_valid_json(tmp_path):
+    path = tmp_path / "trace.json"
+    write_chrome(path, [("scripted", scripted_obs())])
+    data = json.loads(path.read_text(encoding="utf-8"))
+    assert data["displayTimeUnit"] == "ms"
+    phases = {event["ph"] for event in data["traceEvents"]}
+    assert phases == {"M", "X"}
+
+
+def test_chrome_round_trip_rebuilds_the_span_tree(tmp_path):
+    path = tmp_path / "trace.json"
+    write_chrome(path, [("scripted", scripted_obs())])
+    (run,) = load_chrome(str(path))
+    assert run.label == "scripted"
+
+    (root,) = run.roots
+    assert root.name == "migrate"
+    assert root.args["process"] == "demo"
+    children = {child.name: child for child in root.children}
+    assert set(children) == {"excise", "freeze", "transfer", "insert"}
+    assert children["freeze"].track == "freeze"
+    assert children["transfer"].args["bytes"] == 4096
+    # Phase durations survive the microsecond round-trip.
+    total = sum(
+        children[name].duration for name in ("excise", "transfer", "insert")
+    )
+    assert abs(total - root.duration) < 1e-6
+    # The registry snapshot rides along.
+    assert run.metrics["faults_total"]["series"][0]["value"] == 3
+
+
+def test_multiple_runs_get_distinct_pids(tmp_path):
+    path = tmp_path / "trace.json"
+    write_chrome(path, [("one", scripted_obs()), ("two", scripted_obs())])
+    runs = load_chrome(str(path))
+    assert [run.pid for run in runs] == [1, 2]
+    assert [run.label for run in runs] == ["one", "two"]
+
+
+def test_jsonl_export_is_one_object_per_line(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    write_jsonl(path, [("scripted", scripted_obs())])
+    lines = path.read_text(encoding="utf-8").splitlines()
+    records = [json.loads(line) for line in lines]
+    types = {record["type"] for record in records}
+    assert types == {"span", "metric"}
+    span_names = {r["name"] for r in records if r["type"] == "span"}
+    assert {"migrate", "excise", "transfer", "insert"} <= span_names
+
+
+def test_render_summary_shows_tree_counters_and_percentiles():
+    obs = scripted_obs()
+    obs.finalize()
+    text = render_summary(load_chrome(build_chrome([("scripted", obs)])))
+    assert "migrate" in text and "excise" in text
+    assert "bytes.migrate.core=4,096" in text
+    assert "faults_total" in text and "kind=imaginary: 3" in text
+    assert "imag_fault_seconds" in text
+    assert "p95=" in text and "p99=" in text
+
+
+def test_load_foreign_trace_without_span_ids():
+    # A trace produced by another tool has no span_id/parent_id args;
+    # every such span must surface as a root, not vanish.
+    data = {
+        "traceEvents": [
+            {"name": "task", "ph": "X", "ts": 0.0, "dur": 1.5e6,
+             "pid": 1, "tid": 1, "args": {"note": "external"}},
+            {"name": "subtask", "ph": "X", "ts": 2e5, "dur": 4e5,
+             "pid": 1, "tid": 1, "args": {}},
+        ]
+    }
+    (run,) = load_chrome(data)
+    assert [root.name for root in run.roots] == ["task", "subtask"]
+    assert run.roots[0].args == {"note": "external"}
+    assert run.label == "run-1"

@@ -101,3 +101,67 @@ def test_trace_full_migration_trial():
     assert log.of_kind("Process")
     kinds = {entry.kind for entry in log.entries}
     assert {"Timeout", "StorePut", "StoreGet", "Request"} <= kinds
+
+
+# -- observer fan-out --------------------------------------------------------------
+def test_attach_joins_an_existing_observer_instead_of_clobbering():
+    eng = Engine()
+    seen = []
+    eng.observer = lambda now, event: seen.append(now)
+    log = TraceLog.attach(eng)
+    eng.timeout(1.0)
+    eng.run()
+    # Both the pre-existing observer and the log saw the event.
+    assert seen == [1.0]
+    assert len(log) == 1
+
+
+def test_two_trace_logs_can_coexist():
+    eng = Engine()
+    first = TraceLog.attach(eng)
+    second = TraceLog.attach(eng)
+    eng.timeout(1.0)
+    eng.run()
+    assert len(first) == 1
+    assert len(second) == 1
+
+
+def test_detach_removes_only_its_own_observer():
+    eng = Engine()
+    keeper = TraceLog.attach(eng)
+    leaver = TraceLog.attach(eng)
+    leaver.detach()
+    eng.timeout(1.0)
+    eng.run()
+    assert len(keeper) == 1
+    assert len(leaver) == 0
+    leaver.detach()  # idempotent
+
+
+def test_observer_property_reports_the_fanout():
+    eng = Engine()
+    assert eng.observer is None
+    log = TraceLog.attach(eng)
+    assert eng.observer == log.observe  # single observer: the callable
+
+    def extra(now, event):
+        pass
+
+    eng.add_observer(extra)
+    assert eng.observer == (log.observe, extra)  # several: a tuple
+
+
+def test_observer_assignment_replaces_the_fanout():
+    eng = Engine()
+    TraceLog.attach(eng)
+
+    seen = []
+    eng.observer = lambda now, event: seen.append(now)
+    eng.timeout(1.0)
+    eng.run()
+    assert seen == [1.0]
+
+    eng.observer = None
+    eng.timeout(1.0)
+    eng.run()
+    assert seen == [1.0]  # fan-out cleared

@@ -109,3 +109,54 @@ def test_figures_command(tmp_path):
 def test_parser_requires_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
+
+
+def test_migrate_trace_writes_a_loadable_chrome_trace(tmp_path):
+    import json
+
+    trace = tmp_path / "migrate.json"
+    code, text = run_cli(["migrate", "minprog", "--trace", str(trace)])
+    assert code == 0
+    assert "migration total" in text
+    assert f"trace written to {trace}" in text
+    data = json.loads(trace.read_text(encoding="utf-8"))
+    names = {event["name"] for event in data["traceEvents"]}
+    assert {"migrate", "excise", "transfer", "insert", "exec"} <= names
+    assert data["repro"]["runs"][0]["label"] == "migrate-minprog-pure-iou"
+
+
+def test_inspect_renders_the_span_tree(tmp_path):
+    trace = tmp_path / "migrate.json"
+    run_cli(["migrate", "minprog", "--trace", str(trace)])
+    code, text = run_cli(["inspect", str(trace)])
+    assert code == 0
+    assert "migrate [" in text
+    assert "excise" in text and "transfer" in text and "insert" in text
+    assert "bytes.migrate.core" in text
+    assert "imag_fault_seconds" in text and "p99=" in text
+
+
+def test_sweep_trace_collects_every_trial(tmp_path):
+    import json
+
+    trace = tmp_path / "sweep.json"
+    code, _ = run_cli(["sweep", "minprog", "--trace", str(trace)])
+    assert code == 0
+    data = json.loads(trace.read_text(encoding="utf-8"))
+    labels = [run["label"] for run in data["repro"]["runs"]]
+    assert "minprog-copy" in labels
+    assert "minprog-iou-pf0" in labels and "minprog-rs-pf15" in labels
+
+
+def test_inspect_missing_file_fails_cleanly(tmp_path):
+    code, text = run_cli(["inspect", str(tmp_path / "nope.json")])
+    assert code == 2
+    assert "cannot read trace" in text
+
+
+def test_inspect_empty_trace_reports_nothing_to_show(tmp_path):
+    empty = tmp_path / "empty.json"
+    empty.write_text('{"traceEvents": []}', encoding="utf-8")
+    code, text = run_cli(["inspect", str(empty)])
+    assert code == 1
+    assert "no spans" in text
