@@ -27,11 +27,29 @@ class Host:
         self._spaces = {}
         #: Attached by repro.net when the host joins a network.
         self.nms = None
+        #: True while a fault-plan crash has this machine down; a
+        #: crashed host neither sends nor receives fragments.
+        self.crashed = False
+        #: The world's FaultInjector, when one is attached (the pager
+        #: only arms its reply deadline in fault-injected worlds).
+        self.fault_injector = None
+        #: The residual-dependency flusher daemon, when enabled.
+        self.flusher = None
         self.pager = Pager(self)
         self.kernel = Kernel(self)
 
     def __repr__(self):
-        return f"<Host {self.name} processes={len(self.kernel.processes)}>"
+        state = " CRASHED" if self.crashed else ""
+        return f"<Host {self.name}{state} processes={len(self.kernel.processes)}>"
+
+    # -- fault injection -----------------------------------------------------------
+    def crash(self):
+        """Take the machine down: all its traffic drops from now on."""
+        self.crashed = True
+
+    def recover(self):
+        """Bring the machine back (volatile state was already lost)."""
+        self.crashed = False
 
     # -- address-space registry --------------------------------------------------
     def register_space(self, space):

@@ -28,6 +28,7 @@ from repro.accent.vm.address_space import (
     Residency,
     VALIDATED,
 )
+from repro.faults.errors import TransportError
 
 
 class AddressingError(Exception):
@@ -173,10 +174,23 @@ class Kernel:
             yield from self.host.nms.ship(message, dest_host)
 
     def post(self, message):
-        """Fire-and-forget send; returns the background Process."""
-        return self.engine.process(
-            self.send(message), name=f"send-{message.op}"
-        )
+        """Fire-and-forget send; returns the background Process.
+
+        Nobody waits on an asynchronous send, so an injected-fault
+        delivery failure is counted rather than raised — a backer
+        whose reply cannot reach a dead peer must not take its whole
+        world down with it.
+        """
+
+        def background():
+            try:
+                yield from self.send(message)
+            except TransportError:
+                self.host.metrics.obs.registry.counter(
+                    "async_send_failures_total", labels=("host",)
+                ).inc(1, host=self.host.name)
+
+        return self.engine.process(background(), name=f"send-{message.op}")
 
     def _account_transfer(self, message):
         """Fitzgerald accounting: mapped vs physically copied bytes."""
@@ -461,3 +475,19 @@ class Kernel:
         self.host.disk.drop_space(space.space_id)
         self.host.unregister_space(space)
         yield self.engine.timeout(self.calibration.ipc_local_s)
+
+    def kill(self, process):
+        """Destroy a process whose residual dependencies broke.
+
+        Unlike :meth:`terminate`, no Imaginary Segment Death messages
+        go out — the interesting backer is dead (that is why we are
+        here), and the survivors' segments are reclaimed when the
+        world ends.  Purely local, instantaneous teardown.
+        """
+        process.status = ProcessStatus.KILLED
+        process.host = None
+        self.processes.pop(process.name, None)
+        space = process.space
+        self.host.physical.release_space(space.space_id)
+        self.host.disk.drop_space(space.space_id)
+        self.host.unregister_space(space)

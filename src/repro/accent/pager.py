@@ -18,12 +18,16 @@ from itertools import count
 from repro.accent.ipc.message import InlineSection, Message, RegionSection
 from repro.accent.vm.address_space import Residency
 from repro.accent.vm.page import Page
+from repro.faults.errors import ResidualDependencyError, TransportError
 from repro.sim import Resource
 
 #: Message operation names for the copy-on-reference protocol.
 OP_IMAG_READ = "imag.read"
 OP_IMAG_READ_REPLY = "imag.read.reply"
 OP_IMAG_DEATH = "imag.death"
+#: ... and for the residual-dependency flusher (repro.cor.flusher).
+OP_IMAG_PUSH = "imag.push"
+OP_FLUSH_REGISTER = "flush.register"
 
 #: Wire bytes of an Imaginary Read Request's payload.
 IMAG_REQUEST_PAYLOAD_BYTES = 16
@@ -93,7 +97,11 @@ class Pager:
             yield from self._imaginary_fault_inner(space, index, mapping)
             done.succeed()
         except BaseException as error:
+            # Defused: waiters sharing the fault still see the error
+            # raised at their yield point, but a lone faulter's failure
+            # must not detonate a second time when the engine drains.
             done.fail(error)
+            done.defuse()
             raise
         finally:
             self._inflight.pop(key, None)
@@ -121,8 +129,30 @@ class Pager:
         reply_event = self.engine.event()
         self._pending_replies[fault_id] = reply_event
         request_sent = self.engine.now
-        yield from self.host.kernel.send(request)
-        reply = yield reply_event
+        try:
+            yield from self.host.kernel.send(request)
+        except TransportError as error:
+            self._pending_replies.pop(fault_id, None)
+            raise self._residual_dependency(space, index, error) from error
+        if self.host.fault_injector is not None:
+            # The request arrived, but the backing host may die before
+            # the reply escapes it — arm a deadline so a fault in a
+            # faulty world surfaces as a kill, never a hang.
+            deadline = self.engine.timeout(calibration.imag_reply_deadline_s)
+            yield self.engine.any_of([reply_event, deadline])
+            if not reply_event.processed:
+                self._pending_replies.pop(fault_id, None)
+                raise self._residual_dependency(
+                    space,
+                    index,
+                    TransportError(
+                        f"no imaginary read reply within "
+                        f"{calibration.imag_reply_deadline_s}s"
+                    ),
+                )
+            reply = reply_event.value
+        else:
+            reply = yield reply_event
         rtt = self.engine.now - request_sent
 
         region = reply.first_section(RegionSection)
@@ -147,6 +177,29 @@ class Pager:
             self.engine.now - fault_started, rtt
         )
 
+    def _residual_dependency(self, space, index, cause):
+        """An owed page's backing host is unreachable: kill the process.
+
+        This is the paper's central copy-on-reference caveat made
+        concrete — with the source gone, the page can never be
+        rematerialised, so the process is destroyed rather than left
+        wedged.  Returns the typed error for the faulter to raise.
+        """
+        process = None
+        for candidate in self.host.kernel.processes.values():
+            if candidate.space is space:
+                process = candidate
+                break
+        name = process.name if process is not None else space.name
+        if process is not None:
+            self.host.kernel.kill(process)
+        self.host.metrics.obs.registry.counter(
+            "residual_kills_total", labels=("host",)
+        ).inc(1, host=self.host.name)
+        return ResidualDependencyError(
+            f"process {name!r} lost page {index}: {cause}"
+        )
+
     # -- reply dispatch ---------------------------------------------------------
     def _reply_loop(self):
         """Routes imaginary read replies to their waiting faults."""
@@ -155,8 +208,28 @@ class Pager:
             fault_id = message.meta.get("fault_id")
             waiter = self._pending_replies.pop(fault_id, None)
             if waiter is None:
+                if self.host.fault_injector is not None:
+                    # A reply outlasting its fault's deadline: stale,
+                    # not a protocol error, in a faulty world.
+                    self.host.metrics.obs.registry.counter(
+                        "stale_replies_total", labels=("host",)
+                    ).inc(1, host=self.host.name)
+                    continue
                 raise PagerError(f"unmatched imaginary reply {fault_id!r}")
             waiter.succeed(message)
+
+    # -- flusher support --------------------------------------------------------
+    def install_pushed(self, space, index, page):
+        """Generator: install one flusher-pushed page (no fault charged).
+
+        The push raced any demand fault for the same page; callers
+        check residency first, and installation is a map-in plus the
+        usual frame claim.
+        """
+        with self.cpu.held() as req:
+            yield req
+            yield self.engine.timeout(self.calibration.map_in_s)
+        yield from self._install_resident(space, index, page)
 
     # -- frame management ---------------------------------------------------------
     def _install_resident(self, space, index, page):

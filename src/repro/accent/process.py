@@ -23,6 +23,9 @@ class ProcessStatus(enum.Enum):
     BLOCKED = "blocked"
     EXCISED = "excised"
     TERMINATED = "terminated"
+    #: Destroyed by a broken residual dependency: an owed page's
+    #: backing host died, so the process can never be made whole.
+    KILLED = "killed"
 
 
 class AccentProcess:

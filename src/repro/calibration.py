@@ -79,6 +79,31 @@ class Calibration:
     #: Per-fragment header bytes on the wire.
     fragment_header_bytes: int = 32
 
+    # ------------------------------------------------- reliable transport --
+    # These only bite when a FaultInjector is attached; on a perfect
+    # network the NetMsgServer keeps the paper-calibrated cost model
+    # (acks pipeline behind data and are not charged separately).
+    #: Wire bytes of one per-fragment acknowledgement frame.
+    ack_wire_bytes: int = 32
+    #: Initial ack-wait before a fragment is retransmitted.
+    retransmit_timeout_s: float = 0.2
+    #: Multiplier applied to the timeout after each retransmission.
+    retransmit_backoff_factor: float = 2.0
+    #: Ceiling on the backed-off retransmission timeout.
+    retransmit_timeout_cap_s: float = 1.6
+    #: Transmission attempts per fragment before TransportError.
+    retransmit_max_attempts: int = 6
+    #: How long the pager waits for an imaginary read reply before
+    #: declaring the backing host unreachable (fault-injected worlds
+    #: only; must exceed the worst-case reply retransmission time).
+    imag_reply_deadline_s: float = 30.0
+
+    # -------------------------------------------- residual-dependency flush --
+    #: Owed pages pushed per flusher batch message.
+    flush_batch_pages: int = 16
+    #: Idle gap between flusher batches (paces the push rate).
+    flush_interval_s: float = 0.05
+
     # ------------------------------------------------- copy-on-reference --
     #: Backing-server lookup per Imaginary Read Request.
     backer_lookup_s: float = 4.0 * MS

@@ -12,12 +12,13 @@
 import argparse
 import sys
 
+from repro.faults import FaultPlan, FaultPlanError
 from repro.migration.strategy import PURE_COPY, PURE_IOU, RESIDENT_SET, Strategy
 from repro.testbed import Testbed
 from repro.workloads.registry import WORKLOADS
 
 
-def _add_common(parser, trace=False):
+def _add_common(parser, trace=False, faults=False):
     parser.add_argument("--seed", type=int, default=1987)
     if trace:
         parser.add_argument(
@@ -30,6 +31,45 @@ def _add_common(parser, trace=False):
                 "render with `repro inspect FILE`)"
             ),
         )
+    if faults:
+        parser.add_argument(
+            "--faults",
+            metavar="PLAN.json",
+            default=None,
+            help=(
+                "inject failures from a fault-plan JSON file (loss, "
+                "partitions, crashes, flusher; see docs/fault-injection.md)"
+            ),
+        )
+
+
+def _load_faults(args, out):
+    """(plan, exit_code): the plan named by ``--faults``, or None.
+
+    A bad plan file reports cleanly (exit 2) instead of a traceback.
+    """
+    path = getattr(args, "faults", None)
+    if path is None:
+        return None, 0
+    try:
+        return FaultPlan.from_json(path), 0
+    except OSError as error:
+        out(f"cannot read fault plan {path!r}: {error}")
+        return None, 2
+    except FaultPlanError as error:
+        out(f"bad fault plan {path!r}: {error}")
+        return None, 2
+
+
+def _print_fault_stats(result, out):
+    """Report what the injected faults did to one trial."""
+    out(f"outcome           {result.outcome}")
+    if result.failure:
+        out(f"failure           {result.failure}")
+    out(f"fragments dropped {result.link_drops}  "
+        f"(retransmits {result.retransmits}, duplicates {result.duplicates})")
+    if result.flushed_pages:
+        out(f"pages flushed     {result.flushed_pages}")
 
 
 def _write_trace(path, runs, out):
@@ -68,13 +108,13 @@ def build_parser():
         "--strategy", choices=Strategy.names(), default=PURE_IOU
     )
     migrate.add_argument("--prefetch", type=int, default=0)
-    _add_common(migrate, trace=True)
+    _add_common(migrate, trace=True, faults=True)
 
     sweep = commands.add_parser(
         "sweep", help="strategy × prefetch sweep for one workload"
     )
     sweep.add_argument("workload", choices=sorted(WORKLOADS))
-    _add_common(sweep, trace=True)
+    _add_common(sweep, trace=True, faults=True)
 
     chain = commands.add_parser("chain", help="multi-hop migration")
     chain.add_argument("workload", choices=sorted(WORKLOADS))
@@ -87,14 +127,14 @@ def build_parser():
         help="trace fraction to execute at each intermediate host",
     )
     chain.add_argument("--strategy", choices=Strategy.names(), default=PURE_IOU)
-    _add_common(chain, trace=True)
+    _add_common(chain, trace=True, faults=True)
 
     precopy = commands.add_parser(
         "precopy", help="iterative pre-copy baseline (V system)"
     )
     precopy.add_argument("workload", choices=sorted(WORKLOADS))
     precopy.add_argument("--dirty-rate", type=float, default=None)
-    _add_common(precopy, trace=True)
+    _add_common(precopy, trace=True, faults=True)
 
     balance = commands.add_parser(
         "balance", help="automatic-migration scenario"
@@ -106,7 +146,33 @@ def build_parser():
         choices=("none", "eager-copy", "breakeven"),
         default="breakeven",
     )
-    _add_common(balance, trace=True)
+    _add_common(balance, trace=True, faults=True)
+
+    faults = commands.add_parser(
+        "faults",
+        help="fault-injection trial: loss sweep + crash/flusher outcomes",
+    )
+    faults.add_argument(
+        "workload", nargs="?", default="chess", choices=sorted(WORKLOADS)
+    )
+    faults.add_argument(
+        "--strategy", choices=Strategy.names(), default=PURE_IOU
+    )
+    faults.add_argument(
+        "--loss", type=float, nargs="*", default=[0.05],
+        help="fragment loss rates to sweep",
+    )
+    faults.add_argument(
+        "--crash", type=float, nargs="*", default=[30.0],
+        help="source-crash times to try, with and without the flusher",
+    )
+    faults.add_argument("--flush-batch", type=int, default=64)
+    faults.add_argument("--flush-interval", type=float, default=0.005)
+    faults.add_argument(
+        "--json", metavar="FILE", default=None,
+        help="also write the trial table as deterministic JSON",
+    )
+    _add_common(faults)
 
     report = commands.add_parser(
         "report", help="regenerate EXPERIMENTS.md (77-trial sweep)"
@@ -141,25 +207,32 @@ def build_parser():
 
 def cmd_migrate(args, out):
     """Run one migration trial and print its report."""
-    bed = Testbed(seed=args.seed, instrument=bool(args.trace))
+    plan, code = _load_faults(args, out)
+    if code:
+        return code
+    bed = Testbed(seed=args.seed, instrument=bool(args.trace), faults=plan)
     result = bed.migrate(
         args.workload, strategy=args.strategy, prefetch=args.prefetch
     )
     out(f"workload          {result.spec.name}")
     out(f"strategy          {result.strategy} (prefetch {result.prefetch})")
-    out(f"excise            {result.excise_s:.2f}s  "
-        f"(AMap {result.excise_amap_s:.2f}s, RIMAS {result.excise_rimas_s:.2f}s)")
-    out(f"core message      {result.core_transfer_s:.2f}s")
-    out(f"space transfer    {result.transfer_s:.2f}s")
-    out(f"insert            {result.insert_s:.3f}s")
-    out(f"migration total   {result.migration_s:.2f}s")
-    out(f"remote execution  {result.exec_s:.2f}s")
+    if result.outcome == "completed":
+        out(f"excise            {result.excise_s:.2f}s  "
+            f"(AMap {result.excise_amap_s:.2f}s, "
+            f"RIMAS {result.excise_rimas_s:.2f}s)")
+        out(f"core message      {result.core_transfer_s:.2f}s")
+        out(f"space transfer    {result.transfer_s:.2f}s")
+        out(f"insert            {result.insert_s:.3f}s")
+        out(f"migration total   {result.migration_s:.2f}s")
+        out(f"remote execution  {result.exec_s:.2f}s")
     out(f"bytes on wire     {result.bytes_total:,}")
     out(f"message handling  {result.message_handling_s:.2f}s")
     out(f"pages moved       {result.pages_transferred} "
         f"({100 * result.fraction_of_real_transferred:.1f}% of RealMem)")
     if result.prefetch_hit_ratio is not None:
         out(f"prefetch hits     {result.prefetch_hit_ratio:.0%}")
+    if plan is not None:
+        _print_fault_stats(result, out)
     out(f"verified          {result.verified}")
     if args.trace:
         if _write_trace(
@@ -173,10 +246,17 @@ def cmd_migrate(args, out):
 
 def cmd_sweep(args, out):
     """Print the strategy x prefetch sweep for one workload."""
-    bed = Testbed(seed=args.seed, instrument=bool(args.trace))
+    plan, code = _load_faults(args, out)
+    if code:
+        return code
+    bed = Testbed(seed=args.seed, instrument=bool(args.trace), faults=plan)
     traced = []
     copy = bed.migrate(args.workload, strategy=PURE_COPY)
     traced.append((f"{args.workload}-copy", copy.obs))
+    if copy.outcome != "completed":
+        out(f"{args.workload}: pure-copy baseline {copy.outcome} "
+            f"({copy.failure})")
+        return 1
     base = copy.transfer_plus_exec_s
     out(f"{args.workload}: pure-copy transfer+exec = {base:.1f}s")
     out(f"{'trial':>10}  {'transfer':>8}  {'exec':>8}  {'speedup':>8}")
@@ -185,9 +265,12 @@ def cmd_sweep(args, out):
             result = bed.migrate(
                 args.workload, strategy=strategy, prefetch=prefetch
             )
-            speedup = 100 * (base - result.transfer_plus_exec_s) / base
             tag = "iou" if strategy == PURE_IOU else "rs"
             traced.append((f"{args.workload}-{tag}-pf{prefetch}", result.obs))
+            if result.outcome != "completed":
+                out(f"{tag + '-pf' + str(prefetch):>10}  {result.outcome:>8}")
+                continue
+            speedup = 100 * (base - result.transfer_plus_exec_s) / base
             out(
                 f"{tag + '-pf' + str(prefetch):>10}  {result.transfer_s:>7.2f}s"
                 f"  {result.exec_s:>7.2f}s  {speedup:>7.1f}%"
@@ -200,7 +283,10 @@ def cmd_sweep(args, out):
 
 def cmd_chain(args, out):
     """Run a multi-hop migration chain."""
-    bed = Testbed(seed=args.seed, instrument=bool(args.trace))
+    plan, code = _load_faults(args, out)
+    if code:
+        return code
+    bed = Testbed(seed=args.seed, instrument=bool(args.trace), faults=plan)
     fractions = args.run
     if fractions is None:
         fractions = [0.0] * (len(args.path) - 2)
@@ -230,7 +316,10 @@ def cmd_chain(args, out):
 
 def cmd_precopy(args, out):
     """Run the iterative pre-copy baseline."""
-    bed = Testbed(seed=args.seed, instrument=bool(args.trace))
+    plan, code = _load_faults(args, out)
+    if code:
+        return code
+    bed = Testbed(seed=args.seed, instrument=bool(args.trace), faults=plan)
     result = bed.migrate_precopy(args.workload, dirty_rate_pps=args.dirty_rate)
     out(f"pre-copy of {result.spec.name}: {len(result.rounds)} rounds")
     for index, round_ in enumerate(result.rounds, 1):
@@ -266,9 +355,12 @@ def cmd_balance(args, out):
         "eager-copy": EagerCopyPolicy,
         "breakeven": BreakevenPolicy,
     }[args.policy]()
+    plan, code = _load_faults(args, out)
+    if code:
+        return code
     scenario = Scenario(
         args.workloads, hosts=args.hosts, seed=args.seed,
-        instrument=bool(args.trace),
+        instrument=bool(args.trace), faults=plan,
     )
     result = scenario.run(policy)
     out(f"policy {result.policy_name}: makespan {result.makespan_s:.1f}s, "
@@ -281,6 +373,87 @@ def cmd_balance(args, out):
         ):
             return 1
     return 0 if result.verified else 1
+
+
+def cmd_faults(args, out):
+    """Fault-injection survey: loss sweep plus crash/flusher outcomes.
+
+    One row per trial.  Loss rows show the reliable transport absorbing
+    fragment loss; crash rows pair each source-crash time with and
+    without the residual-dependency flusher, demonstrating the
+    kill-vs-survive contrast of the copy-on-reference caveat.
+    """
+    import json as json_module
+
+    from repro.faults import Crash, FaultPlan, FlushConfig, LossRule
+
+    flush = FlushConfig(
+        enabled=True,
+        batch_pages=args.flush_batch,
+        interval_s=args.flush_interval,
+    )
+    trials = []
+
+    def run(label, plan):
+        bed = Testbed(seed=args.seed, faults=plan)
+        result = bed.migrate(args.workload, strategy=args.strategy)
+        trials.append({
+            "trial": label,
+            "outcome": result.outcome,
+            "drops": result.link_drops,
+            "retransmits": result.retransmits,
+            "duplicates": result.duplicates,
+            "aborts": result.aborts,
+            "kills": result.residual_kills,
+            "flushed": result.flushed_pages,
+            "verified": result.verified,
+        })
+        return result
+
+    run("baseline", FaultPlan())
+    for rate in args.loss:
+        run(f"loss={rate:g}", FaultPlan(loss=[LossRule(rate=rate)]))
+    source = "alpha"  # first host of the two-machine testbed
+    for at in args.crash:
+        crash = Crash(host=source, at=at)
+        run(f"crash@{at:g}", FaultPlan(crashes=[crash]))
+        run(f"crash@{at:g}+flush", FaultPlan(crashes=[crash], flush=flush))
+
+    out(f"{args.workload} under {args.strategy}, seed {args.seed}")
+    header = (
+        f"{'trial':>18}  {'outcome':>9}  {'drops':>6}  {'retx':>5}  "
+        f"{'dup':>4}  {'flushed':>7}  {'verified':>8}"
+    )
+    out(header)
+    for row in trials:
+        out(
+            f"{row['trial']:>18}  {row['outcome']:>9}  {row['drops']:>6}  "
+            f"{row['retransmits']:>5}  {row['duplicates']:>4}  "
+            f"{row['flushed']:>7}  {str(row['verified']):>8}"
+        )
+    if args.json:
+        payload = {
+            "workload": args.workload,
+            "strategy": args.strategy,
+            "seed": args.seed,
+            "trials": trials,
+        }
+        try:
+            with open(args.json, "w", encoding="utf-8") as handle:
+                json_module.dump(payload, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+        except OSError as error:
+            out(f"cannot write {args.json!r}: {error}")
+            return 1
+        out(f"wrote {args.json}")
+    # Survival with the flusher (and a clean baseline) is the point;
+    # fail loudly if the demonstration did not hold.
+    ok = trials[0]["outcome"] == "completed" and all(
+        row["outcome"] == "completed"
+        for row in trials
+        if row["trial"].endswith("+flush")
+    )
+    return 0 if ok else 1
 
 
 def cmd_report(args, out):
@@ -352,6 +525,7 @@ _COMMANDS = {
     "chain": cmd_chain,
     "precopy": cmd_precopy,
     "balance": cmd_balance,
+    "faults": cmd_faults,
     "report": cmd_report,
     "export": cmd_export,
     "figures": cmd_figures,

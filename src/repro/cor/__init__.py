@@ -9,5 +9,11 @@ with optional contiguous-page prefetch.
 
 from repro.cor.imaginary import ImaginaryHandle, ImaginarySegment
 from repro.cor.backer import BackingServer
+from repro.cor.flusher import ResidualFlusher
 
-__all__ = ["BackingServer", "ImaginaryHandle", "ImaginarySegment"]
+__all__ = [
+    "BackingServer",
+    "ImaginaryHandle",
+    "ImaginarySegment",
+    "ResidualFlusher",
+]

@@ -6,8 +6,21 @@ Applications may run their own for arbitrary lazy data delivery.
 """
 
 from repro.accent.ipc.message import Message, RegionSection
-from repro.accent.pager import OP_IMAG_DEATH, OP_IMAG_READ, OP_IMAG_READ_REPLY
+from repro.accent.pager import (
+    OP_FLUSH_REGISTER,
+    OP_IMAG_DEATH,
+    OP_IMAG_READ,
+    OP_IMAG_READ_REPLY,
+)
 from repro.cor.imaginary import ImaginarySegment
+
+#: Histogram buckets for the residual-dependency vulnerability window:
+#: the window runs from segment creation until the last owed page
+#: drains, which spans sub-second (flusher on) to minutes (pure
+#: copy-on-reference under a lazy workload).
+VULNERABILITY_BUCKETS = (
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0, 300.0, 600.0,
+)
 
 
 class BackerError(Exception):
@@ -36,7 +49,9 @@ class BackingServer:
     def create_segment(self, pages, label=None):
         """Register a new segment backed by this server's port."""
         segment = ImaginarySegment(self.port, pages, label=label)
+        segment.created_at = self.engine.now
         self.segments[segment.segment_id] = segment
+        self.note_progress(segment)
         return segment
 
     def segment(self, segment_id):
@@ -58,6 +73,8 @@ class BackingServer:
                 yield from self._handle_read(message)
             elif message.op == OP_IMAG_DEATH:
                 self._handle_death(message)
+            elif message.op == OP_FLUSH_REGISTER:
+                self._handle_flush_register(message)
             else:
                 raise BackerError(f"unexpected op {message.op!r}")
 
@@ -77,6 +94,39 @@ class BackingServer:
         # Fire-and-forget so the server can overlap reply shipment with
         # the next request (Accent's backer is not store-and-forward).
         self.host.kernel.post(reply)
+        self.note_progress(segment)
+
+    def _handle_flush_register(self, message):
+        """A migrated-in process asks us to push its owed pages.
+
+        Sent by the destination's MigrationManager after insertion when
+        a ResidualFlusher is enabled; the reply port is the flusher's
+        intake on the destination host.
+        """
+        segment = self.segments.get(message.meta["segment_id"])
+        flusher = self.host.flusher
+        if segment is None or segment.dead or flusher is None:
+            return
+        flusher.pump(
+            segment,
+            message.reply_port,
+            message.meta["process_name"],
+            backer=self,
+        )
+
+    def note_progress(self, segment):
+        """Refresh residual-dependency gauges after delivery activity."""
+        registry = self.host.metrics.obs.registry
+        registry.gauge("residual_pages", labels=("host",)).set(
+            sum(len(s.owed) for s in self.segments.values() if not s.dead),
+            host=self.host.name,
+        )
+        if segment.fully_delivered and segment.drained_at is None:
+            segment.drained_at = self.engine.now
+            if segment.created_at is not None:
+                registry.histogram(
+                    "vulnerability_window_s", buckets=VULNERABILITY_BUCKETS
+                ).observe(segment.drained_at - segment.created_at)
 
     def _handle_death(self, message):
         segment = self.segments.pop(message.meta["segment_id"], None)

@@ -46,6 +46,11 @@ class ImaginarySegment:
         self.requests = 0
         self.pages_delivered = 0
         self.dead = False
+        #: Simulated times bracketing the residual-dependency window:
+        #: stamped by the BackingServer at creation and when the last
+        #: owed page drains (demand fault, prefetch, or flusher push).
+        self.created_at = None
+        self.drained_at = None
 
     def __repr__(self):
         return (

@@ -1,0 +1,45 @@
+"""Fault injection: deterministic failures for the migration testbed.
+
+The paper's copy-on-reference design trades transfer speed for
+*residual dependencies* — a migrated process keeps faulting pages back
+from its source host, so a crashed source or a lossy wire strands it.
+This package makes that failure surface real and measurable:
+
+* :class:`FaultPlan` (:mod:`repro.faults.plan`) — a JSON-loadable,
+  seeded schedule of fragment loss, link partitions, and host crashes.
+* :class:`FaultInjector` (:mod:`repro.faults.injector`) — executes a
+  plan inside one world: links consult it per fragment, crash scripts
+  run as engine processes.
+* :mod:`repro.faults.errors` — the failure vocabulary
+  (:class:`TransportError`, :class:`ResidualDependencyError`) shared
+  by the network, pager, and migration layers.
+
+The machinery that *survives* these faults lives with the layers it
+hardens: the reliable transport in
+:class:`~repro.net.netmsgserver.NetMsgServer`, abort/rollback in
+:class:`~repro.migration.manager.MigrationManager`, and the
+residual-dependency flusher in :mod:`repro.cor.flusher`.
+"""
+
+from repro.faults.errors import ResidualDependencyError, TransportError
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import (
+    Crash,
+    FaultPlan,
+    FaultPlanError,
+    FlushConfig,
+    LossRule,
+    Partition,
+)
+
+__all__ = [
+    "Crash",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultPlanError",
+    "FlushConfig",
+    "LossRule",
+    "Partition",
+    "ResidualDependencyError",
+    "TransportError",
+]

@@ -1,0 +1,23 @@
+"""The failure vocabulary of the fault-injection subsystem.
+
+These exceptions sit below every layer that can observe an injected
+fault, so they live in a leaf module with no intra-package imports:
+the network raises :class:`TransportError`, the pager converts an
+unreachable backing host into :class:`ResidualDependencyError`, and the
+MigrationManager wraps an aborted transfer in its own
+:class:`~repro.migration.manager.MigrationAborted`.
+"""
+
+
+class TransportError(Exception):
+    """Reliable delivery gave up: the peer crashed or loss persisted
+    past the retransmission budget."""
+
+
+class ResidualDependencyError(Exception):
+    """A migrated process demanded an owed page whose backing host is
+    gone — the paper's central copy-on-reference caveat made concrete.
+
+    The destination kernel marks the process ``KILLED`` before raising
+    this; there is no way to rematerialise the page.
+    """

@@ -84,20 +84,22 @@ class Scenario:
     """
 
     def __init__(self, workloads, hosts=3, seed=1987, calibration=None,
-                 interval_s=4.0, instrument=False):
+                 interval_s=4.0, instrument=False, faults=None):
         self.workload_names = list(workloads)
         self.host_names = tuple(f"node{i}" for i in range(hosts))
         self.seed = seed
         self.calibration = calibration
         self.interval_s = interval_s
         self.instrument = instrument
+        #: Optional FaultPlan applied to the scenario's world.
+        self.faults = faults
 
     def run(self, policy=None):
         """Execute the scenario under ``policy``; returns a ScenarioResult."""
         policy = policy or NoMigrationPolicy()
         bed = Testbed(
             seed=self.seed, calibration=self.calibration,
-            instrument=self.instrument,
+            instrument=self.instrument, faults=self.faults,
         )
         world = bed.world(host_names=self.host_names)
         origin = world.host(self.host_names[0])

@@ -6,13 +6,21 @@ strategy to the RIMAS message, and sends both context messages to the
 peer manager, which reconstructs the process with InsertProcess.
 """
 
-from repro.accent.ipc.message import RegionSection
+from repro.accent.ipc.message import Message, RegionSection
+from repro.accent.pager import OP_FLUSH_REGISTER
+from repro.accent.vm.address_space import ImaginaryMapping
+from repro.faults.errors import TransportError
 from repro.migration.precopy import OP_PRECOPY_ROUND, precopy_migrate
 from repro.migration.strategy import Strategy
 
 
 class MigrationError(Exception):
     """Migration protocol failure."""
+
+
+class MigrationAborted(MigrationError):
+    """The transfer failed mid-flight; the process was rolled back and
+    reinserted on the source host."""
 
 
 class MigrationManager:
@@ -26,6 +34,8 @@ class MigrationManager:
         self._insertion_events = {}
         #: process name -> {page index: freshest pre-copied Page}.
         self._precopy_stash = {}
+        #: (op, process_name, reason) of messages the server refused.
+        self.rejected = []
         self._server = self.engine.process(
             self._serve(), name=f"{host.name}-migmgr"
         )
@@ -74,21 +84,75 @@ class MigrationManager:
 
         transfer_span = root.child("transfer")
         obs.push_phase(transfer_span)
-        # Connection setup plus Core-message handling dominate this
-        # phase; the paper measures it at roughly one second (§4.3.2).
-        with transfer_span.child("core"):
-            metrics.mark("core.start")
-            yield self.engine.timeout(self.host.calibration.migration_setup_s)
-            yield from kernel.send(core)
-            metrics.mark("core.end")
+        try:
+            # Connection setup plus Core-message handling dominate this
+            # phase; the paper measures it at roughly one second (§4.3.2).
+            with transfer_span.child("core"):
+                metrics.mark("core.start")
+                yield self.engine.timeout(
+                    self.host.calibration.migration_setup_s
+                )
+                yield from kernel.send(core)
+                metrics.mark("core.end")
 
-        with transfer_span.child("rimas"):
-            metrics.mark("rimas.start")
-            yield from strategy.prepare(self, rimas)
-            yield from kernel.send(rimas)
-            metrics.mark("rimas.end")
+            with transfer_span.child("rimas"):
+                metrics.mark("rimas.start")
+                yield from strategy.prepare(self, rimas)
+                yield from kernel.send(rimas)
+                metrics.mark("rimas.end")
+        except TransportError as error:
+            transfer_span.finish()
+            obs.pop_phase(transfer_span)
+            yield from self._rollback(
+                process_name, dest_manager, core, rimas, error
+            )
+            raise MigrationAborted(
+                f"migration of {process_name!r} to "
+                f"{dest_manager.host.name} aborted: {error}"
+            ) from error
         transfer_span.finish()
         obs.pop_phase(transfer_span)
+
+    def _rollback(self, process_name, dest_manager, core, rimas, error):
+        """Generator: undo a failed transfer by reinserting locally.
+
+        The excised context messages are still in hand, so the source
+        simply runs InsertProcess on itself — the transactional property
+        of the §3.2 protocol.  Any RIMAS sections already IOU-substituted
+        point at this host's own backer, so later faults resolve without
+        touching the network.
+        """
+        metrics = self.host.metrics
+        obs = metrics.obs
+        self.host.metrics.obs.registry.counter(
+            "migration_aborts_total", labels=("host",)
+        ).inc(1, host=self.host.name)
+        dest_manager.abort_insertion(process_name, error)
+        metrics.mark("rollback.start")
+        yield from self.host.kernel.insert_process(core, rimas)
+        metrics.mark("rollback.end")
+        root = obs.migration_roots.pop(process_name, None)
+        if root is not None:
+            for child in root.children:
+                if child.end is None:
+                    child.finish()
+            root.add("aborted")
+            root.finish()
+
+    def abort_insertion(self, process_name, error):
+        """Destination-side cleanup when the source aborts a transfer.
+
+        Drops any half-received context, discards pre-copied pages, and
+        fails the insertion event so an ``expect_insertion`` waiter sees
+        the abort instead of hanging forever (events with no waiter are
+        defused, not leaked).
+        """
+        self._pending_contexts.pop(process_name, None)
+        self._precopy_stash.pop(process_name, None)
+        event = self._insertion_events.pop(process_name, None)
+        if event is not None and not event.triggered:
+            event.fail(error)
+            event.defuse()
 
     def expect_insertion(self, process_name):
         """Event that fires with the process once the peer inserts it.
@@ -109,16 +173,30 @@ class MigrationManager:
                 self._absorb_precopy_round(message)
                 continue
             if message.op not in ("migrate.core", "migrate.rimas"):
-                raise MigrationError(f"unexpected op {message.op!r}")
+                # A malformed command must not take the server down with
+                # it: log the rejection and keep serving (the sender's
+                # problem, not every later migration's).
+                self._reject(message, f"unexpected op {message.op!r}")
+                continue
             name = message.meta["process_name"]
             stash = self._pending_contexts.setdefault(name, {})
             kind = "core" if message.op == "migrate.core" else "rimas"
             if kind in stash:
-                raise MigrationError(f"duplicate {kind} context for {name!r}")
+                self._reject(message, f"duplicate {kind} context for {name!r}")
+                continue
             stash[kind] = message
             if "core" in stash and "rimas" in stash:
                 del self._pending_contexts[name]
                 yield from self._insert(name, stash["core"], stash["rimas"])
+
+    def _reject(self, message, reason):
+        """Record a refused protocol message without dying."""
+        self.rejected.append(
+            (message.op, message.meta.get("process_name"), reason)
+        )
+        self.host.metrics.obs.registry.counter(
+            "migmgr_rejects_total", labels=("host",)
+        ).inc(1, host=self.host.name)
 
     def _insert(self, name, core, rimas):
         metrics = self.host.metrics
@@ -148,6 +226,24 @@ class MigrationManager:
         event = self._insertion_events.pop(name, None)
         if event is not None:
             event.succeed(process)
+        if self.host.flusher is not None:
+            self._register_flush(name, process)
+
+    def _register_flush(self, name, process):
+        """Ask each inherited segment's backer to push its owed pages."""
+        handles = {}
+        for _start, _end, value in process.space.regions.runs():
+            if isinstance(value, ImaginaryMapping):
+                handles[value.handle.segment_id] = value.handle
+        for segment_id, handle in sorted(handles.items()):
+            self.host.kernel.post(
+                Message(
+                    dest=handle.backing_port,
+                    op=OP_FLUSH_REGISTER,
+                    reply_port=self.host.flusher.port,
+                    meta={"process_name": name, "segment_id": segment_id},
+                )
+            )
 
     # -- pre-copy support (Theimer's V baseline, §5) -----------------------------
     def migrate_precopy(

@@ -1,6 +1,7 @@
 """The network substrate: links and NetMsgServers."""
 
+from repro.faults.errors import TransportError
 from repro.net.link import Link
 from repro.net.netmsgserver import NetMsgServer
 
-__all__ = ["Link", "NetMsgServer"]
+__all__ = ["Link", "NetMsgServer", "TransportError"]

@@ -3,6 +3,13 @@
 The medium is a capacity-1 resource: one frame serialises at a time in
 either direction (CSMA).  Propagation latency is added after the medium
 is released, so back-to-back fragments pipeline.
+
+A :class:`~repro.faults.injector.FaultInjector` may attach itself as
+the link's fault model (``link.faults``); it is consulted once per
+frame, after serialisation — a dropped frame burnt its medium time but
+never reaches the far side.  With no model attached every frame is
+delivered and the legacy single-argument ``transmit(nbytes)`` call
+keeps its exact cost profile.
 """
 
 from repro.sim import Resource
@@ -18,22 +25,42 @@ class Link:
         self.medium = Resource(engine, capacity=1, name=name)
         self.frames = 0
         self.bytes = 0
+        #: Frames eaten by the fault model (loss/partition/crash).
+        self.drops = 0
+        #: The world's FaultInjector, or None for a perfect network.
+        self.faults = None
 
     def __repr__(self):
-        return f"<Link {self.name} frames={self.frames} bytes={self.bytes}>"
+        return (
+            f"<Link {self.name} frames={self.frames} bytes={self.bytes} "
+            f"drops={self.drops}>"
+        )
 
-    def transmit(self, nbytes):
+    def transmit(self, nbytes, source=None, dest=None):
         """Generator: serialise ``nbytes`` onto the medium, then wait
-        out the propagation delay."""
+        out the propagation delay.  Returns True if the frame was
+        delivered, False if the fault model ate it.
+
+        ``source``/``dest`` are the endpoint Hosts; without them (or
+        without an attached fault model) the frame always arrives.
+        """
         calibration = self.calibration
         with self.medium.held() as req:
             yield req
             yield self.engine.timeout(
                 (nbytes * 8.0) / calibration.link_bandwidth_bps
             )
+        faults = self.faults
+        if faults is not None and source is not None and dest is not None:
+            reason = faults.should_drop(source, dest, self.engine.now)
+            if reason is not None:
+                self.drops += 1
+                faults.record_drop(reason)
+                return False
         self.frames += 1
         self.bytes += nbytes
         yield self.engine.timeout(calibration.link_latency_s)
+        return True
 
     def utilisation(self):
         """Fraction of time the medium has been busy."""

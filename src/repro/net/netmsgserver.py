@@ -19,8 +19,10 @@ from repro.accent.ipc.message import (
     RegionSection,
 )
 from collections import Counter
+from itertools import count
 
 from repro.cor.backer import BackingServer
+from repro.faults.errors import TransportError
 from repro.sim import Resource
 
 
@@ -48,6 +50,19 @@ class NetMsgServer:
         self.messages_delivered = 0
         #: Pages physically shipped, per message op (Table 4-3 input).
         self.pages_shipped_by_op = Counter()
+        #: Reliable-transport state (lossy worlds only): fragment
+        #: sequence numbers are globally unique per sender, and the
+        #: receiver remembers what it has seen so a retransmission
+        #: whose ack was lost is suppressed rather than re-handled.
+        self._seq = count(1)
+        self._seen_seqs = set()
+        registry = host.metrics.obs.registry
+        self._retransmits = registry.counter(
+            "transport_retransmits_total", labels=("host",)
+        )
+        self._duplicates = registry.counter(
+            "transport_duplicates_total", labels=("host",)
+        )
         host.nms = self
 
     def __repr__(self):
@@ -125,7 +140,19 @@ class NetMsgServer:
                 )
                 for size in fragment_sizes
             ]
-            yield self.engine.all_of(pipes)
+            try:
+                yield self.engine.all_of(pipes)
+            except TransportError:
+                # Sibling fragments may still be mid-retransmission;
+                # their eventual failures are already accounted for.
+                for pipe in pipes:
+                    pipe.defuse()
+                raise
+            if peer.host.crashed:
+                raise TransportError(
+                    f"{peer.host.name} crashed before {message.op} "
+                    "could be reassembled"
+                )
 
             delivered = peer._reassemble(message)
             peer.messages_delivered += 1
@@ -134,8 +161,19 @@ class NetMsgServer:
             ship_span.finish()
 
     def _fragment_pipe(self, wire_bytes, link, peer, category):
-        """One fragment's passage: src NMS -> link -> dst NMS."""
+        """One fragment's passage: src NMS -> link -> dst NMS.
+
+        On a perfect network (no fault model attached) the fragment
+        travels under the paper-calibrated cost model.  With a
+        FaultInjector attached it travels under the reliable transport
+        instead: sequence number, positive per-fragment ack, ack
+        timeout with capped exponential backoff, and duplicate
+        suppression at the receiver.
+        """
         hop = self.calibration.nms_hop_s(wire_bytes)
+        if link.faults is not None:
+            yield from self._reliable_fragment(wire_bytes, link, peer, category, hop)
+            return
         with self.cpu.held() as req:
             yield req
             yield self.engine.timeout(hop)
@@ -148,6 +186,62 @@ class NetMsgServer:
             yield req
             yield self.engine.timeout(hop)
         self.host.metrics.record_nms(peer.host.name, hop)
+
+    def _reliable_fragment(self, wire_bytes, link, peer, category, hop):
+        """Deliver one fragment over a faulty wire, or die trying.
+
+        The sender keeps the fragment until a positive ack returns; a
+        lost data frame *or* a lost ack triggers a retransmission
+        after the (exponentially backed-off, capped) timeout.  The
+        receiver only pays the handling CPU cost for the first copy of
+        a sequence number — later copies are suppressed as duplicates,
+        though each still re-acks so the sender can stop.
+        """
+        calibration = self.calibration
+        seq = (self.host.name, next(self._seq))
+        timeout = calibration.retransmit_timeout_s
+        attempts = 0
+        while True:
+            attempts += 1
+            if self.host.crashed:
+                raise TransportError(
+                    f"{self.host.name} crashed while sending {category}"
+                )
+            with self.cpu.held() as req:
+                yield req
+                yield self.engine.timeout(hop)
+            self.host.metrics.record_nms(self.host.name, hop)
+            delivered = yield from link.transmit(
+                wire_bytes, source=self.host, dest=peer.host
+            )
+            if delivered:
+                self.host.metrics.record_link(
+                    wire_bytes, category, self.host.name, peer.host.name
+                )
+                if seq in peer._seen_seqs:
+                    self._duplicates.inc(1, host=peer.host.name)
+                else:
+                    peer._seen_seqs.add(seq)
+                    with peer.cpu.held() as req:
+                        yield req
+                        yield self.engine.timeout(hop)
+                    self.host.metrics.record_nms(peer.host.name, hop)
+                acked = yield from link.transmit(
+                    calibration.ack_wire_bytes, source=peer.host, dest=self.host
+                )
+                if acked:
+                    return
+            if attempts >= calibration.retransmit_max_attempts:
+                raise TransportError(
+                    f"fragment of {category} from {self.host.name} to "
+                    f"{peer.host.name} undeliverable after {attempts} attempts"
+                )
+            self._retransmits.inc(1, host=self.host.name)
+            yield self.engine.timeout(timeout)
+            timeout = min(
+                timeout * calibration.retransmit_backoff_factor,
+                calibration.retransmit_timeout_cap_s,
+            )
 
     # -- IOU caching ----------------------------------------------------------------
     def _substitute_ious(self, message):

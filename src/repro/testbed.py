@@ -16,9 +16,11 @@ from repro.accent.constants import PAGE_SIZE
 from repro.accent.host import Host
 from repro.accent.ipc.port import PortRegistry
 from repro.calibration import DEFAULT_CALIBRATION
+from repro.cor.flusher import ResidualFlusher
+from repro.faults import FaultInjector, FaultPlan, ResidualDependencyError
 from repro.metrics.collector import MetricsCollector
 from repro.metrics.timeline import Timeline
-from repro.migration.manager import MigrationManager
+from repro.migration.manager import MigrationAborted, MigrationManager
 from repro.migration.strategy import PURE_IOU, Strategy
 from repro.net.link import Link
 from repro.net.netmsgserver import NetMsgServer
@@ -27,6 +29,15 @@ from repro.sim import Engine, SeededStreams
 from repro.workloads.builder import build_process
 from repro.workloads.registry import workload_by_name
 from repro.workloads.runner import RemoteRunResult, remote_body
+
+
+def _family_total(registry, name):
+    """Sum of one metric family across all label combinations (0 if
+    the family was never touched)."""
+    family = registry.get(name)
+    if family is None:
+        return 0
+    return sum(child.value for _, child in family.items())
 
 
 class TestbedWorld:
@@ -39,7 +50,7 @@ class TestbedWorld:
     """
 
     def __init__(self, seed, calibration, host_names=("alpha", "beta"),
-                 instrument=False):
+                 instrument=False, fault_plan=None):
         if len(host_names) < 2:
             raise ValueError("a testbed needs at least two hosts")
         self.calibration = calibration
@@ -68,6 +79,25 @@ class TestbedWorld:
             for peer in servers:
                 if peer is not nms:
                     nms.connect(self.link, peer)
+        #: Attached only when a fault plan is supplied, so perfect-net
+        #: worlds keep the paper-calibrated cost model to the event.
+        self.fault_injector = None
+        if fault_plan is not None:
+            self.fault_injector = FaultInjector(
+                fault_plan,
+                self.engine,
+                self.streams.stream(FaultPlan.RNG_STREAM),
+                hosts=self.hosts,
+                links=[self.link],
+                registry=self.obs.registry,
+            )
+            if fault_plan.flush.enabled:
+                for host in self.hosts.values():
+                    ResidualFlusher(
+                        host,
+                        batch_pages=fault_plan.flush.batch_pages,
+                        interval_s=fault_plan.flush.interval_s,
+                    )
 
     # The classic two-host views used throughout the test suite.
     @property
@@ -99,11 +129,17 @@ class TestbedWorld:
 class MigrationResult:
     """Everything one trial measured."""
 
-    def __init__(self, spec, strategy_name, prefetch, world, run_result):
+    def __init__(self, spec, strategy_name, prefetch, world, run_result,
+                 outcome="completed", failure=None):
         self.spec = spec
         self.strategy = strategy_name
         self.prefetch = prefetch
         self.run_result = run_result
+        #: "completed", "aborted" (rolled back to the source), or
+        #: "killed" (a residual dependency broke post-migration).
+        self.outcome = outcome
+        #: Human-readable cause when the outcome is not "completed".
+        self.failure = failure
         #: The world's instrumentation (spans + registry), for export.
         self.obs = world.obs
         metrics = world.metrics
@@ -122,6 +158,14 @@ class MigrationResult:
             "migrate.rimas", 0
         )
         self.pages_demand = world.source.nms.backing.delivered_page_count()
+        # Fault/reliability accounting (all zero on a perfect network).
+        registry = world.obs.registry
+        self.retransmits = _family_total(registry, "transport_retransmits_total")
+        self.link_drops = _family_total(registry, "link_drops_total")
+        self.duplicates = _family_total(registry, "transport_duplicates_total")
+        self.aborts = _family_total(registry, "migration_aborts_total")
+        self.residual_kills = _family_total(registry, "residual_kills_total")
+        self.flushed_pages = _family_total(registry, "flushed_pages_total")
 
     @property
     def marks(self):
@@ -226,10 +270,14 @@ class MigrationResult:
         )
 
     def __repr__(self):
+        transfer = (
+            f"{self.transfer_s:.2f}s" if self.transfer_s is not None else "-"
+        )
+        exec_s = f"{self.exec_s:.2f}s" if self.exec_s is not None else "-"
         return (
             f"<MigrationResult {self.spec.name} {self.strategy} "
-            f"pf={self.prefetch} transfer={self.transfer_s:.2f}s "
-            f"exec={self.exec_s:.2f}s bytes={self.bytes_total}>"
+            f"pf={self.prefetch} outcome={self.outcome} "
+            f"transfer={transfer} exec={exec_s} bytes={self.bytes_total}>"
         )
 
 
@@ -239,17 +287,21 @@ class Testbed:
     # Not a pytest test class, despite the name.
     __test__ = False
 
-    def __init__(self, seed=1987, calibration=None, instrument=False):
+    def __init__(self, seed=1987, calibration=None, instrument=False,
+                 faults=None):
         self.seed = seed
         self.calibration = calibration or DEFAULT_CALIBRATION
         #: When true, every trial's world records spans (``--trace``).
         self.instrument = instrument
+        #: Optional :class:`~repro.faults.FaultPlan` applied to every
+        #: trial world this testbed builds.
+        self.faults = faults
 
     def world(self, host_names=("alpha", "beta")):
         """A fresh world (for tests that drive the pieces by hand)."""
         return TestbedWorld(
             self.seed, self.calibration, host_names=host_names,
-            instrument=self.instrument,
+            instrument=self.instrument, fault_plan=self.faults,
         )
 
     def migrate(self, workload, strategy=PURE_IOU, prefetch=0, run_remote=True):
@@ -262,13 +314,22 @@ class Testbed:
         world.dest.nms.prefetch = prefetch
         run_result = RemoteRunResult(spec.name)
         metrics = world.metrics
+        outcome = {"status": "completed", "failure": None}
 
         def trial():
             metrics.mark("trial.start")
             insertion = world.dest_manager.expect_insertion(spec.name)
-            yield from world.source_manager.migrate(
-                spec.name, world.dest_manager, strategy
-            )
+            try:
+                yield from world.source_manager.migrate(
+                    spec.name, world.dest_manager, strategy
+                )
+            except MigrationAborted as error:
+                # The transfer died; the process was reinserted at the
+                # source, so the trial ends with nothing at the peer.
+                outcome["status"] = "aborted"
+                outcome["failure"] = str(error)
+                metrics.mark("trial.end")
+                return
             inserted = yield insertion
             # Post-insertion remote execution: imaginary-fault traffic
             # lands on this span's byte/fault counters.
@@ -276,9 +337,14 @@ class Testbed:
             world.obs.push_phase(exec_span)
             metrics.mark("exec.start")
             if run_remote:
-                yield from remote_body(
-                    world.dest, inserted, built.trace, run_result
-                )
+                try:
+                    yield from remote_body(
+                        world.dest, inserted, built.trace, run_result
+                    )
+                except ResidualDependencyError as error:
+                    # An owed page's backing host died mid-execution.
+                    outcome["status"] = "killed"
+                    outcome["failure"] = str(error)
             metrics.mark("exec.end")
             exec_span.finish()
             world.obs.pop_phase(exec_span)
@@ -289,7 +355,9 @@ class Testbed:
         # Drain in-flight asynchronous traffic (segment-death messages).
         world.engine.run()
         return MigrationResult(
-            spec, strategy.name, prefetch, world, run_result if run_remote else None
+            spec, strategy.name, prefetch, world,
+            run_result if run_remote else None,
+            outcome=outcome["status"], failure=outcome["failure"],
         )
 
     def migrate_precopy(

@@ -1,0 +1,19 @@
+import pytest
+
+from repro.faults import FaultPlan
+from repro.testbed import Testbed
+
+
+@pytest.fixture
+def make_world():
+    """Factory: a two-host world under a given fault plan (or none)."""
+
+    def build(plan=None, seed=7):
+        return Testbed(seed=seed, faults=plan).world()
+
+    return build
+
+
+@pytest.fixture
+def make_plan():
+    return FaultPlan.from_dict

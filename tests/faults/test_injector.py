@@ -1,0 +1,91 @@
+"""Unit tests for the FaultInjector's drop decisions and crash scripts."""
+
+import pytest
+
+from repro.faults import FaultPlanError
+
+
+def test_injector_attaches_to_links_and_hosts(make_world, make_plan):
+    world = make_world(make_plan({"loss": [{"rate": 0.5}]}))
+    assert world.link.faults is world.fault_injector
+    for host in world.hosts.values():
+        assert host.fault_injector is world.fault_injector
+
+
+def test_no_plan_means_no_injector(make_world):
+    world = make_world()
+    assert world.fault_injector is None
+    assert world.link.faults is None
+
+
+def test_crash_names_must_exist(make_world, make_plan):
+    with pytest.raises(FaultPlanError, match="unknown host"):
+        make_world(make_plan({"crashes": [{"host": "nosuch", "at": 1.0}]}))
+
+
+def test_crash_script_downs_and_recovers_on_schedule(make_world, make_plan):
+    world = make_world(make_plan(
+        {"crashes": [{"host": "beta", "at": 2.0, "recover_at": 5.0}]}
+    ))
+    beta = world.host("beta")
+    world.engine.run(until=3.0)
+    assert beta.crashed
+    world.engine.run(until=6.0)
+    assert not beta.crashed
+    registry = world.obs.registry
+    assert registry.counter(
+        "host_crashes_total", labels=("host",)
+    ).value(host="beta") == 1
+    assert registry.counter(
+        "host_recoveries_total", labels=("host",)
+    ).value(host="beta") == 1
+
+
+def test_crashed_endpoint_drops_regardless_of_loss(make_world, make_plan):
+    world = make_world(make_plan({"crashes": [{"host": "beta", "at": 0.0}]}))
+    world.engine.run(until=1.0)
+    injector = world.fault_injector
+    reason = injector.should_drop(world.source, world.dest, world.engine.now)
+    assert reason == "crash"
+
+
+def test_partition_severs_both_directions(make_world, make_plan):
+    world = make_world(make_plan(
+        {"partitions": [{"a": "alpha", "b": "beta", "start": 0.0, "end": 9.0}]}
+    ))
+    injector = world.fault_injector
+    assert injector.should_drop(world.source, world.dest, 1.0) == "partition"
+    assert injector.should_drop(world.dest, world.source, 1.0) == "partition"
+    assert injector.should_drop(world.source, world.dest, 9.0) is None
+
+
+def test_loss_is_seed_deterministic(make_plan):
+    plan = make_plan({"loss": [{"rate": 0.5}]})
+
+    def draw_sequence(seed):
+        from repro.testbed import Testbed
+
+        world = Testbed(seed=seed, faults=plan).world()
+        injector = world.fault_injector
+        return [
+            injector.should_drop(world.source, world.dest, 0.0)
+            for _ in range(64)
+        ]
+
+    assert draw_sequence(3) == draw_sequence(3)
+    assert draw_sequence(3) != draw_sequence(4)
+
+
+def test_rate_zero_and_one_are_certainties(make_world, make_plan):
+    world = make_world(make_plan({"loss": [{"rate": 1.0}]}))
+    injector = world.fault_injector
+    assert all(
+        injector.should_drop(world.source, world.dest, 0.0) == "loss"
+        for _ in range(16)
+    )
+    world = make_world(make_plan({"loss": [{"rate": 0.0}]}))
+    injector = world.fault_injector
+    assert all(
+        injector.should_drop(world.source, world.dest, 0.0) is None
+        for _ in range(16)
+    )

@@ -1,0 +1,133 @@
+"""Reliable-transport tests: retransmission, dedup, and giving up."""
+
+import pytest
+
+from repro.accent.ipc.message import InlineSection, Message, RegionSection
+from repro.accent.vm.page import Page
+from repro.net import TransportError
+
+
+def ship(world, message):
+    proc = world.engine.process(
+        world.source.kernel.send(message), name="test-send"
+    )
+    world.engine.run(until=proc)
+
+
+def registry_value(world, name, **labels):
+    return world.obs.registry.counter(
+        name, labels=tuple(sorted(labels))
+    ).value(**labels)
+
+
+def test_lossy_wire_delivers_exactly_once_with_retransmits(
+    make_world, make_plan
+):
+    world = make_world(make_plan({"loss": [{"rate": 0.3}]}), seed=5)
+    port = world.dest.create_port()
+    payload = bytes(range(256)) * 20  # several fragments
+    message = Message(port, "blob", sections=[InlineSection(payload)])
+    ship(world, message)
+    delivered = port.queue.try_get()
+    assert delivered is not None
+    assert port.queue.try_get() is None  # exactly once
+    assert delivered.first_section(InlineSection).payload == payload
+    assert registry_value(
+        world, "transport_retransmits_total", host="alpha"
+    ) > 0
+    assert world.link.drops > 0
+
+
+def test_page_content_survives_heavy_loss(make_world, make_plan):
+    world = make_world(
+        make_plan({"loss": [{"rate": 0.4, "source": "alpha", "dest": "beta"}]}),
+        seed=9,
+    )
+    port = world.dest.create_port()
+    pages = {i: Page(bytes([i]) * 64) for i in range(10)}
+    ship(world, Message(
+        port, "data", sections=[RegionSection(pages, force_copy=True)]
+    ))
+    delivered = port.queue.try_get()
+    got = delivered.first_section(RegionSection).pages
+    assert {i: p.data for i, p in got.items()} == {
+        i: p.data for i, p in pages.items()
+    }
+
+
+def test_lost_ack_is_suppressed_as_duplicate(make_world, make_plan):
+    # Only acks travel beta -> alpha in this exchange, so a directional
+    # loss rule starves the sender of acks without ever eating data.
+    world = make_world(
+        make_plan({"loss": [{"rate": 0.3, "source": "beta", "dest": "alpha"}]}),
+        seed=3,
+    )
+    port = world.dest.create_port()
+    ship(world, Message(port, "blob", sections=[InlineSection(bytes(4000))]))
+    assert port.queue.try_get() is not None
+    assert port.queue.try_get() is None
+    assert registry_value(
+        world, "transport_duplicates_total", host="beta"
+    ) > 0
+
+
+def test_total_loss_raises_transport_error_after_budget(
+    make_world, make_plan
+):
+    world = make_world(make_plan({"loss": [{"rate": 1.0}]}))
+    port = world.dest.create_port()
+    message = Message(port, "doomed", sections=[InlineSection(b"x")])
+
+    def sender():
+        with pytest.raises(TransportError, match="undeliverable"):
+            yield from world.source.kernel.send(message)
+
+    world.engine.run(until=world.engine.process(sender()))
+    world.engine.run()
+    calibration = world.calibration
+    attempts = calibration.retransmit_max_attempts
+    assert world.link.drops == attempts
+    assert registry_value(
+        world, "transport_retransmits_total", host="alpha"
+    ) == attempts - 1
+    assert port.queue.try_get() is None
+
+
+def test_backoff_paces_retries(make_world, make_plan):
+    world = make_world(make_plan({"loss": [{"rate": 1.0}]}))
+    port = world.dest.create_port()
+    message = Message(port, "doomed", sections=[InlineSection(b"x")])
+
+    def sender():
+        try:
+            yield from world.source.kernel.send(message)
+        except TransportError:
+            pass
+
+    start = world.engine.now
+    world.engine.run(until=world.engine.process(sender()))
+    calibration = world.calibration
+    timeout, waited = calibration.retransmit_timeout_s, 0.0
+    for _ in range(calibration.retransmit_max_attempts - 1):
+        waited += timeout
+        timeout = min(
+            timeout * calibration.retransmit_backoff_factor,
+            calibration.retransmit_timeout_cap_s,
+        )
+    assert world.engine.now - start >= waited
+
+
+def test_perfect_network_pays_no_reliability_cost(make_world):
+    """Without a fault plan the legacy cost model stays untouched."""
+    world = make_world()
+    assert world.link.faults is None
+    port = world.dest.create_port()
+    ship(world, Message(port, "blob", sections=[InlineSection(bytes(3000))]))
+    assert port.queue.try_get() is not None
+    assert world.link.drops == 0
+    assert registry_value(
+        world, "transport_retransmits_total", host="alpha"
+    ) == 0
+    assert registry_value(
+        world, "transport_duplicates_total", host="beta"
+    ) == 0

@@ -96,7 +96,7 @@ def test_insertion_event_fires_with_process(world):
     assert inserted.blueprint == "minprog"
 
 
-def test_duplicate_context_message_raises(world):
+def test_duplicate_context_message_is_rejected_not_fatal(world):
     from repro.accent.ipc.message import Message
 
     bogus = Message(
@@ -107,17 +107,33 @@ def test_duplicate_context_message_raises(world):
     )
     world.dest.kernel.post(bogus)
     world.dest.kernel.post(bogus2)
-    with pytest.raises(MigrationError, match="duplicate"):
-        world.engine.run()
+    world.engine.run()
+    assert [
+        entry for entry in world.dest_manager.rejected
+        if "duplicate" in entry[2]
+    ]
+    # The server survived the bad message: a real migration still works.
+    built, inserted = migrate(world, "minprog", "pure-copy")
+    assert inserted.host is world.dest
 
 
-def test_unexpected_op_raises(world):
+def test_unexpected_op_is_rejected_not_fatal(world):
     from repro.accent.ipc.message import Message
 
     bogus = Message(world.dest_manager.port, "migrate.bogus", meta={})
     world.dest.kernel.post(bogus)
-    with pytest.raises(MigrationError, match="unexpected op"):
-        world.engine.run()
+    world.engine.run()
+    assert world.dest_manager.rejected == [
+        ("migrate.bogus", None, "unexpected op 'migrate.bogus'")
+    ]
+    assert (
+        world.obs.registry.counter(
+            "migmgr_rejects_total", labels=("host",)
+        ).value(host=world.dest.name)
+        == 1
+    )
+    built, inserted = migrate(world, "minprog", "pure-copy")
+    assert inserted.host is world.dest
 
 
 def test_migrating_unknown_process_raises(world):

@@ -49,3 +49,65 @@ def test_utilisation_reflects_busy_medium():
 
     eng.run(until=eng.process(sender()))
     assert link.utilisation() == pytest.approx(1.0)
+
+
+class _AlwaysDrop:
+    """Stub fault model: eats every frame, remembers why it was asked."""
+
+    def __init__(self):
+        self.recorded = []
+
+    def should_drop(self, source, dest, now):
+        return "loss"
+
+    def record_drop(self, reason):
+        self.recorded.append(reason)
+
+
+def test_transmit_returns_true_when_delivered():
+    eng = Engine()
+    link = Link(eng, Calibration())
+
+    def sender():
+        delivered = yield from link.transmit(1250, source="a", dest="b")
+        return delivered
+
+    assert eng.run(until=eng.process(sender())) is True
+    assert link.drops == 0
+
+
+def test_dropped_frame_burns_medium_time_but_is_not_counted():
+    eng = Engine()
+    calibration = Calibration()
+    link = Link(eng, calibration)
+    link.faults = _AlwaysDrop()
+
+    def sender():
+        delivered = yield from link.transmit(1250, source="a", dest="b")
+        return delivered
+
+    delivered = eng.run(until=eng.process(sender()))
+    assert delivered is False
+    assert link.drops == 1
+    assert link.faults.recorded == ["loss"]
+    # The frame never arrived: no delivery accounting...
+    assert link.frames == 0
+    assert link.bytes == 0
+    # ...and no propagation latency — only the 1 ms serialisation burnt.
+    assert eng.now == pytest.approx(0.001)
+
+
+def test_fault_model_is_skipped_without_endpoints():
+    """Legacy transmit(nbytes) calls bypass the fault model entirely."""
+    eng = Engine()
+    link = Link(eng, Calibration())
+    link.faults = _AlwaysDrop()
+
+    def sender():
+        delivered = yield from link.transmit(1250)
+        return delivered
+
+    assert eng.run(until=eng.process(sender())) is True
+    assert link.drops == 0
+    assert link.faults.recorded == []
+    assert link.frames == 1
