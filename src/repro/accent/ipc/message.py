@@ -181,6 +181,9 @@ class Message:
         self.meta = dict(meta) if meta else {}
         #: Filled by the routing layer for debugging/metrics.
         self.source_host = None
+        #: Causal trace context (:class:`repro.obs.causal.TraceContext`)
+        #: stamped by instrumented senders; None on untraced messages.
+        self.trace_ctx = None
 
     def __repr__(self):
         return (

@@ -19,6 +19,7 @@ from repro.accent.ipc.message import InlineSection, Message, RegionSection
 from repro.accent.vm.address_space import Residency
 from repro.accent.vm.page import Page
 from repro.faults.errors import ResidualDependencyError, TransportError
+from repro.obs import causal
 from repro.sim import Resource
 
 #: Message operation names for the copy-on-reference protocol.
@@ -110,72 +111,115 @@ class Pager:
         fault_started = self.engine.now
         self.host.metrics.record_fault("imaginary")
         calibration = self.calibration
-        with self.cpu.held() as req:
-            yield req
-            yield self.engine.timeout(calibration.pager_overhead_s)
-
         fault_id = next(_fault_ids)
-        request = Message(
-            dest=mapping.handle.backing_port,
-            op=OP_IMAG_READ,
-            sections=[InlineSection(bytes(IMAG_REQUEST_PAYLOAD_BYTES))],
-            reply_port=self.reply_port,
-            meta={
-                "fault_id": fault_id,
-                "page_index": index,
-                "segment_id": mapping.handle.segment_id,
-            },
+        obs = self.host.metrics.obs
+        # The fault nests under whatever phase the process is in (an
+        # exec root after insertion, a transfer phase if mid-migration)
+        # but *carries the trace id of the migration that owed the
+        # page* — the cross-trace stitch point that lets one trace DAG
+        # span raiser, backer, and the shipping in between.
+        fault_span = obs.tracer.span(
+            "fault",
+            parent=obs.current_phase,
+            track=f"pager/{self.host.name}",
+            trace_id=mapping.handle.trace_id,
+            fault_id=fault_id,
+            page=index,
+            segment=mapping.handle.segment_id,
         )
-        reply_event = self.engine.event()
-        self._pending_replies[fault_id] = reply_event
-        request_sent = self.engine.now
+        lifecycle = obs.lifecycle
+        if lifecycle is not None:
+            lifecycle.raised(
+                fault_id,
+                trace_id=fault_span.trace_id,
+                page=index,
+                segment_id=mapping.handle.segment_id,
+                host=self.host.name,
+                now=fault_started,
+            )
         try:
-            yield from self.host.kernel.send(request)
-        except TransportError as error:
-            self._pending_replies.pop(fault_id, None)
-            raise self._residual_dependency(space, index, error) from error
-        if self.host.fault_injector is not None:
-            # The request arrived, but the backing host may die before
-            # the reply escapes it — arm a deadline so a fault in a
-            # faulty world surfaces as a kill, never a hang.
-            deadline = self.engine.timeout(calibration.imag_reply_deadline_s)
-            yield self.engine.any_of([reply_event, deadline])
-            if not reply_event.processed:
+            with self.cpu.held() as req:
+                yield req
+                yield self.engine.timeout(calibration.pager_overhead_s)
+
+            request = Message(
+                dest=mapping.handle.backing_port,
+                op=OP_IMAG_READ,
+                sections=[InlineSection(bytes(IMAG_REQUEST_PAYLOAD_BYTES))],
+                reply_port=self.reply_port,
+                meta={
+                    "fault_id": fault_id,
+                    "page_index": index,
+                    "segment_id": mapping.handle.segment_id,
+                },
+            )
+            causal.attach(request, fault_span)
+            reply_event = self.engine.event()
+            self._pending_replies[fault_id] = reply_event
+            request_sent = self.engine.now
+            try:
+                yield from self.host.kernel.send(request)
+            except TransportError as error:
                 self._pending_replies.pop(fault_id, None)
-                raise self._residual_dependency(
-                    space,
-                    index,
-                    TransportError(
+                if lifecycle is not None:
+                    lifecycle.failed(fault_id, str(error), now=self.engine.now)
+                raise self._residual_dependency(space, index, error) from error
+            if lifecycle is not None:
+                lifecycle.request_done(fault_id, now=self.engine.now)
+            if self.host.fault_injector is not None:
+                # The request arrived, but the backing host may die
+                # before the reply escapes it — arm a deadline so a
+                # fault in a faulty world surfaces as a kill, never a
+                # hang.
+                deadline = self.engine.timeout(
+                    calibration.imag_reply_deadline_s
+                )
+                yield self.engine.any_of([reply_event, deadline])
+                if not reply_event.processed:
+                    self._pending_replies.pop(fault_id, None)
+                    error = TransportError(
                         f"no imaginary read reply within "
                         f"{calibration.imag_reply_deadline_s}s"
-                    ),
-                )
-            reply = reply_event.value
-        else:
-            reply = yield reply_event
-        rtt = self.engine.now - request_sent
+                    )
+                    if lifecycle is not None:
+                        lifecycle.failed(
+                            fault_id, str(error), now=self.engine.now
+                        )
+                    raise self._residual_dependency(space, index, error)
+                reply = reply_event.value
+            else:
+                reply = yield reply_event
+            rtt = self.engine.now - request_sent
+            if lifecycle is not None:
+                lifecycle.reply_done(fault_id, now=self.engine.now)
 
-        region = reply.first_section(RegionSection)
-        if region is None or index not in region.pages:
-            raise PagerError(
-                f"imaginary read reply for page {index} lacks the page"
+            region = reply.first_section(RegionSection)
+            if region is None or index not in region.pages:
+                raise PagerError(
+                    f"imaginary read reply for page {index} lacks the page"
+                )
+            # Install the demanded page and any prefetched companions
+            # that are still owed (they may have raced with other
+            # faults).
+            for page_index in sorted(region.pages):
+                if space.entry(page_index) is not None:
+                    continue
+                page = region.pages[page_index]
+                yield from self._install_resident(space, page_index, page)
+                if page_index != index:
+                    # Mark prefetched arrivals so later touches count
+                    # hits.
+                    space.page_table[page_index].prefetched = True
+            with self.cpu.held() as req:
+                yield req
+                yield self.engine.timeout(calibration.map_in_s)
+            self.host.metrics.record_imag_latency(
+                self.engine.now - fault_started, rtt
             )
-        # Install the demanded page and any prefetched companions that
-        # are still owed (they may have raced with other faults).
-        for page_index in sorted(region.pages):
-            if space.entry(page_index) is not None:
-                continue
-            page = region.pages[page_index]
-            yield from self._install_resident(space, page_index, page)
-            if page_index != index:
-                # Mark prefetched arrivals so later touches count hits.
-                space.page_table[page_index].prefetched = True
-        with self.cpu.held() as req:
-            yield req
-            yield self.engine.timeout(calibration.map_in_s)
-        self.host.metrics.record_imag_latency(
-            self.engine.now - fault_started, rtt
-        )
+            if lifecycle is not None:
+                lifecycle.resumed(fault_id, now=self.engine.now)
+        finally:
+            fault_span.finish()
 
     def _residual_dependency(self, space, index, cause):
         """An owed page's backing host is unreachable: kill the process.

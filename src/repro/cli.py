@@ -6,6 +6,7 @@
     python -m repro precopy pm-mid
     python -m repro balance chess chess pm-mid --hosts 3
     python -m repro report EXPERIMENTS.md
+    python -m repro analyze trace.json
     python -m repro workloads
 """
 
@@ -172,7 +173,7 @@ def build_parser():
         "--json", metavar="FILE", default=None,
         help="also write the trial table as deterministic JSON",
     )
-    _add_common(faults)
+    _add_common(faults, trace=True)
 
     report = commands.add_parser(
         "report", help="regenerate EXPERIMENTS.md (77-trial sweep)"
@@ -199,6 +200,19 @@ def build_parser():
     inspect.add_argument(
         "--top", type=int, default=5,
         help="histograms to show, by observation count",
+    )
+
+    analyze = commands.add_parser(
+        "analyze",
+        help=(
+            "critical-path + fault-lifecycle analysis of a saved "
+            "--trace file"
+        ),
+    )
+    analyze.add_argument("tracefile")
+    analyze.add_argument(
+        "--json", metavar="FILE", default=None,
+        help="also write the per-run analysis as JSON",
     )
 
     commands.add_parser("workloads", help="list the seven representatives")
@@ -393,10 +407,14 @@ def cmd_faults(args, out):
         interval_s=args.flush_interval,
     )
     trials = []
+    traced = []
 
     def run(label, plan):
-        bed = Testbed(seed=args.seed, faults=plan)
+        bed = Testbed(
+            seed=args.seed, instrument=bool(args.trace), faults=plan
+        )
         result = bed.migrate(args.workload, strategy=args.strategy)
+        traced.append((label, result.obs))
         trials.append({
             "trial": label,
             "outcome": result.outcome,
@@ -446,6 +464,9 @@ def cmd_faults(args, out):
             out(f"cannot write {args.json!r}: {error}")
             return 1
         out(f"wrote {args.json}")
+    if args.trace:
+        if _write_trace(args.trace, traced, out):
+            return 1
     # Survival with the flusher (and a clean baseline) is the point;
     # fail loudly if the demonstration did not hold.
     ok = trials[0]["outcome"] == "completed" and all(
@@ -507,6 +528,45 @@ def cmd_inspect(args, out):
     return 0
 
 
+def cmd_analyze(args, out):
+    """Critical-path + fault-lifecycle analysis of a saved trace file.
+
+    Prints one phase breakdown per migration per run (the breakdown
+    partitions the root ``migrate`` span, so phases sum to its
+    duration), plus post-insertion compute/fault attribution and
+    fault-lifecycle percentiles when the trace carries them.  Exit 2 on
+    an unreadable file, 1 if no run holds a migration.
+    """
+    import json as json_module
+
+    from repro.obs import analyze_run, load_chrome, render_analysis
+
+    try:
+        runs = load_chrome(args.tracefile)
+    except (OSError, ValueError) as error:
+        out(f"cannot read trace {args.tracefile!r}: {error}")
+        return 2
+    reports = [analyze_run(run) for run in runs]
+    for report in reports:
+        out(render_analysis(report))
+        out("")
+    if args.json:
+        try:
+            with open(args.json, "w", encoding="utf-8") as handle:
+                json_module.dump(
+                    {"runs": reports}, handle, indent=2, sort_keys=True
+                )
+                handle.write("\n")
+        except OSError as error:
+            out(f"cannot write {args.json!r}: {error}")
+            return 1
+        out(f"wrote {args.json}")
+    if not any(report["migrations"] for report in reports):
+        out(f"{args.tracefile} holds no migrate spans to analyze")
+        return 1
+    return 0
+
+
 def cmd_workloads(args, out):
     """List the seven representative workloads."""
     out(f"{'name':>10}  {'real':>12}  {'total':>14}  {'RS':>9}  description")
@@ -530,6 +590,7 @@ _COMMANDS = {
     "export": cmd_export,
     "figures": cmd_figures,
     "inspect": cmd_inspect,
+    "analyze": cmd_analyze,
     "workloads": cmd_workloads,
 }
 

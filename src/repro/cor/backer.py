@@ -13,6 +13,7 @@ from repro.accent.pager import (
     OP_IMAG_READ_REPLY,
 )
 from repro.cor.imaginary import ImaginarySegment
+from repro.obs import causal
 
 #: Histogram buckets for the residual-dependency vulnerability window:
 #: the window runs from segment creation until the last owed page
@@ -46,9 +47,14 @@ class BackingServer:
     def __repr__(self):
         return f"<BackingServer {self.name} segments={len(self.segments)}>"
 
-    def create_segment(self, pages, label=None):
-        """Register a new segment backed by this server's port."""
-        segment = ImaginarySegment(self.port, pages, label=label)
+    def create_segment(self, pages, label=None, trace_ctx=None):
+        """Register a new segment backed by this server's port.
+
+        ``trace_ctx`` is the causal context of whatever shipment left
+        these pages behind; faults against the segment stitch into it.
+        """
+        segment = ImaginarySegment(self.port, pages, label=label,
+                                   trace_ctx=trace_ctx)
         segment.created_at = self.engine.now
         self.segments[segment.segment_id] = segment
         self.note_progress(segment)
@@ -80,21 +86,45 @@ class BackingServer:
 
     def _handle_read(self, message):
         segment = self.segment(message.meta["segment_id"])
-        yield self.engine.timeout(self.host.calibration.backer_lookup_s)
-        pages = segment.take(message.meta["page_index"], self.prefetch)
-        extra = len(pages) - 1
-        if extra:
-            self.host.metrics.record_prefetch(extra)
-        reply = Message(
-            dest=message.reply_port,
-            op=OP_IMAG_READ_REPLY,
-            sections=[RegionSection(pages, force_copy=True, label="imag-reply")],
-            meta={"fault_id": message.meta["fault_id"]},
+        obs = self.host.metrics.obs
+        # Parent to the fault span that mailed the request (it lives on
+        # the faulting host's track) so the service leg joins the DAG.
+        serve_span = obs.tracer.span(
+            "imag-serve",
+            parent=causal.parent_of(message),
+            track=f"backer/{self.host.name}",
+            segment=segment.segment_id,
+            page=message.meta["page_index"],
         )
-        # Fire-and-forget so the server can overlap reply shipment with
-        # the next request (Accent's backer is not store-and-forward).
-        self.host.kernel.post(reply)
-        self.note_progress(segment)
+        try:
+            yield self.engine.timeout(self.host.calibration.backer_lookup_s)
+            pages = segment.take(message.meta["page_index"], self.prefetch)
+            extra = len(pages) - 1
+            if extra:
+                self.host.metrics.record_prefetch(extra)
+            serve_span.add("pages", len(pages))
+            reply = Message(
+                dest=message.reply_port,
+                op=OP_IMAG_READ_REPLY,
+                sections=[
+                    RegionSection(pages, force_copy=True, label="imag-reply")
+                ],
+                meta={"fault_id": message.meta["fault_id"]},
+            )
+            causal.attach(reply, serve_span)
+            lifecycle = obs.lifecycle
+            if lifecycle is not None:
+                lifecycle.service_done(
+                    message.meta["fault_id"], backer=self.host.name,
+                    pages=len(pages), now=self.engine.now,
+                )
+            # Fire-and-forget so the server can overlap reply shipment
+            # with the next request (Accent's backer is not
+            # store-and-forward).
+            self.host.kernel.post(reply)
+            self.note_progress(segment)
+        finally:
+            serve_span.finish()
 
     def _handle_flush_register(self, message):
         """A migrated-in process asks us to push its owed pages.
@@ -112,6 +142,7 @@ class BackingServer:
             message.reply_port,
             message.meta["process_name"],
             backer=self,
+            trace_ctx=message.trace_ctx,
         )
 
     def note_progress(self, segment):

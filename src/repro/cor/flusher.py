@@ -26,6 +26,7 @@ resolves, and the installer skips pages already present.
 from repro.accent.ipc.message import Message, RegionSection
 from repro.accent.pager import OP_IMAG_PUSH
 from repro.faults.errors import TransportError
+from repro.obs import causal
 
 
 class ResidualFlusher:
@@ -62,19 +63,27 @@ class ResidualFlusher:
         )
 
     # -- source side: pushing ---------------------------------------------------
-    def pump(self, segment, dest_port, process_name, backer):
-        """Start pushing a segment's owed pages toward ``dest_port``."""
+    def pump(self, segment, dest_port, process_name, backer, trace_ctx=None):
+        """Start pushing a segment's owed pages toward ``dest_port``.
+
+        ``trace_ctx`` is the registration message's causal context (the
+        migration that created the residual dependency); every batch
+        span parents under it.
+        """
         pump = self.engine.process(
-            self._pump(segment, dest_port, process_name, backer),
+            self._pump(segment, dest_port, process_name, backer, trace_ctx),
             name=f"{self.host.name}-pump-{segment.label}",
         )
         self.pumps.append(pump)
         return pump
 
-    def _pump(self, segment, dest_port, process_name, backer):
-        registry = self.host.metrics.obs.registry
+    def _pump(self, segment, dest_port, process_name, backer, trace_ctx=None):
+        obs = self.host.metrics.obs
+        registry = obs.registry
         flushed = registry.counter("flushed_pages_total", labels=("host",))
         failures = registry.counter("flush_failures_total", labels=("host",))
+        parent = trace_ctx.span if trace_ctx is not None else None
+        batches = 0
         while True:
             if segment.dead or not segment.owed or self.host.crashed:
                 return
@@ -92,6 +101,16 @@ class ResidualFlusher:
                     "segment_id": segment.segment_id,
                 },
             )
+            batches += 1
+            batch_span = obs.tracer.span(
+                "flush-batch",
+                parent=parent,
+                track=f"flusher/{self.host.name}",
+                segment=segment.segment_id,
+                batch=batches,
+                pages=len(batch),
+            )
+            causal.attach(push, batch_span)
             try:
                 yield from self.host.kernel.send(push)
             except TransportError:
@@ -100,6 +119,8 @@ class ResidualFlusher:
                 # fault (or its absence) settles the process's fate.
                 failures.inc(1, host=self.host.name)
                 return
+            finally:
+                batch_span.finish()
             for index in batch:
                 segment.owed.discard(index)
             segment.pages_delivered += len(batch)

@@ -16,11 +16,14 @@ class ImaginaryHandle:
     ``segment_id``.
     """
 
-    __slots__ = ("segment_id", "backing_port")
+    __slots__ = ("segment_id", "backing_port", "trace_id")
 
-    def __init__(self, segment_id, backing_port):
+    def __init__(self, segment_id, backing_port, trace_id=None):
         self.segment_id = segment_id
         self.backing_port = backing_port
+        #: The causal trace (migration) that owes these pages; residual
+        #: fault spans carry it so they stitch back into that trace.
+        self.trace_id = trace_id
 
     def __repr__(self):
         return f"<ImaginaryHandle seg={self.segment_id} via={self.backing_port!r}>"
@@ -35,10 +38,14 @@ class ImaginarySegment:
     fault raced with a prefetched delivery still in flight.
     """
 
-    def __init__(self, backing_port, pages, segment_id=None, label=None):
+    def __init__(self, backing_port, pages, segment_id=None, label=None,
+                 trace_ctx=None):
         self.segment_id = segment_id if segment_id is not None else next(_segment_ids)
         self.backing_port = backing_port
         self.label = label or f"imag-{self.segment_id}"
+        #: Causal context of the shipment that created this segment
+        #: (None when untraced); propagated through :attr:`handle`.
+        self.trace_ctx = trace_ctx
         #: page index -> Page (the cached data; mapped, not copied).
         self.stash = dict(pages)
         self._sorted_indices = sorted(self.stash)
@@ -60,7 +67,11 @@ class ImaginarySegment:
 
     @property
     def handle(self):
-        return ImaginaryHandle(self.segment_id, self.backing_port)
+        ctx = self.trace_ctx
+        return ImaginaryHandle(
+            self.segment_id, self.backing_port,
+            trace_id=ctx.trace_id if ctx is not None else None,
+        )
 
     @property
     def fully_delivered(self):

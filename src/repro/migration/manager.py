@@ -12,6 +12,7 @@ from repro.accent.vm.address_space import ImaginaryMapping
 from repro.faults.errors import TransportError
 from repro.migration.precopy import OP_PRECOPY_ROUND, precopy_migrate
 from repro.migration.strategy import Strategy
+from repro.obs import causal
 
 
 class MigrationError(Exception):
@@ -59,6 +60,7 @@ class MigrationManager:
 
         root = obs.tracer.span(
             "migrate",
+            trace_id=obs.tracer.new_trace_id() if obs.enabled else None,
             process=process_name,
             strategy=strategy.name,
             source=self.host.name,
@@ -87,7 +89,8 @@ class MigrationManager:
         try:
             # Connection setup plus Core-message handling dominate this
             # phase; the paper measures it at roughly one second (§4.3.2).
-            with transfer_span.child("core"):
+            with transfer_span.child("core") as core_span:
+                causal.attach(core, core_span)
                 metrics.mark("core.start")
                 yield self.engine.timeout(
                     self.host.calibration.migration_setup_s
@@ -95,7 +98,8 @@ class MigrationManager:
                 yield from kernel.send(core)
                 metrics.mark("core.end")
 
-            with transfer_span.child("rimas"):
+            with transfer_span.child("rimas") as rimas_span:
+                causal.attach(rimas, rimas_span)
                 metrics.mark("rimas.start")
                 yield from strategy.prepare(self, rimas)
                 yield from kernel.send(rimas)
@@ -201,7 +205,12 @@ class MigrationManager:
     def _insert(self, name, core, rimas):
         metrics = self.host.metrics
         obs = metrics.obs
-        root = obs.migration_roots.get(name)
+        # The Core message's causal context names the migration that
+        # shipped it; climb to its root rather than trusting the
+        # process-name registry alone (robust to cross-world traces).
+        root = causal.root_of(causal.parent_of(core))
+        if root is None:
+            root = obs.migration_roots.get(name)
         if rimas.meta.get("precopy"):
             self._merge_precopy_stash(name, rimas)
         insert_span = (
@@ -227,23 +236,28 @@ class MigrationManager:
         if event is not None:
             event.succeed(process)
         if self.host.flusher is not None:
-            self._register_flush(name, process)
+            self._register_flush(name, process, root)
 
-    def _register_flush(self, name, process):
-        """Ask each inherited segment's backer to push its owed pages."""
+    def _register_flush(self, name, process, root=None):
+        """Ask each inherited segment's backer to push its owed pages.
+
+        Registrations carry the migration root's causal context so the
+        flusher's batch spans land in the same trace DAG.
+        """
         handles = {}
         for _start, _end, value in process.space.regions.runs():
             if isinstance(value, ImaginaryMapping):
                 handles[value.handle.segment_id] = value.handle
         for segment_id, handle in sorted(handles.items()):
-            self.host.kernel.post(
-                Message(
-                    dest=handle.backing_port,
-                    op=OP_FLUSH_REGISTER,
-                    reply_port=self.host.flusher.port,
-                    meta={"process_name": name, "segment_id": segment_id},
-                )
+            register = Message(
+                dest=handle.backing_port,
+                op=OP_FLUSH_REGISTER,
+                reply_port=self.host.flusher.port,
+                meta={"process_name": name, "segment_id": segment_id},
             )
+            if root is not None:
+                causal.attach(register, root)
+            self.host.kernel.post(register)
 
     # -- pre-copy support (Theimer's V baseline, §5) -----------------------------
     def migrate_precopy(

@@ -12,6 +12,7 @@ delivered and the legacy single-argument ``transmit(nbytes)`` call
 keeps its exact cost profile.
 """
 
+from repro.obs.span import NULL_SPAN
 from repro.sim import Resource
 
 
@@ -36,13 +37,19 @@ class Link:
             f"drops={self.drops}>"
         )
 
-    def transmit(self, nbytes, source=None, dest=None):
+    def transmit(self, nbytes, source=None, dest=None, span=NULL_SPAN):
         """Generator: serialise ``nbytes`` onto the medium, then wait
         out the propagation delay.  Returns True if the frame was
         delivered, False if the fault model ate it.
 
         ``source``/``dest`` are the endpoint Hosts; without them (or
         without an attached fault model) the frame always arrives.
+        ``span`` is the causal span to credit per-frame outcomes to
+        (``frames`` delivered / ``drops`` eaten); the default
+        :data:`NULL_SPAN` discards them for free.  On a perfect
+        network the per-frame counters are skipped entirely — every
+        fragment arrives, so the ship span's ``fragments`` counter
+        already tells the whole story.
         """
         calibration = self.calibration
         with self.medium.held() as req:
@@ -51,12 +58,15 @@ class Link:
                 (nbytes * 8.0) / calibration.link_bandwidth_bps
             )
         faults = self.faults
-        if faults is not None and source is not None and dest is not None:
-            reason = faults.should_drop(source, dest, self.engine.now)
-            if reason is not None:
-                self.drops += 1
-                faults.record_drop(reason)
-                return False
+        if faults is not None:
+            if source is not None and dest is not None:
+                reason = faults.should_drop(source, dest, self.engine.now)
+                if reason is not None:
+                    self.drops += 1
+                    faults.record_drop(reason)
+                    span.add("drops")
+                    return False
+            span.add("frames")
         self.frames += 1
         self.bytes += nbytes
         yield self.engine.timeout(calibration.link_latency_s)

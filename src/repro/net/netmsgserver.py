@@ -23,6 +23,8 @@ from itertools import count
 
 from repro.cor.backer import BackingServer
 from repro.faults.errors import TransportError
+from repro.obs import causal
+from repro.obs.span import NULL_SPAN
 from repro.sim import Resource
 
 
@@ -102,14 +104,18 @@ class NetMsgServer:
         """
         link, peer = self.route_to(dest_host)
         obs = self.host.metrics.obs
+        # Causal parenting: a message carrying a trace context descends
+        # from the span that sent it (a fault, a flush batch, a transfer
+        # sub-phase) even when that span lives on another host's track;
+        # messages without one fall back to the active phase.
         ship_span = obs.tracer.span(
             f"ship {message.op}",
-            parent=obs.current_phase,
+            parent=causal.parent_of(message, obs.current_phase),
             track=f"nms/{self.host.name}",
             dest=dest_host.name,
         )
         try:
-            cached = self._substitute_ious(message)
+            cached = self._substitute_ious(message, ship_span)
             if cached:
                 obs.registry.counter(
                     "iou_substitutions_total", labels=("host",)
@@ -135,7 +141,7 @@ class NetMsgServer:
                 self.pages_shipped_by_op[message.op] += len(section.pages)
             pipes = [
                 self.engine.process(
-                    self._fragment_pipe(size, link, peer, message.op),
+                    self._fragment_pipe(size, link, peer, message.op, ship_span),
                     name=f"frag-{message.op}",
                 )
                 for size in fragment_sizes
@@ -160,7 +166,7 @@ class NetMsgServer:
         finally:
             ship_span.finish()
 
-    def _fragment_pipe(self, wire_bytes, link, peer, category):
+    def _fragment_pipe(self, wire_bytes, link, peer, category, span):
         """One fragment's passage: src NMS -> link -> dst NMS.
 
         On a perfect network (no fault model attached) the fragment
@@ -172,13 +178,15 @@ class NetMsgServer:
         """
         hop = self.calibration.nms_hop_s(wire_bytes)
         if link.faults is not None:
-            yield from self._reliable_fragment(wire_bytes, link, peer, category, hop)
+            yield from self._reliable_fragment(
+                wire_bytes, link, peer, category, hop, span
+            )
             return
         with self.cpu.held() as req:
             yield req
             yield self.engine.timeout(hop)
         self.host.metrics.record_nms(self.host.name, hop)
-        yield from link.transmit(wire_bytes)
+        yield from link.transmit(wire_bytes, span=span)
         self.host.metrics.record_link(
             wire_bytes, category, self.host.name, peer.host.name
         )
@@ -187,7 +195,7 @@ class NetMsgServer:
             yield self.engine.timeout(hop)
         self.host.metrics.record_nms(peer.host.name, hop)
 
-    def _reliable_fragment(self, wire_bytes, link, peer, category, hop):
+    def _reliable_fragment(self, wire_bytes, link, peer, category, hop, span):
         """Deliver one fragment over a faulty wire, or die trying.
 
         The sender keeps the fragment until a positive ack returns; a
@@ -196,62 +204,82 @@ class NetMsgServer:
         receiver only pays the handling CPU cost for the first copy of
         a sequence number — later copies are suppressed as duplicates,
         though each still re-acks so the sender can stop.
+
+        Each retransmission cycle (backoff wait + retried attempt)
+        opens a ``retransmit`` child under the ship span, closed when
+        the retry resolves — an ack, a further retransmit, or failure.
         """
         calibration = self.calibration
         seq = (self.host.name, next(self._seq))
         timeout = calibration.retransmit_timeout_s
         attempts = 0
-        while True:
-            attempts += 1
-            if self.host.crashed:
-                raise TransportError(
-                    f"{self.host.name} crashed while sending {category}"
+        retry_span = NULL_SPAN
+        try:
+            while True:
+                attempts += 1
+                if self.host.crashed:
+                    raise TransportError(
+                        f"{self.host.name} crashed while sending {category}"
+                    )
+                with self.cpu.held() as req:
+                    yield req
+                    yield self.engine.timeout(hop)
+                self.host.metrics.record_nms(self.host.name, hop)
+                delivered = yield from link.transmit(
+                    wire_bytes, source=self.host, dest=peer.host, span=span
                 )
-            with self.cpu.held() as req:
-                yield req
-                yield self.engine.timeout(hop)
-            self.host.metrics.record_nms(self.host.name, hop)
-            delivered = yield from link.transmit(
-                wire_bytes, source=self.host, dest=peer.host
-            )
-            if delivered:
-                self.host.metrics.record_link(
-                    wire_bytes, category, self.host.name, peer.host.name
+                if delivered:
+                    self.host.metrics.record_link(
+                        wire_bytes, category, self.host.name, peer.host.name
+                    )
+                    if seq in peer._seen_seqs:
+                        self._duplicates.inc(1, host=peer.host.name)
+                    else:
+                        peer._seen_seqs.add(seq)
+                        with peer.cpu.held() as req:
+                            yield req
+                            yield self.engine.timeout(hop)
+                        self.host.metrics.record_nms(peer.host.name, hop)
+                    acked = yield from link.transmit(
+                        calibration.ack_wire_bytes,
+                        source=peer.host, dest=self.host, span=span,
+                    )
+                    if acked:
+                        return
+                if attempts >= calibration.retransmit_max_attempts:
+                    raise TransportError(
+                        f"fragment of {category} from {self.host.name} to "
+                        f"{peer.host.name} undeliverable after {attempts} attempts"
+                    )
+                self._retransmits.inc(1, host=self.host.name)
+                span.add("retransmits")
+                retry_span.finish()
+                retry_span = span.child(
+                    "retransmit", attempt=attempts + 1, backoff_s=timeout
                 )
-                if seq in peer._seen_seqs:
-                    self._duplicates.inc(1, host=peer.host.name)
-                else:
-                    peer._seen_seqs.add(seq)
-                    with peer.cpu.held() as req:
-                        yield req
-                        yield self.engine.timeout(hop)
-                    self.host.metrics.record_nms(peer.host.name, hop)
-                acked = yield from link.transmit(
-                    calibration.ack_wire_bytes, source=peer.host, dest=self.host
+                yield self.engine.timeout(timeout)
+                timeout = min(
+                    timeout * calibration.retransmit_backoff_factor,
+                    calibration.retransmit_timeout_cap_s,
                 )
-                if acked:
-                    return
-            if attempts >= calibration.retransmit_max_attempts:
-                raise TransportError(
-                    f"fragment of {category} from {self.host.name} to "
-                    f"{peer.host.name} undeliverable after {attempts} attempts"
-                )
-            self._retransmits.inc(1, host=self.host.name)
-            yield self.engine.timeout(timeout)
-            timeout = min(
-                timeout * calibration.retransmit_backoff_factor,
-                calibration.retransmit_timeout_cap_s,
-            )
+        finally:
+            retry_span.finish()
 
     # -- IOU caching ----------------------------------------------------------------
-    def _substitute_ious(self, message):
+    def _substitute_ious(self, message, ship_span=NULL_SPAN):
         """Cache eligible real-memory sections; pass IOUs instead.
 
-        Returns the list of freshly-created IOU sections.
+        Returns the list of freshly-created IOU sections.  Cached
+        segments remember the shipping span's trace context, so
+        residual faults against them later stitch back into the
+        migration that left the IOU behind.
         """
         if message.no_ious:
             return []
         cached = []
+        trace_ctx = message.trace_ctx
+        if trace_ctx is None and ship_span is not NULL_SPAN:
+            trace_ctx = causal.TraceContext(ship_span)
         for position, section in enumerate(message.sections):
             if not isinstance(section, RegionSection):
                 continue
@@ -260,7 +288,8 @@ class NetMsgServer:
             if section.byte_size <= self.IOU_CACHE_THRESHOLD_BYTES:
                 continue
             segment = self.backing.create_segment(
-                section.pages, label=f"cached-{message.op}"
+                section.pages, label=f"cached-{message.op}",
+                trace_ctx=trace_ctx,
             )
             iou = IOUSection(
                 segment.handle,
@@ -315,4 +344,7 @@ class NetMsgServer:
             meta=message.meta,
         )
         delivered.source_host = message.source_host
+        # The causal context crosses the wire with the message, so the
+        # receiver's handlers can parent their spans to the sender's.
+        delivered.trace_ctx = message.trace_ctx
         return delivered

@@ -20,6 +20,13 @@ and the plain-text summary tree behind ``repro inspect``.
 
 from collections import Counter as _Counter
 
+from repro.obs.causal import TraceContext
+from repro.obs.critpath import (
+    analyze_run,
+    critical_path,
+    phase_breakdown,
+    render_analysis,
+)
 from repro.obs.export import (
     build_chrome,
     load_chrome,
@@ -27,6 +34,7 @@ from repro.obs.export import (
     write_chrome,
     write_jsonl,
 )
+from repro.obs.lifecycle import FaultRecord, LifecycleProfiler
 from repro.obs.registry import (
     DEFAULT_LATENCY_BUCKETS,
     Histogram,
@@ -36,14 +44,21 @@ from repro.obs.span import NULL_SPAN, Span, Tracer
 
 __all__ = [
     "DEFAULT_LATENCY_BUCKETS",
+    "FaultRecord",
     "Histogram",
     "Instrumentation",
+    "LifecycleProfiler",
     "NULL_SPAN",
     "Registry",
     "Span",
+    "TraceContext",
     "Tracer",
+    "analyze_run",
     "build_chrome",
+    "critical_path",
     "load_chrome",
+    "phase_breakdown",
+    "render_analysis",
     "render_summary",
     "write_chrome",
     "write_jsonl",
@@ -57,6 +72,9 @@ class Instrumentation:
         self.enabled = enabled
         self.tracer = Tracer(clock=clock, enabled=enabled)
         self.registry = Registry()
+        #: Fault-lifecycle profiler, or None when disabled — hot-path
+        #: sites guard with a single attribute load.
+        self.lifecycle = LifecycleProfiler() if enabled else None
         #: process name -> open root migration span (cross-host lookup:
         #: the destination manager parents its insert span here).
         self.migration_roots = {}

@@ -1,0 +1,76 @@
+"""Cross-host causal trace context.
+
+Spans on one host nest lexically, but a migration's work hops machines:
+the Core message is shipped by the source NetMsgServer, insertion runs
+at the destination, an imaginary fault at the destination is serviced
+by the source's backer, and flusher batches flow source→destination
+long after the migration span closed.  To stitch those spans into one
+DAG per migration, a :class:`TraceContext` — (trace_id, span) — rides
+on every IPC message (``message.trace_ctx``) and survives every
+transformation a message undergoes:
+
+* **fragmentation / retransmission** — the NetMsgServer parents its
+  ``ship`` span (and any ``retransmit`` children) under the context;
+* **reassembly** — the delivered copy inherits the sender's context;
+* **IOU caching** — a cached segment remembers the context that
+  created it, and stamps its ``trace_id`` into every handle it hands
+  out, so a residual fault months of simulated time later still knows
+  which migration owes it the page;
+* **imaginary fault request/reply** — the request carries the fault
+  span's context; the backer's ``imag-serve`` span and the reply ship
+  parent under it;
+* **flusher batches** — ``flush.register`` carries the migration root's
+  context; every ``flush-batch`` span pumps under it.
+
+When instrumentation is disabled every span is :data:`NULL_SPAN` and
+:func:`attach` is a single identity check, so the trace-context
+plumbing costs nothing on the uninstrumented hot path.
+"""
+
+from repro.obs.span import NULL_SPAN
+
+
+class TraceContext:
+    """One point in one causal trace: the span a message descends from."""
+
+    __slots__ = ("span",)
+
+    def __init__(self, span):
+        self.span = span
+
+    @property
+    def trace_id(self):
+        return self.span.trace_id
+
+    @property
+    def span_id(self):
+        return self.span.span_id
+
+    def __repr__(self):
+        return f"<TraceContext trace={self.trace_id} span=#{self.span_id}>"
+
+
+def attach(message, span):
+    """Stamp ``message`` with ``span``'s context (no-op when disabled)."""
+    if span is not None and span is not NULL_SPAN:
+        message.trace_ctx = TraceContext(span)
+
+
+def parent_of(message, fallback=None):
+    """The span a message-derived span should parent under.
+
+    Prefers the message's carried context; falls back to ``fallback``
+    (typically the instrumentation's current phase) for messages sent
+    outside any traced operation.
+    """
+    ctx = message.trace_ctx
+    return ctx.span if ctx is not None else fallback
+
+
+def root_of(span):
+    """The root of a span's tree (the migration's ``migrate`` span)."""
+    if span is None:
+        return None
+    while span.parent is not None:
+        span = span.parent
+    return span

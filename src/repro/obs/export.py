@@ -24,6 +24,8 @@ def _span_event(span, pid, tid):
     args = {"span_id": span.span_id}
     if span.parent_id is not None:
         args["parent_id"] = span.parent_id
+    if span.trace_id is not None:
+        args["trace_id"] = span.trace_id
     args.update(span.attrs)
     args.update(span.counters)
     end = span.end if span.end is not None else span.start
@@ -73,9 +75,13 @@ def build_chrome(runs):
                         }
                     )
                 events.append(_span_event(span, pid, tid))
-        run_meta.append(
-            {"pid": pid, "label": label, "metrics": obs.registry.snapshot()}
-        )
+        meta = {"pid": pid, "label": label, "metrics": obs.registry.snapshot()}
+        # Fault-lifecycle records ride along, but only when present, so
+        # traces from lifecycle-free runs stay byte-identical.
+        lifecycle = getattr(obs, "lifecycle", None)
+        if lifecycle is not None and lifecycle.records:
+            meta["faults"] = lifecycle.snapshot()
+        run_meta.append(meta)
     return {
         "traceEvents": events,
         "displayTimeUnit": "ms",
@@ -104,6 +110,7 @@ def write_jsonl(path, runs):
                         "name": span.name,
                         "span_id": span.span_id,
                         "parent_id": span.parent_id,
+                        "trace_id": span.trace_id,
                         "track": span.track,
                         "start": span.start,
                         "end": span.end,
@@ -122,6 +129,11 @@ def write_jsonl(path, runs):
                         **series,
                     }
                     handle.write(json.dumps(record, sort_keys=True) + "\n")
+            lifecycle = getattr(obs, "lifecycle", None)
+            if lifecycle is not None:
+                for fault in lifecycle.snapshot():
+                    record = {"type": "fault", "run": label, **fault}
+                    handle.write(json.dumps(record, sort_keys=True) + "\n")
     return path
 
 
@@ -129,13 +141,17 @@ def write_jsonl(path, runs):
 class SpanView:
     """A span reconstructed from a saved trace."""
 
-    __slots__ = ("name", "start", "duration", "track", "args", "children")
+    __slots__ = (
+        "name", "start", "duration", "track", "trace_id", "args", "children",
+    )
 
-    def __init__(self, name, start, duration, track, args):
+    def __init__(self, name, start, duration, track, args, trace_id=None):
         self.name = name
         self.start = start
         self.duration = duration
         self.track = track
+        #: Causal trace the span belongs to (None in foreign traces).
+        self.trace_id = trace_id
         self.args = args
         self.children = []
 
@@ -154,13 +170,15 @@ class SpanView:
 
 
 class RunView:
-    """One run (pid) of a saved trace: span roots plus metrics."""
+    """One run (pid) of a saved trace: span roots, metrics, fault records."""
 
-    def __init__(self, pid, label, roots, metrics):
+    def __init__(self, pid, label, roots, metrics, faults=()):
         self.pid = pid
         self.label = label
         self.roots = roots
         self.metrics = metrics
+        #: Fault-lifecycle records (dicts), when the trace carried any.
+        self.faults = list(faults)
 
     def __repr__(self):
         return f"<RunView {self.label!r} roots={len(self.roots)}>"
@@ -192,17 +210,23 @@ def load_chrome(source):
         args = dict(event.get("args", {}))
         span_id = args.pop("span_id", None)
         parent_id = args.pop("parent_id", None)
+        trace_id = args.pop("trace_id", None)
         view = SpanView(
             event["name"],
             event["ts"] / 1e6,
             event.get("dur", 0) / 1e6,
             thread_names.get((pid, event.get("tid"))),
             args,
+            trace_id=trace_id,
         )
         spans_by_pid.setdefault(pid, []).append((span_id, parent_id, view))
 
     metrics_by_pid = {
         run["pid"]: run["metrics"]
+        for run in data.get("repro", {}).get("runs", ())
+    }
+    faults_by_pid = {
+        run["pid"]: run.get("faults", [])
         for run in data.get("repro", {}).get("runs", ())
     }
     runs = []
@@ -223,14 +247,16 @@ def load_chrome(source):
                 parent.children.append(view)
         runs.append(
             RunView(pid, labels.get(pid, f"run-{pid}"), roots,
-                    metrics_by_pid.get(pid, {}))
+                    metrics_by_pid.get(pid, {}),
+                    faults=faults_by_pid.get(pid, ()))
         )
     # Runs that recorded metrics but no spans still deserve a view.
     for pid in sorted(metrics_by_pid):
         if pid not in spans_by_pid:
             runs.append(
                 RunView(pid, labels.get(pid, f"run-{pid}"), [],
-                        metrics_by_pid[pid])
+                        metrics_by_pid[pid],
+                        faults=faults_by_pid.get(pid, ()))
             )
     runs.sort(key=lambda run: run.pid)
     return runs

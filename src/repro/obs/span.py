@@ -19,16 +19,18 @@ class Span:
     """One named interval: [start, end) in simulated seconds."""
 
     __slots__ = (
-        "tracer", "name", "span_id", "parent", "track",
+        "tracer", "name", "span_id", "parent", "track", "trace_id",
         "start", "end", "attrs", "counters", "children",
     )
 
-    def __init__(self, tracer, name, span_id, parent, track, start, attrs):
+    def __init__(self, tracer, name, span_id, parent, track, start, attrs,
+                 trace_id=None):
         self.tracer = tracer
         self.name = name
         self.span_id = span_id
         self.parent = parent
         self.track = track
+        self.trace_id = trace_id
         self.start = start
         self.end = None
         self.attrs = attrs
@@ -60,7 +62,7 @@ class Span:
     def finish(self, end=None):
         """Close the span (idempotent)."""
         if self.end is None:
-            self.end = self.tracer.now() if end is None else end
+            self.end = self.tracer._clock() if end is None else end
 
     def walk(self):
         """This span then every descendant, depth-first."""
@@ -85,6 +87,7 @@ class NullSpan:
     parent = None
     parent_id = None
     track = None
+    trace_id = None
     start = 0.0
     end = 0.0
     duration = 0.0
@@ -135,6 +138,7 @@ class Tracer:
         self._clock = clock if clock is not None else (lambda: 0.0)
         self.enabled = enabled
         self._ids = count(1)
+        self._trace_ids = count(1)
         #: Top-level spans, in creation order.
         self.roots = []
         self._all = []
@@ -146,16 +150,30 @@ class Tracer:
         """The current simulated time."""
         return self._clock()
 
-    def span(self, name, parent=None, track=None, **attrs):
-        """Open a span starting at the current simulated time."""
+    def new_trace_id(self):
+        """Mint a trace id unique within this tracer (deterministic)."""
+        return f"t{next(self._trace_ids)}"
+
+    def span(self, name, parent=None, track=None, trace_id=None, **attrs):
+        """Open a span starting at the current simulated time.
+
+        ``trace_id`` names the causal trace (one per migration) the
+        span belongs to; unset, it is inherited from the parent, so an
+        explicit id only appears at trace roots and at cross-trace
+        stitch points (a residual fault joining the migration that owed
+        it the page).
+        """
         if not self.enabled:
             return NULL_SPAN
         if parent is NULL_SPAN:
             parent = None
         if track is None:
             track = parent.track if parent is not None else "main"
+        if trace_id is None and parent is not None:
+            trace_id = parent.trace_id
         span = Span(
-            self, name, next(self._ids), parent, track, self._clock(), attrs
+            self, name, next(self._ids), parent, track, self._clock(), attrs,
+            trace_id=trace_id,
         )
         if parent is None:
             self.roots.append(span)
@@ -172,6 +190,10 @@ class Tracer:
     def find(self, name):
         """All spans with this name, in creation order."""
         return [span for span in self._all if span.name == name]
+
+    def trace(self, trace_id):
+        """The DAG of one causal trace: every span carrying this id."""
+        return [span for span in self._all if span.trace_id == trace_id]
 
     def finish_open(self, end=None):
         """Close every still-open span (used before export)."""

@@ -142,6 +142,13 @@ class MigrationResult:
         self.failure = failure
         #: The world's instrumentation (spans + registry), for export.
         self.obs = world.obs
+        #: Fault-lifecycle records (dicts), one per imaginary fault,
+        #: when the world ran instrumented; [] otherwise.
+        self.fault_records = (
+            world.obs.lifecycle.snapshot()
+            if world.obs.lifecycle is not None
+            else []
+        )
         metrics = world.metrics
         self._marks = dict(metrics.marks)
         self.link_records = list(metrics.link_records)

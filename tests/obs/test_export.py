@@ -131,3 +131,89 @@ def test_load_foreign_trace_without_span_ids():
     assert [root.name for root in run.roots] == ["task", "subtask"]
     assert run.roots[0].args == {"note": "external"}
     assert run.label == "run-1"
+    # Causal fields are simply absent, not invented.
+    assert all(root.trace_id is None for root in run.roots)
+    assert run.faults == []
+
+
+def causal_obs():
+    """A run with trace ids, cross-trace links, and fault records."""
+    clock = {"now": 0.0}
+    obs = Instrumentation(clock=lambda: clock["now"], enabled=True)
+    root = obs.tracer.span(
+        "migrate", trace_id=obs.tracer.new_trace_id(), process="demo"
+    )
+    core = root.child("core")
+    ship = core.child("ship migrate.core", track="nms/alpha")
+    clock["now"] = 1.0
+    ship.finish()
+    core.finish()
+    root.finish()
+    # A residual fault: lexically under exec, causally in trace t1.
+    exec_span = obs.tracer.span("exec", process="demo")
+    fault = exec_span.child("fault", track="pager/beta")
+    fault.trace_id = "t1"
+    clock["now"] = 2.0
+    fault.finish()
+    exec_span.finish()
+    obs.lifecycle.raised(
+        1, trace_id="t1", page=7, segment_id=3, host="beta", now=1.0
+    )
+    obs.lifecycle.request_done(1, now=1.2)
+    obs.lifecycle.service_done(1, backer="alpha", pages=2, now=1.3)
+    obs.lifecycle.reply_done(1, now=1.9)
+    obs.lifecycle.resumed(1, now=2.0)
+    return obs
+
+
+def test_causal_args_survive_a_chrome_round_trip(tmp_path):
+    path = tmp_path / "causal.json"
+    write_chrome(path, [("causal", causal_obs())])
+    (run,) = load_chrome(str(path))
+    by_name = {span.name: span for root in run.roots for span in root.walk()}
+    assert by_name["migrate"].trace_id == "t1"
+    assert by_name["core"].trace_id == "t1"
+    assert by_name["ship migrate.core"].trace_id == "t1"
+    # The cross-trace stitch: exec is untraced, its fault child is not.
+    assert by_name["exec"].trace_id is None
+    assert by_name["fault"].trace_id == "t1"
+    # trace_id is a first-class field, not a leftover arg.
+    assert "trace_id" not in by_name["migrate"].args
+    # Parent links rebuilt across tracks.
+    assert by_name["ship migrate.core"].track == "nms/alpha"
+    (migrate_root,) = [r for r in run.roots if r.name == "migrate"]
+    assert by_name["ship migrate.core"] in by_name["core"].children
+    assert by_name["core"] in migrate_root.children
+
+
+def test_fault_records_ride_along_in_the_chrome_trace(tmp_path):
+    path = tmp_path / "causal.json"
+    write_chrome(path, [("causal", causal_obs())])
+    (run,) = load_chrome(str(path))
+    (fault,) = run.faults
+    assert fault["fault_id"] == 1
+    assert fault["trace_id"] == "t1"
+    assert fault["backer"] == "alpha"
+    assert fault["resumed_at"] == 2.0
+    # Lifecycle-free runs keep their meta lean (golden compatibility).
+    data = json.loads(path.read_text(encoding="utf-8"))
+    assert "faults" in data["repro"]["runs"][0]
+    lean = build_chrome([("scripted", scripted_obs())])
+    assert "faults" not in lean["repro"]["runs"][0]
+
+
+def test_jsonl_carries_trace_ids_and_fault_records(tmp_path):
+    path = tmp_path / "causal.jsonl"
+    write_jsonl(path, [("causal", causal_obs())])
+    records = [
+        json.loads(line)
+        for line in path.read_text(encoding="utf-8").splitlines()
+    ]
+    spans = {r["name"]: r for r in records if r["type"] == "span"}
+    assert spans["migrate"]["trace_id"] == "t1"
+    assert spans["fault"]["trace_id"] == "t1"
+    assert spans["exec"]["trace_id"] is None
+    (fault,) = [r for r in records if r["type"] == "fault"]
+    assert fault["run"] == "causal"
+    assert fault["trace_id"] == "t1"
+    assert fault["pages"] == 2

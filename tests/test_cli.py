@@ -160,3 +160,94 @@ def test_inspect_empty_trace_reports_nothing_to_show(tmp_path):
     code, text = run_cli(["inspect", str(empty)])
     assert code == 1
     assert "no spans" in text
+
+
+def test_faults_trace_collects_every_trial(tmp_path):
+    import json
+
+    trace = tmp_path / "faults.json"
+    code, text = run_cli(
+        ["faults", "minprog", "--loss", "0.05", "--crash", "30",
+         "--trace", str(trace)]
+    )
+    assert code == 0
+    assert f"trace written to {trace}" in text
+    data = json.loads(trace.read_text(encoding="utf-8"))
+    labels = [run["label"] for run in data["repro"]["runs"]]
+    assert labels == ["baseline", "loss=0.05", "crash@30", "crash@30+flush"]
+    # Every trial is fully instrumented: spans and fault records.
+    names = {event["name"] for event in data["traceEvents"]}
+    assert {"migrate", "excise", "transfer", "insert"} <= names
+    assert any("faults" in run for run in data["repro"]["runs"])
+    # Retransmit spans from the lossy trial rode along (satellite:
+    # reliable-transport span coverage reaches the export).
+    assert "retransmit" in names
+    assert "flush-batch" in names
+
+
+def test_faults_without_trace_still_works(tmp_path):
+    code, text = run_cli(["faults", "minprog", "--loss", "0.05",
+                          "--crash", "30"])
+    assert code == 0
+    assert "crash@30+flush" in text
+
+
+def test_analyze_prints_phase_breakdown_that_sums(tmp_path):
+    trace = tmp_path / "migrate.json"
+    run_cli(["migrate", "minprog", "--trace", str(trace)])
+    code, text = run_cli(["analyze", str(trace)])
+    assert code == 0
+    assert "migration of minprog (pure-iou)  trace=t1" in text
+    for phase in ("excise", "core-ship", "rimas-ship", "insert"):
+        assert phase in text
+    assert "= attributed" in text
+    assert "fault lifecycle:" in text
+    # The attributed total equals the root-span total (same 3-decimal
+    # rendering on both sides of the "of").
+    import re
+
+    match = re.search(
+        r"= attributed\s+(\d+\.\d+)s\s+of (\d+\.\d+)s root span", text
+    )
+    assert match is not None
+    assert abs(float(match.group(1)) - float(match.group(2))) <= 0.001
+
+
+def test_analyze_from_a_faults_trace(tmp_path):
+    trace = tmp_path / "faults.json"
+    run_cli(["faults", "minprog", "--loss", "0.05", "--crash", "30",
+             "--trace", str(trace)])
+    code, text = run_cli(["analyze", str(trace)])
+    assert code == 0
+    assert "run: baseline" in text and "run: loss=0.05" in text
+    assert text.count("= attributed") >= 4
+
+
+def test_analyze_writes_json_report(tmp_path):
+    import json
+
+    trace = tmp_path / "migrate.json"
+    report = tmp_path / "analysis.json"
+    run_cli(["migrate", "minprog", "--trace", str(trace)])
+    code, text = run_cli(["analyze", str(trace), "--json", str(report)])
+    assert code == 0
+    payload = json.loads(report.read_text(encoding="utf-8"))
+    (run,) = payload["runs"]
+    (migration,) = run["migrations"]
+    attributed = sum(migration["phases"].values())
+    assert abs(attributed - migration["duration_s"]) <= 1e-6
+    assert run["fault_lifecycle"]["stages"]["request"]["p50"] > 0
+
+
+def test_analyze_missing_file_fails_cleanly(tmp_path):
+    code, text = run_cli(["analyze", str(tmp_path / "nope.json")])
+    assert code == 2
+    assert "cannot read trace" in text
+
+
+def test_analyze_without_migrations_reports_it(tmp_path):
+    empty = tmp_path / "empty.json"
+    empty.write_text('{"traceEvents": []}', encoding="utf-8")
+    code, text = run_cli(["analyze", str(empty)])
+    assert code == 1
+    assert "no migrate spans" in text
