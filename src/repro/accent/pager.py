@@ -13,8 +13,6 @@ serialised, but the pager never sits on the CPU while waiting for the
 network — other faults proceed meanwhile, as in Accent.
 """
 
-from itertools import count
-
 from repro.accent.ipc.message import InlineSection, Message, RegionSection
 from repro.accent.vm.address_space import Residency
 from repro.accent.vm.page import Page
@@ -32,8 +30,6 @@ OP_FLUSH_REGISTER = "flush.register"
 
 #: Wire bytes of an Imaginary Read Request's payload.
 IMAG_REQUEST_PAYLOAD_BYTES = 16
-
-_fault_ids = count(1)
 
 
 class PagerError(Exception):
@@ -111,7 +107,7 @@ class Pager:
         fault_started = self.engine.now
         self.host.metrics.record_fault("imaginary")
         calibration = self.calibration
-        fault_id = next(_fault_ids)
+        fault_id = self.engine.serial("fault")
         obs = self.host.metrics.obs
         # The fault nests under whatever phase the process is in (an
         # exec root after insertion, a transfer phase if mid-migration)

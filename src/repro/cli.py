@@ -5,6 +5,7 @@
     python -m repro chain pm-start --path alpha beta gamma --run 0.4
     python -m repro precopy pm-mid
     python -m repro balance chess chess pm-mid --hosts 3
+    python -m repro stress --hosts 16 --procs 64 --seed 7
     python -m repro report EXPERIMENTS.md
     python -m repro analyze trace.json
     python -m repro workloads
@@ -13,6 +14,7 @@
 import argparse
 import sys
 
+from repro.cluster.stress import ARRIVALS
 from repro.faults import FaultPlan, FaultPlanError
 from repro.migration.strategy import PURE_COPY, PURE_IOU, RESIDENT_SET, Strategy
 from repro.testbed import Testbed
@@ -147,7 +149,60 @@ def build_parser():
         choices=("none", "eager-copy", "breakeven"),
         default="breakeven",
     )
+    balance.add_argument(
+        "--inflight", type=int, default=None, metavar="K",
+        help=(
+            "allow up to K concurrent migrations per host via the "
+            "cluster scheduler (default: serialize moves)"
+        ),
+    )
     _add_common(balance, trace=True, faults=True)
+
+    stress = commands.add_parser(
+        "stress",
+        help="deterministic cluster-scale concurrent-migration stress run",
+    )
+    stress.add_argument("--hosts", type=int, default=4)
+    stress.add_argument("--procs", type=int, default=8)
+    stress.add_argument(
+        "--migrations", type=int, default=None,
+        help="migration requests to issue (default: one per process)",
+    )
+    stress.add_argument(
+        "--inflight", type=int, default=4, metavar="K",
+        help="per-host in-flight migration cap",
+    )
+    stress.add_argument(
+        "--queue-limit", type=int, default=None,
+        help="reject submissions beyond this queue depth (default: unbounded)",
+    )
+    stress.add_argument(
+        "--arrival", choices=ARRIVALS, default="uniform",
+        help="inter-arrival pattern for migration requests",
+    )
+    stress.add_argument(
+        "--rate", type=float, default=2.0,
+        help="long-run migration request rate (per simulated second)",
+    )
+    stress.add_argument(
+        "--burst-size", type=int, default=4,
+        help="requests per burst when --arrival burst",
+    )
+    stress.add_argument(
+        "--workloads", nargs="+", default=["minprog"],
+        choices=sorted(WORKLOADS), metavar="NAME",
+        help="workload mix, assigned round-robin across processes",
+    )
+    stress.add_argument("--strategy", choices=Strategy.names(), default=PURE_IOU)
+    stress.add_argument(
+        "--job-seconds", type=float, default=20.0,
+        help="target compute seconds per job (paces the trace)",
+    )
+    stress.add_argument(
+        "--json", metavar="FILE", default=None,
+        help="also write the canonical result (hash input) as JSON",
+    )
+    _add_common(stress, trace=True, faults=True)
 
     faults = commands.add_parser(
         "faults",
@@ -376,15 +431,96 @@ def cmd_balance(args, out):
         args.workloads, hosts=args.hosts, seed=args.seed,
         instrument=bool(args.trace), faults=plan,
     )
-    result = scenario.run(policy)
+    result = scenario.run(policy, inflight_cap=args.inflight)
     out(f"policy {result.policy_name}: makespan {result.makespan_s:.1f}s, "
         f"{len(result.migrations)} migrations, verified {result.verified}")
     for decision in result.migrations:
         out(f"  {decision}")
+    if result.scheduler is not None:
+        scheduler = result.scheduler
+        counts = ", ".join(
+            f"{outcome}={count}"
+            for outcome, count in sorted(scheduler.outcome_counts().items())
+        )
+        out(f"scheduler: cap {scheduler.inflight_cap}/host, "
+            f"peak in-flight {scheduler.peak_inflight}, "
+            f"peak queue {scheduler.peak_queue}  [{counts}]")
     if args.trace:
         if _write_trace(
             args.trace, [(f"balance-{result.policy_name}", result.obs)], out
         ):
+            return 1
+    return 0 if result.verified else 1
+
+
+def cmd_stress(args, out):
+    """Run the deterministic cluster stress harness and print its report."""
+    import json as json_module
+
+    from repro.cluster import StressConfig, run_stress
+
+    plan, code = _load_faults(args, out)
+    if code:
+        return code
+    try:
+        config = StressConfig(
+            hosts=args.hosts,
+            procs=args.procs,
+            migrations=args.migrations,
+            inflight_cap=args.inflight,
+            queue_limit=args.queue_limit,
+            arrival=args.arrival,
+            rate_per_s=args.rate,
+            burst_size=args.burst_size,
+            workloads=args.workloads,
+            strategy=args.strategy,
+            job_seconds=args.job_seconds,
+            seed=args.seed,
+        )
+    except ValueError as error:
+        out(f"bad stress configuration: {error}")
+        return 2
+    result = run_stress(config, instrument=bool(args.trace), faults=plan)
+    counts = ", ".join(
+        f"{outcome}={count}"
+        for outcome, count in sorted(result.outcomes.items())
+    ) or "none"
+    out(f"stress {config.hosts} hosts x {config.procs} procs, "
+        f"{config.migrations} requests ({config.arrival} arrivals at "
+        f"{config.rate_per_s:g}/s), cap {config.inflight_cap}/host, "
+        f"seed {config.seed}")
+    out(f"outcomes          {counts}")
+    out(f"makespan          {result.makespan_s:.1f}s  "
+        f"(throughput {result.throughput_per_s:.3f} migrations/s)")
+    p50 = result.freeze_percentile(0.50)
+    p99 = result.freeze_percentile(0.99)
+    if p50 is not None:
+        out(f"freeze            p50 {p50:.2f}s  p99 {p99:.2f}s")
+    out(f"concurrency       peak {result.peak_inflight} in flight "
+        f"(sustained {result.sustained_inflight}, "
+        f"host peak {result.peak_host_inflight}), "
+        f"queue peak {result.peak_queue}")
+    out(f"bytes on wire     {result.bytes_total:,}")
+    out(f"events dispatched {result.events_dispatched:,}")
+    out(f"verified          {result.verified}")
+    out(f"determinism hash  {result.determinism_hash}")
+    if args.json:
+        try:
+            with open(args.json, "w", encoding="utf-8") as handle:
+                json_module.dump(
+                    result.to_dict(), handle, indent=2, sort_keys=True
+                )
+                handle.write("\n")
+        except OSError as error:
+            out(f"cannot write {args.json!r}: {error}")
+            return 1
+        out(f"wrote {args.json}")
+    if args.trace:
+        label = (
+            f"stress-{config.hosts}x{config.procs}-"
+            f"{config.arrival}-seed{config.seed}"
+        )
+        if _write_trace(args.trace, [(label, result.obs)], out):
             return 1
     return 0 if result.verified else 1
 
@@ -585,6 +721,7 @@ _COMMANDS = {
     "chain": cmd_chain,
     "precopy": cmd_precopy,
     "balance": cmd_balance,
+    "stress": cmd_stress,
     "faults": cmd_faults,
     "report": cmd_report,
     "export": cmd_export,

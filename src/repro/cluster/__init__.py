@@ -1,0 +1,21 @@
+"""Cluster-scale concurrent migration: admission control and stress.
+
+The paper's MigrationManager moves one process at a time.  At cluster
+scale many migrations contend for the same links, pagers, and backing
+ports; :class:`~repro.cluster.scheduler.ClusterScheduler` layers
+per-host admission control and FIFO queueing on top of the managers so
+up to K migrations per host proceed concurrently, and
+:mod:`repro.cluster.stress` drives M hosts / P processes through a
+seeded arrival pattern (``repro stress``).
+"""
+
+from repro.cluster.scheduler import ClusterScheduler, MigrationTicket
+from repro.cluster.stress import StressConfig, StressResult, run_stress
+
+__all__ = [
+    "ClusterScheduler",
+    "MigrationTicket",
+    "StressConfig",
+    "StressResult",
+    "run_stress",
+]

@@ -1,0 +1,268 @@
+"""The deterministic cluster stress harness (``repro stress``).
+
+Builds an M-host world, spreads P managed jobs across it, and replays
+a seeded arrival pattern of migration requests through the
+:class:`~repro.cluster.scheduler.ClusterScheduler`.  Every random
+choice (arrival gaps, which job to move, where to) draws from named
+:class:`~repro.sim.SeededStreams`, so one seed fixes the entire run:
+two runs with the same :class:`StressConfig` produce byte-identical
+traces and the same :attr:`StressResult.determinism_hash`.
+"""
+
+import hashlib
+import json
+
+from repro.cluster.scheduler import ClusterScheduler
+from repro.loadbalance.job import ManagedJob
+from repro.testbed import Testbed
+from repro.workloads.builder import build_process
+from repro.workloads.registry import workload_by_name
+
+#: Supported arrival patterns.
+ARRIVALS = ("uniform", "poisson", "burst")
+
+
+class StressConfig:
+    """Knobs for one stress run (all deterministic given ``seed``)."""
+
+    def __init__(self, hosts=4, procs=8, migrations=None, inflight_cap=4,
+                 queue_limit=None, arrival="uniform", rate_per_s=2.0,
+                 burst_size=4, workloads=("minprog",), strategy="pure-iou",
+                 job_seconds=20.0, seed=7):
+        if hosts < 2:
+            raise ValueError("a stress run needs at least two hosts")
+        if procs < 1:
+            raise ValueError("a stress run needs at least one process")
+        if arrival not in ARRIVALS:
+            raise ValueError(f"arrival must be one of {ARRIVALS}, got {arrival!r}")
+        if rate_per_s <= 0:
+            raise ValueError("rate_per_s must be positive")
+        self.hosts = hosts
+        self.procs = procs
+        #: Migration requests to issue (default: one per process).
+        self.migrations = procs if migrations is None else migrations
+        self.inflight_cap = inflight_cap
+        self.queue_limit = queue_limit
+        self.arrival = arrival
+        self.rate_per_s = rate_per_s
+        self.burst_size = burst_size
+        self.workloads = tuple(workloads)
+        self.strategy = strategy
+        #: Target compute seconds per job (paces the reference trace so
+        #: jobs are still running when migrations land on them).
+        self.job_seconds = job_seconds
+        self.seed = seed
+
+    @property
+    def host_names(self):
+        """Host names for the run: ``node00`` .. ``node{M-1}``."""
+        return tuple(f"node{i:02d}" for i in range(self.hosts))
+
+    def to_dict(self):
+        """Plain-data view (part of the determinism-hash input)."""
+        return {
+            "hosts": self.hosts,
+            "procs": self.procs,
+            "migrations": self.migrations,
+            "inflight_cap": self.inflight_cap,
+            "queue_limit": self.queue_limit,
+            "arrival": self.arrival,
+            "rate_per_s": self.rate_per_s,
+            "burst_size": self.burst_size,
+            "workloads": list(self.workloads),
+            "strategy": self.strategy,
+            "job_seconds": self.job_seconds,
+            "seed": self.seed,
+        }
+
+
+class StressResult:
+    """Everything one stress run measured, canonically serialisable."""
+
+    def __init__(self, config, world, scheduler, jobs, makespan_s):
+        self.config = config
+        self.obs = world.obs
+        self.scheduler = scheduler
+        self.jobs = list(jobs)
+        self.tickets = list(scheduler.tickets)
+        self.makespan_s = makespan_s
+        self.outcomes = scheduler.outcome_counts()
+        self.peak_inflight = scheduler.peak_inflight
+        self.sustained_inflight = scheduler.sustained_inflight()
+        self.peak_queue = scheduler.peak_queue
+        self.peak_host_inflight = scheduler.peak_host_inflight
+        self.samples = list(scheduler.samples)
+        metrics = world.metrics
+        self.bytes_total = metrics.total_link_bytes
+        self.faults = dict(metrics.faults)
+        self.events_dispatched = world.engine.dispatched
+        self.verified = all(
+            job.result.verified
+            for job in self.jobs
+            if job.result.steps_executed
+        )
+
+    @property
+    def completed(self):
+        return self.outcomes.get("completed", 0)
+
+    @property
+    def throughput_per_s(self):
+        """Completed migrations per simulated second."""
+        if self.makespan_s <= 0:
+            return 0.0
+        return self.completed / self.makespan_s
+
+    def freeze_percentile(self, q):
+        """The q-quantile of completed-migration freeze times (exact,
+        nearest-rank over per-ticket values), or None."""
+        freezes = sorted(
+            t.freeze_s for t in self.tickets if t.freeze_s is not None
+        )
+        if not freezes:
+            return None
+        rank = min(len(freezes) - 1, max(0, int(q * len(freezes))))
+        return freezes[rank]
+
+    def to_dict(self):
+        """Canonical plain-data view — the determinism-hash input."""
+        return {
+            "config": self.config.to_dict(),
+            "makespan_s": self.makespan_s,
+            "outcomes": dict(sorted(self.outcomes.items())),
+            "throughput_per_s": self.throughput_per_s,
+            "freeze_p50_s": self.freeze_percentile(0.50),
+            "freeze_p99_s": self.freeze_percentile(0.99),
+            "peak_inflight": self.peak_inflight,
+            "sustained_inflight": self.sustained_inflight,
+            "peak_queue": self.peak_queue,
+            "peak_host_inflight": self.peak_host_inflight,
+            "bytes_total": self.bytes_total,
+            "faults": dict(sorted(self.faults.items())),
+            "events_dispatched": self.events_dispatched,
+            "verified": self.verified,
+            "tickets": [
+                {
+                    "process": t.process_name,
+                    "source": t.source,
+                    "dest": t.dest,
+                    "outcome": t.outcome,
+                    "reason": t.reason,
+                    "submitted_at": t.submitted_at,
+                    "admitted_at": t.admitted_at,
+                    "frozen_at": t.frozen_at,
+                    "finished_at": t.finished_at,
+                }
+                for t in self.tickets
+            ],
+            "jobs": {
+                job.name: {
+                    "host": job.current_host.name if job.current_host else None,
+                    "steps": job.result.steps_executed,
+                    "migrations": job.migrations,
+                    "verified": job.result.verified,
+                }
+                for job in self.jobs
+            },
+        }
+
+    @property
+    def determinism_hash(self):
+        """SHA-256 over the canonical result — equal across replays."""
+        payload = json.dumps(self.to_dict(), sort_keys=True)
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def __repr__(self):
+        return (
+            f"<StressResult {self.config.hosts}x{self.config.procs} "
+            f"completed={self.completed} peak={self.peak_inflight} "
+            f"verified={self.verified}>"
+        )
+
+
+def _interarrival(config, rng, index):
+    """Simulated seconds before request ``index`` is issued."""
+    mean_gap = 1.0 / config.rate_per_s
+    if config.arrival == "uniform":
+        return mean_gap
+    if config.arrival == "poisson":
+        return rng.expovariate(config.rate_per_s)
+    # burst: burst_size requests back to back, then a long gap that
+    # keeps the long-run rate at rate_per_s.
+    if index % config.burst_size:
+        return 0.0
+    return mean_gap * config.burst_size
+
+
+def run_stress(config, calibration=None, instrument=False, faults=None):
+    """Execute one stress run; returns a :class:`StressResult`."""
+    bed = Testbed(
+        seed=config.seed, calibration=calibration,
+        instrument=instrument, faults=faults,
+    )
+    world = bed.world(host_names=config.host_names)
+    engine = world.engine
+
+    jobs = []
+    for index in range(config.procs):
+        workload = config.workloads[index % len(config.workloads)]
+        spec = workload_by_name(workload)
+        host = world.host(config.host_names[index % config.hosts])
+        built = build_process(
+            host, spec, world.streams, name=f"p{index:02d}"
+        )
+        job = ManagedJob(world, built)
+        if config.job_seconds > 0 and job.steps:
+            job.compute_slice_s = config.job_seconds / len(job.steps)
+        jobs.append(job)
+        job.start(host)
+
+    scheduler = ClusterScheduler(
+        world,
+        inflight_cap=config.inflight_cap,
+        queue_limit=config.queue_limit,
+    )
+    jobs_by_name = {job.name: job for job in jobs}
+
+    def follow(ticket):
+        """Re-start the job once its move reaches a terminal state."""
+        yield ticket.done
+        job = jobs_by_name[ticket.process_name]
+        if ticket.outcome == "completed":
+            job.resume_as(ticket.inserted, world.host(ticket.dest))
+        elif ticket.outcome == "aborted" and not job.finished:
+            # Rolled back: the kernel reinserted the process at the
+            # source; pick the reincarnation up and keep running there.
+            process = world.host(ticket.source).kernel.processes.get(
+                ticket.process_name
+            )
+            if process is not None:
+                job.process = process
+                job.start(world.host(ticket.source))
+
+    def arrivals():
+        gaps = world.streams.stream("stress.arrivals")
+        picks = world.streams.stream("stress.picks")
+        names = config.host_names
+        for index in range(config.migrations):
+            gap = _interarrival(config, gaps, index)
+            if gap > 0:
+                yield engine.timeout(gap)
+            job = jobs[picks.randrange(len(jobs))]
+            here = job.current_host.name
+            others = [name for name in names if name != here]
+            dest = others[picks.randrange(len(others))]
+            ticket = scheduler.submit(
+                job.name, dest, source=here,
+                strategy=config.strategy, prepare=job.request_pause,
+            )
+            if ticket.outcome is None:
+                engine.process(follow(ticket), name=f"follow-{job.name}")
+
+    driver = engine.process(arrivals(), name="stress-arrivals")
+    engine.run(until=driver)
+    engine.run(until=scheduler.drain())
+    engine.run(until=engine.all_of([job.done for job in jobs]))
+    makespan = engine.now
+    engine.run()  # drain asynchronous residue (segment deaths etc.)
+    return StressResult(config, world, scheduler, jobs, makespan)

@@ -54,6 +54,7 @@ class BackingServer:
         these pages behind; faults against the segment stitch into it.
         """
         segment = ImaginarySegment(self.port, pages, label=label,
+                                   segment_id=self.engine.serial("segment"),
                                    trace_ctx=trace_ctx)
         segment.created_at = self.engine.now
         self.segments[segment.segment_id] = segment

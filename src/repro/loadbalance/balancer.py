@@ -11,17 +11,25 @@ from repro.workloads.registry import workload_by_name
 class LoadBalancer:
     """Periodically samples loads and executes the policy's decisions.
 
-    One migration is in flight at a time; the job is paused at a step
-    boundary (no fault abandoned mid-protocol), excised, shipped under
-    the policy-chosen strategy, and resumed in its new incarnation.
+    Without a scheduler one migration is in flight at a time: the job
+    is paused at a step boundary (no fault abandoned mid-protocol),
+    excised, shipped under the policy-chosen strategy, and resumed in
+    its new incarnation.  With a
+    :class:`~repro.cluster.scheduler.ClusterScheduler` attached, each
+    decision is *submitted* instead and the sampling loop keeps
+    running — overlapping moves proceed up to the scheduler's per-host
+    in-flight cap, and jobs already on the move are marked
+    ``migrating`` so the policy skips them.
     """
 
-    def __init__(self, world, jobs, policy, interval_s=4.0):
+    def __init__(self, world, jobs, policy, interval_s=4.0, scheduler=None):
         self.world = world
         self.jobs = list(jobs)
         self.policy = policy
         self.interval_s = interval_s
-        #: Executed decisions, in order.
+        #: Optional ClusterScheduler enabling concurrent moves.
+        self.scheduler = scheduler
+        #: Executed decisions, in order of completion.
         self.log = []
         self._server = world.engine.process(self._loop(), name="balancer")
 
@@ -33,7 +41,10 @@ class LoadBalancer:
             decision = self.policy.decide(loads, self.jobs)
             if decision is None:
                 continue
-            yield from self._execute(decision)
+            if self.scheduler is None:
+                yield from self._execute(decision)
+            else:
+                self._submit(decision)
 
     def _execute(self, decision):
         world = self.world
@@ -54,13 +65,52 @@ class LoadBalancer:
         job.resume_as(inserted, world.host(decision.dest))
         self.log.append(decision)
 
+    def _submit(self, decision):
+        """Hand the decision to the scheduler; don't block the loop."""
+        world = self.world
+        job = next(j for j in self.jobs if j.name == decision.job_name)
+        for host in world.hosts.values():
+            host.nms.prefetch = decision.prefetch
+        ticket = self.scheduler.submit(
+            job.name,
+            decision.dest,
+            source=decision.source,
+            strategy=decision.strategy,
+            prepare=job.request_pause,
+        )
+        if ticket.outcome is not None:
+            return  # rejected outright; the job never paused
+        job.migrating = True
+        world.engine.process(
+            self._finish_move(decision, job, ticket),
+            name=f"move-{job.name}",
+        )
+
+    def _finish_move(self, decision, job, ticket):
+        yield ticket.done
+        job.migrating = False
+        if ticket.outcome == "completed":
+            job.resume_as(ticket.inserted, self.world.host(ticket.dest))
+            self.log.append(decision)
+        elif ticket.outcome == "aborted" and not job.finished:
+            # Rolled back: pick up the reincarnation at the source.
+            process = self.world.host(ticket.source).kernel.processes.get(
+                job.name
+            )
+            if process is not None:
+                job.process = process
+                job.start(self.world.host(ticket.source))
+
 
 class ScenarioResult:
     """Outcome of one job-mix run."""
 
-    def __init__(self, policy_name, jobs, log, makespan_s, obs=None):
+    def __init__(self, policy_name, jobs, log, makespan_s, obs=None,
+                 scheduler=None):
         self.policy_name = policy_name
         self.obs = obs
+        #: The ClusterScheduler, when the run used concurrent moves.
+        self.scheduler = scheduler
         self.makespan_s = makespan_s
         self.migrations = list(log)
         self.finish_times = {job.name: job.finished_at for job in jobs}
@@ -94,8 +144,14 @@ class Scenario:
         #: Optional FaultPlan applied to the scenario's world.
         self.faults = faults
 
-    def run(self, policy=None):
-        """Execute the scenario under ``policy``; returns a ScenarioResult."""
+    def run(self, policy=None, inflight_cap=None):
+        """Execute the scenario under ``policy``; returns a ScenarioResult.
+
+        ``inflight_cap`` switches the balancer to concurrent mode: a
+        :class:`~repro.cluster.scheduler.ClusterScheduler` with that
+        per-host cap admits overlapping moves instead of serializing
+        them.
+        """
         policy = policy or NoMigrationPolicy()
         bed = Testbed(
             seed=self.seed, calibration=self.calibration,
@@ -114,13 +170,24 @@ class Scenario:
 
         for job in jobs:
             job.start(origin)
+        scheduler = None
+        if inflight_cap is not None:
+            from repro.cluster.scheduler import ClusterScheduler
+
+            scheduler = ClusterScheduler(world, inflight_cap=inflight_cap)
         balancer = LoadBalancer(
-            world, jobs, policy, interval_s=self.interval_s
+            world, jobs, policy, interval_s=self.interval_s,
+            scheduler=scheduler,
         )
 
         all_done = world.engine.all_of([job.done for job in jobs])
         world.engine.run(until=all_done)
         makespan = world.engine.now
+        if scheduler is not None:
+            # Tickets for jobs that finished just before their pause
+            # still need to resolve (as "skipped") before the world is
+            # quiet.
+            world.engine.run(until=scheduler.drain())
         world.engine.run()  # drain death messages etc.
         return ScenarioResult(
             getattr(policy, "name", type(policy).__name__),
@@ -128,4 +195,5 @@ class Scenario:
             balancer.log,
             makespan,
             obs=world.obs,
+            scheduler=scheduler,
         )

@@ -30,6 +30,9 @@ class ManagedJob:
         self.finished = False
         self.finished_at = None
         self.migrations = 0
+        #: True while a scheduler-managed move is queued or in flight
+        #: (keeps the policy from re-picking a job already on the move).
+        self.migrating = False
         self._pause_requested = False
         self._paused_event = None
         self._body = None
@@ -97,33 +100,48 @@ class ManagedJob:
         head_len = len(page_head(expected_name, 0))
         if self.result.started_at is None:
             self.result.started_at = engine.now
+        # One exec span per incarnation: residual-fault traffic this job
+        # raises while running lands on its own root, not on whatever
+        # migration happens to be in flight at the same instant.
+        obs = self.world.obs
+        exec_span = obs.tracer.span(
+            "exec", process=self.name, host=host.name
+        )
+        obs.push_phase(exec_span)
+        try:
+            while self.position < len(self.steps):
+                if self._pause_requested:
+                    self._signal_paused()
+                    return "paused"
+                step = self.steps[self.position]
+                if self.compute_slice_s > 0:
+                    with host.cpu.held() as grant:
+                        yield grant
+                        yield engine.timeout(self.compute_slice_s)
+                cost = kernel.touch(
+                    self.process, step.page_index, write=step.write
+                )
+                if cost is not None:
+                    yield from cost
+                address = step.page_index * PAGE_SIZE
+                if step.kind == "real":
+                    actual = self.process.space.peek(address, head_len)
+                    expected = page_head(expected_name, step.page_index)
+                    if actual != expected and not actual.startswith(
+                        WRITE_MARKER
+                    ):
+                        self.result.mismatches.append(
+                            (step.page_index, expected, actual)
+                        )
+                if step.write:
+                    self.process.space.poke(address, WRITE_MARKER)
+                self.result.steps_executed += 1
+                self.position += 1
 
-        while self.position < len(self.steps):
-            if self._pause_requested:
-                self._signal_paused()
-                return "paused"
-            step = self.steps[self.position]
-            if self.compute_slice_s > 0:
-                with host.cpu.held() as grant:
-                    yield grant
-                    yield engine.timeout(self.compute_slice_s)
-            cost = kernel.touch(self.process, step.page_index, write=step.write)
-            if cost is not None:
-                yield from cost
-            address = step.page_index * PAGE_SIZE
-            if step.kind == "real":
-                actual = self.process.space.peek(address, head_len)
-                expected = page_head(expected_name, step.page_index)
-                if actual != expected and not actual.startswith(WRITE_MARKER):
-                    self.result.mismatches.append(
-                        (step.page_index, expected, actual)
-                    )
-            if step.write:
-                self.process.space.poke(address, WRITE_MARKER)
-            self.result.steps_executed += 1
-            self.position += 1
-
-        yield from kernel.terminate(self.process.name)
+            yield from kernel.terminate(self.process.name)
+        finally:
+            exec_span.finish()
+            obs.pop_phase(exec_span)
         self.finished = True
         self.finished_at = engine.now
         self.result.finished_at = engine.now

@@ -13,6 +13,7 @@ exported traces without being kept twice; the legacy attribute views
 from collections import Counter, namedtuple
 
 from repro.obs import Instrumentation
+from repro.obs import _UNSET
 
 LinkRecord = namedtuple("LinkRecord", "time bytes category source dest")
 LinkRecord.__doc__ = "One fragment on the wire at a simulated instant."
@@ -51,16 +52,31 @@ class MetricsCollector:
         self.link_records = []
         #: Named phase marks: name -> simulated time.
         self.marks = {}
+        # category -> (bytes child, fragments child): the per-fragment
+        # hot path skips the family's label resolution after first use.
+        self._link_children = {}
 
     # -- recording ----------------------------------------------------------
-    def record_link(self, nbytes, category, source, dest):
-        """A fragment of ``nbytes`` just crossed the link."""
+    def record_link(self, nbytes, category, source, dest, phase=_UNSET):
+        """A fragment of ``nbytes`` just crossed the link.
+
+        ``phase`` is the span to credit the bytes to, resolved by the
+        sender at ship time (None for unattributed traffic); left
+        unset, the instrumentation falls back to the executing
+        context's active phase.
+        """
         self.link_records.append(
             LinkRecord(self.engine.now, nbytes, category, source, dest)
         )
-        self._link_bytes.inc(nbytes, category=category)
-        self._link_fragments.inc(1, category=category)
-        self.obs.on_link(nbytes, category)
+        children = self._link_children.get(category)
+        if children is None:
+            children = self._link_children[category] = (
+                self._link_bytes.labels(category=category),
+                self._link_fragments.labels(category=category),
+            )
+        children[0].inc(nbytes)
+        children[1].inc(1)
+        self.obs.on_link(nbytes, category, phase)
 
     def record_nms(self, host_name, busy_s):
         """The NetMsgServer at ``host_name`` spent ``busy_s`` on a hop."""

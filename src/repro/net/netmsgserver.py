@@ -114,6 +114,13 @@ class NetMsgServer:
             track=f"nms/{self.host.name}",
             dest=dest_host.name,
         )
+        # Byte attribution is resolved once, here, from the message's
+        # causal ancestry: the nearest enclosing phase span owns every
+        # fragment of this shipment.  Resolving per fragment instead
+        # would credit whichever phase happened to be open when the
+        # fragment crossed — wrong as soon as two migrations share the
+        # link.
+        phase = obs.phase_for(ship_span)
         try:
             cached = self._substitute_ious(message, ship_span)
             if cached:
@@ -141,7 +148,9 @@ class NetMsgServer:
                 self.pages_shipped_by_op[message.op] += len(section.pages)
             pipes = [
                 self.engine.process(
-                    self._fragment_pipe(size, link, peer, message.op, ship_span),
+                    self._fragment_pipe(
+                        size, link, peer, message.op, ship_span, phase
+                    ),
                     name=f"frag-{message.op}",
                 )
                 for size in fragment_sizes
@@ -166,7 +175,7 @@ class NetMsgServer:
         finally:
             ship_span.finish()
 
-    def _fragment_pipe(self, wire_bytes, link, peer, category, span):
+    def _fragment_pipe(self, wire_bytes, link, peer, category, span, phase=None):
         """One fragment's passage: src NMS -> link -> dst NMS.
 
         On a perfect network (no fault model attached) the fragment
@@ -179,7 +188,7 @@ class NetMsgServer:
         hop = self.calibration.nms_hop_s(wire_bytes)
         if link.faults is not None:
             yield from self._reliable_fragment(
-                wire_bytes, link, peer, category, hop, span
+                wire_bytes, link, peer, category, hop, span, phase
             )
             return
         with self.cpu.held() as req:
@@ -188,14 +197,15 @@ class NetMsgServer:
         self.host.metrics.record_nms(self.host.name, hop)
         yield from link.transmit(wire_bytes, span=span)
         self.host.metrics.record_link(
-            wire_bytes, category, self.host.name, peer.host.name
+            wire_bytes, category, self.host.name, peer.host.name, phase=phase
         )
         with peer.cpu.held() as req:
             yield req
             yield self.engine.timeout(hop)
         self.host.metrics.record_nms(peer.host.name, hop)
 
-    def _reliable_fragment(self, wire_bytes, link, peer, category, hop, span):
+    def _reliable_fragment(self, wire_bytes, link, peer, category, hop, span,
+                           phase=None):
         """Deliver one fragment over a faulty wire, or die trying.
 
         The sender keeps the fragment until a positive ack returns; a
@@ -230,7 +240,8 @@ class NetMsgServer:
                 )
                 if delivered:
                     self.host.metrics.record_link(
-                        wire_bytes, category, self.host.name, peer.host.name
+                        wire_bytes, category, self.host.name, peer.host.name,
+                        phase=phase,
                     )
                     if seq in peer._seen_seqs:
                         self._duplicates.inc(1, host=peer.host.name)

@@ -29,6 +29,7 @@ from repro.obs.critpath import (
 )
 from repro.obs.export import (
     build_chrome,
+    jsonl_lines,
     load_chrome,
     render_summary,
     write_chrome,
@@ -56,6 +57,7 @@ __all__ = [
     "analyze_run",
     "build_chrome",
     "critical_path",
+    "jsonl_lines",
     "load_chrome",
     "phase_breakdown",
     "render_analysis",
@@ -63,6 +65,11 @@ __all__ = [
     "write_chrome",
     "write_jsonl",
 ]
+
+
+#: Sentinel distinguishing "caller resolved no phase" (None) from
+#: "caller did not resolve a phase at all" (fall back to the context).
+_UNSET = object()
 
 
 class Instrumentation:
@@ -78,11 +85,20 @@ class Instrumentation:
         #: process name -> open root migration span (cross-host lookup:
         #: the destination manager parents its insert span here).
         self.migration_roots = {}
+        #: Phase stack for code running outside any simulated process
+        #: (tests driving the API by hand, setup code).
         self._phases = []
-        #: The innermost open phase span, or None (maintained by
-        #: :meth:`push_phase` / :meth:`pop_phase`; a plain attribute
-        #: because the byte/fault hot paths read it per fragment).
-        self.current_phase = None
+        #: Per-simulated-process phase stacks: Process -> [spans].
+        #: Concurrent migrations each run in their own driver process,
+        #: so attribution must follow *whose* code is executing, not a
+        #: single global stack (which the last pusher would own).
+        self._proc_phases = {}
+        #: Identities of every span ever pushed as a phase — lets
+        #: :meth:`phase_for` find the attribution target by walking a
+        #: span's ancestry (spans are kept alive by the tracer, so ids
+        #: are stable).
+        self._phase_ids = set()
+        self._engine = None
         # category -> interned "bytes.<category>" counter key.
         self._link_keys = {}
         # category -> interned "faults.<kind>" counter key.
@@ -109,29 +125,85 @@ class Instrumentation:
         the event class; counting and stringification happen once at
         :meth:`finalize`.
         """
+        self._engine = engine
         if self.enabled:
             engine.kind_log = self._event_log
             self._engines.append(engine)
 
     # -- phase attribution --------------------------------------------------------
+    def _context_stack(self):
+        """The phase stack of whatever code is executing right now:
+        the active simulated process's own stack, or the global one
+        when no process is running (or no engine is attached)."""
+        engine = self._engine
+        if engine is not None:
+            proc = engine.active_process
+            if proc is not None:
+                stack = self._proc_phases.get(proc)
+                if stack:
+                    return stack
+        return self._phases
+
+    @property
+    def current_phase(self):
+        """The innermost open phase of the *executing context* — the
+        active simulated process's stack top, or the global stack top
+        outside any process."""
+        stack = self._context_stack()
+        return stack[-1] if stack else None
+
     def push_phase(self, span):
-        """Make ``span`` the target for byte/fault attribution."""
+        """Make ``span`` the attribution target for the current context."""
         if span is NULL_SPAN:
             return
-        self._phases.append(span)
-        self.current_phase = span
+        engine = self._engine
+        proc = engine.active_process if engine is not None else None
+        if proc is not None:
+            stack = self._proc_phases.get(proc)
+            if stack is None:
+                stack = self._proc_phases[proc] = []
+        else:
+            stack = self._phases
+        stack.append(span)
+        self._phase_ids.add(id(span))
 
     def pop_phase(self, span):
-        """Retire ``span`` as an attribution target."""
-        if self._phases and self._phases[-1] is span:
-            self._phases.pop()
-        elif span in self._phases:
-            self._phases.remove(span)
-        self.current_phase = self._phases[-1] if self._phases else None
+        """Retire ``span`` as an attribution target (tolerates
+        out-of-order retirement within a stack)."""
+        if span is NULL_SPAN:
+            return
+        engine = self._engine
+        proc = engine.active_process if engine is not None else None
+        stack = self._proc_phases.get(proc) if proc is not None else None
+        if stack is None or span not in stack:
+            stack = self._phases
+        if stack and stack[-1] is span:
+            stack.pop()
+        elif span in stack:
+            stack.remove(span)
+        if proc is not None and not self._proc_phases.get(proc, True):
+            # Drop the empty stack so finished processes can be freed.
+            del self._proc_phases[proc]
 
-    def on_link(self, nbytes, category):
-        """A fragment crossed the wire: credit the active phase."""
-        phase = self.current_phase
+    def phase_for(self, span):
+        """The nearest enclosing *phase* span of ``span`` (inclusive),
+        or None.  Shipments resolve their attribution target once, at
+        send time, from their causal parentage — per-fragment credit
+        then lands on the owning migration's phase no matter which
+        other phases are open when the fragment finally crosses."""
+        phase_ids = self._phase_ids
+        while span is not None and span is not NULL_SPAN:
+            if id(span) in phase_ids:
+                return span
+            span = span.parent
+        return None
+
+    def on_link(self, nbytes, category, phase=_UNSET):
+        """A fragment crossed the wire: credit ``phase`` (resolved by
+        the sender via :meth:`phase_for`), or the context's active
+        phase when the caller did not resolve one."""
+        if phase is _UNSET:
+            phase = self.current_phase
         if phase is None:
             return
         key = self._link_keys.get(category)
@@ -142,7 +214,7 @@ class Instrumentation:
         counters[key] = counters.get(key, 0) + nbytes
 
     def on_fault(self, kind):
-        """A fault resolved: credit the active phase."""
+        """A fault resolved: credit the context's active phase."""
         phase = self.current_phase
         if phase is None:
             return

@@ -97,43 +97,52 @@ def write_chrome(path, runs):
     return path
 
 
+def jsonl_lines(runs):
+    """Generator of JSONL lines (no trailing newline) for ``runs``:
+    spans, then metric series, then fault records per run.  Feeds both
+    :func:`write_jsonl` and determinism checks (hashing the stream
+    without touching disk)."""
+    for label, obs in runs:
+        obs.finalize()
+        for root in obs.tracer.roots:
+            for span in root.walk():
+                record = {
+                    "type": "span",
+                    "run": label,
+                    "name": span.name,
+                    "span_id": span.span_id,
+                    "parent_id": span.parent_id,
+                    "trace_id": span.trace_id,
+                    "track": span.track,
+                    "start": span.start,
+                    "end": span.end,
+                    "attrs": span.attrs,
+                    "counters": span.counters,
+                }
+                yield json.dumps(record, sort_keys=True)
+        for name, family in obs.registry.families():
+            snap = family.snapshot()
+            for series in snap["series"]:
+                record = {
+                    "type": "metric",
+                    "run": label,
+                    "name": name,
+                    "kind": snap["kind"],
+                    **series,
+                }
+                yield json.dumps(record, sort_keys=True)
+        lifecycle = getattr(obs, "lifecycle", None)
+        if lifecycle is not None:
+            for fault in lifecycle.snapshot():
+                record = {"type": "fault", "run": label, **fault}
+                yield json.dumps(record, sort_keys=True)
+
+
 def write_jsonl(path, runs):
     """Write one JSON object per line: spans, then metric series."""
     with open(path, "w", encoding="utf-8") as handle:
-        for label, obs in runs:
-            obs.finalize()
-            for root in obs.tracer.roots:
-                for span in root.walk():
-                    record = {
-                        "type": "span",
-                        "run": label,
-                        "name": span.name,
-                        "span_id": span.span_id,
-                        "parent_id": span.parent_id,
-                        "trace_id": span.trace_id,
-                        "track": span.track,
-                        "start": span.start,
-                        "end": span.end,
-                        "attrs": span.attrs,
-                        "counters": span.counters,
-                    }
-                    handle.write(json.dumps(record, sort_keys=True) + "\n")
-            for name, family in obs.registry.families():
-                snap = family.snapshot()
-                for series in snap["series"]:
-                    record = {
-                        "type": "metric",
-                        "run": label,
-                        "name": name,
-                        "kind": snap["kind"],
-                        **series,
-                    }
-                    handle.write(json.dumps(record, sort_keys=True) + "\n")
-            lifecycle = getattr(obs, "lifecycle", None)
-            if lifecycle is not None:
-                for fault in lifecycle.snapshot():
-                    record = {"type": "fault", "run": label, **fault}
-                    handle.write(json.dumps(record, sort_keys=True) + "\n")
+        for line in jsonl_lines(runs):
+            handle.write(line + "\n")
     return path
 
 

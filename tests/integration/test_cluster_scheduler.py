@@ -1,0 +1,197 @@
+"""Cluster-scheduler integration: admission control, queueing, and the
+hairy interleavings — re-migrating a process whose memory is still owed
+by an earlier move while other traffic shares the link, and racing two
+migrations into one destination across a network partition."""
+
+from repro.cluster import ClusterScheduler
+from repro.faults import FaultPlan, Partition
+from repro.loadbalance import BreakevenPolicy, Scenario
+from repro.testbed import Testbed
+from repro.workloads.builder import build_process
+from repro.workloads.registry import WORKLOADS
+from repro.workloads.runner import RemoteRunResult, remote_body
+
+
+def _replay(world, built, process, host_name):
+    """Run ``built``'s trace in ``process`` at ``host_name``; verify."""
+    result = RemoteRunResult(built.process.name)
+    runner = world.engine.process(
+        remote_body(world.host(host_name), process, built.trace, result)
+    )
+    world.engine.run(until=runner)
+    return result
+
+
+# -- admission control ---------------------------------------------------------
+def test_duplicate_submission_rejected_while_first_in_flight():
+    world = Testbed(seed=11).world()
+    build_process(world.source, WORKLOADS["chess"], world.streams)
+    scheduler = ClusterScheduler(world, inflight_cap=2)
+    first = scheduler.submit("chess", "beta")
+    second = scheduler.submit("chess", "beta")
+    assert second.outcome == "rejected"
+    assert second.reason == "already-migrating"
+    world.engine.run(until=scheduler.drain())
+    world.engine.run()
+    assert first.outcome == "completed"
+    assert "chess" in world.dest.kernel.processes
+
+
+def test_unknown_process_and_same_host_rejected():
+    world = Testbed(seed=12).world()
+    build_process(world.source, WORKLOADS["minprog"], world.streams)
+    scheduler = ClusterScheduler(world)
+    ghost = scheduler.submit("nobody", "beta")
+    assert (ghost.outcome, ghost.reason) == ("rejected", "unknown-process")
+    still = scheduler.submit("minprog", "alpha")
+    assert (still.outcome, still.reason) == ("rejected", "same-host")
+
+
+def test_saturated_destination_queues_then_admits():
+    world = Testbed(seed=13).world(host_names=("alpha", "beta", "gamma"))
+    for index in range(2):
+        build_process(
+            world.host("alpha"), WORKLOADS["minprog"], world.streams,
+            name=f"m{index}",
+        )
+    scheduler = ClusterScheduler(world, inflight_cap=1)
+    first = scheduler.submit("m0", "beta")
+    second = scheduler.submit("m1", "beta")
+    # Both endpoints of the second move are saturated by the first.
+    assert first.admitted_at is not None
+    assert second.admitted_at is None
+    assert scheduler.queued == 1
+    world.engine.run(until=scheduler.drain())
+    world.engine.run()
+    assert first.outcome == "completed"
+    assert second.outcome == "completed"
+    assert second.wait_s > 0
+    assert scheduler.peak_queue == 1
+    assert scheduler.peak_host_inflight == 1
+
+
+def test_queue_limit_rejects_overflow():
+    world = Testbed(seed=14).world()
+    for index in range(3):
+        build_process(
+            world.source, WORKLOADS["minprog"], world.streams,
+            name=f"m{index}",
+        )
+    scheduler = ClusterScheduler(world, inflight_cap=1, queue_limit=1)
+    scheduler.submit("m0", "beta")
+    scheduler.submit("m1", "beta")
+    overflow = scheduler.submit("m2", "beta")
+    assert (overflow.outcome, overflow.reason) == ("rejected", "queue-full")
+    world.engine.run(until=scheduler.drain())
+    world.engine.run()
+    assert scheduler.outcome_counts() == {"completed": 2, "rejected": 1}
+
+
+def test_first_admissible_waiter_skips_ahead_of_blocked_head():
+    """A queued move between saturated hosts must not block a later
+    move between idle ones (first-admissible, not strict FIFO)."""
+    world = Testbed(seed=15).world(
+        host_names=("alpha", "beta", "gamma", "delta")
+    )
+    for name, host in (("a", "alpha"), ("b", "alpha"), ("c", "gamma")):
+        build_process(
+            world.host(host), WORKLOADS["minprog"], world.streams, name=name
+        )
+    scheduler = ClusterScheduler(world, inflight_cap=1)
+    blocking = scheduler.submit("a", "beta")
+    blocked = scheduler.submit("b", "beta")   # queued: alpha and beta busy
+    bypass = scheduler.submit("c", "delta")   # gamma->delta is idle
+    assert blocking.admitted_at is not None
+    assert blocked.admitted_at is None
+    assert bypass.admitted_at is not None     # admitted past the queue head
+    world.engine.run(until=scheduler.drain())
+    world.engine.run()
+    assert scheduler.outcome_counts() == {"completed": 3}
+
+
+# -- residual-dependency interleavings ----------------------------------------
+def test_rechain_of_iou_backed_process_amid_concurrent_traffic():
+    """A process whose whole space is still owed by alpha (pure-IOU)
+    migrates on to gamma while a second migration shares alpha, beta
+    and the link.  The inherited IOUs must keep resolving through the
+    chain and both processes must verify at their final hosts."""
+    world = Testbed(seed=21).world(host_names=("alpha", "beta", "gamma"))
+    chained = build_process(
+        world.host("alpha"), WORKLOADS["minprog"], world.streams,
+        name="chained",
+    )
+    other = build_process(
+        world.host("alpha"), WORKLOADS["chess"], world.streams, name="other"
+    )
+    scheduler = ClusterScheduler(world, inflight_cap=2)
+    first = scheduler.submit("chained", "beta", strategy="pure-iou")
+    world.engine.run(until=first.done)
+    assert first.outcome == "completed"
+    # Nothing was touched at beta: the space is entirely imaginary,
+    # every page owed by alpha's backing segment.
+    assert first.inserted.space.imaginary_bytes > 0
+
+    second = scheduler.submit("chained", "gamma", strategy="pure-iou")
+    crossing = scheduler.submit("other", "beta", strategy="pure-iou")
+    world.engine.run(until=scheduler.drain())
+    assert second.outcome == "completed"
+    assert crossing.outcome == "completed"
+    assert scheduler.peak_inflight == 2  # the moves really overlapped
+
+    chained_result = _replay(world, chained, second.inserted, "gamma")
+    other_result = _replay(world, other, crossing.inserted, "beta")
+    world.engine.run()
+    assert chained_result.verified
+    assert other_result.verified
+    # The chain held: alpha's backer served pages for a process that
+    # had already moved twice.
+    backer = world.host("alpha").nms.backing
+    assert backer.delivered_page_count() > 0
+
+
+def test_racing_moves_to_one_dest_across_partition():
+    """Two concurrent migrations converge on gamma while alpha<->gamma
+    is partitioned: the partitioned move aborts and rolls back to its
+    source, the other completes untouched."""
+    plan = FaultPlan(partitions=[Partition(a="alpha", b="gamma")])
+    world = Testbed(seed=23, faults=plan).world(
+        host_names=("alpha", "beta", "gamma")
+    )
+    doomed = build_process(
+        world.host("alpha"), WORKLOADS["minprog"], world.streams,
+        name="doomed",
+    )
+    build_process(
+        world.host("beta"), WORKLOADS["minprog"], world.streams, name="lucky"
+    )
+    scheduler = ClusterScheduler(world, inflight_cap=2)
+    t_doomed = scheduler.submit("doomed", "gamma")
+    t_lucky = scheduler.submit("lucky", "gamma")
+    world.engine.run(until=scheduler.drain())
+    world.engine.run()
+    assert t_doomed.outcome == "aborted"
+    assert t_lucky.outcome == "completed"
+    # Rollback: the partitioned process survives at its source.
+    assert "doomed" in world.host("alpha").kernel.processes
+    assert "doomed" not in world.host("gamma").kernel.processes
+    assert "lucky" in world.host("gamma").kernel.processes
+    # The survivor still runs its whole trace correctly at the source.
+    survivor = world.host("alpha").kernel.processes["doomed"]
+    result = _replay(world, doomed, survivor, "alpha")
+    world.engine.run()
+    assert result.verified
+
+
+# -- load-balancer integration -------------------------------------------------
+def test_scenario_concurrent_mode_overlaps_moves():
+    scenario = Scenario(
+        ["chess", "pm-mid", "pm-mid", "chess"], hosts=3, seed=42
+    )
+    result = scenario.run(BreakevenPolicy(), inflight_cap=2)
+    assert result.verified
+    scheduler = result.scheduler
+    assert scheduler is not None
+    assert scheduler.peak_inflight >= 2  # moves actually overlapped
+    counts = scheduler.outcome_counts()
+    assert counts.get("completed", 0) == len(result.migrations)
+    assert scheduler.peak_host_inflight <= 2

@@ -1,9 +1,13 @@
 """Concurrency on the shared medium: crossing migrations and overlapped
 remote executions must stay correct (and slower, since the 10 Mbit
-Ethernet and the NetMsgServers are genuinely shared)."""
+Ethernet and the NetMsgServers are genuinely shared) — and, given one
+seed, bit-for-bit reproducible."""
 
 import pytest
 
+from repro.cluster import StressConfig, run_stress
+from repro.faults import FaultPlan, LossRule
+from repro.obs import jsonl_lines
 from repro.sim import SeededStreams
 from repro.testbed import Testbed
 from repro.workloads.builder import build_process
@@ -106,6 +110,82 @@ def test_two_remote_executions_share_one_backer():
     # One backer served both processes' segments.
     backer = world.source.nms.backing
     assert len(backer.retired) + len(backer.segments) >= 2
+
+
+# -- deterministic replay ----------------------------------------------------
+def _trace_blob(label, obs):
+    """The full JSONL export as one byte string (spans, metrics, faults)."""
+    return "\n".join(jsonl_lines([(label, obs)])).encode("utf-8")
+
+
+def _migration_signature(result):
+    """Every externally-observable MigrationResult field."""
+    return {
+        "outcome": result.outcome,
+        "excise_s": result.excise_s,
+        "transfer_s": result.transfer_s,
+        "insert_s": result.insert_s,
+        "migration_s": result.migration_s,
+        "exec_s": result.exec_s,
+        "bytes_total": result.bytes_total,
+        "pages_transferred": result.pages_transferred,
+        "faults": dict(result.faults),
+        "verified": result.verified,
+    }
+
+
+def test_migrate_replays_byte_identically():
+    """One seed fixes a migration trial completely: the result fields
+    and the entire instrumentation export match byte for byte."""
+
+    def trial():
+        result = Testbed(seed=91, instrument=True).migrate(
+            "chess", strategy="pure-iou", prefetch=1
+        )
+        return _migration_signature(result), _trace_blob("migrate", result.obs)
+
+    first_sig, first_blob = trial()
+    second_sig, second_blob = trial()
+    assert first_sig["outcome"] == "completed"
+    assert first_blob  # the export actually carries spans
+    assert first_sig == second_sig
+    assert first_blob == second_blob
+
+
+def test_faulted_migrate_replays_byte_identically():
+    """Fault injection draws from the seeded streams too: a lossy trial
+    replays exactly, drops and retransmits included."""
+
+    def trial():
+        plan = FaultPlan(loss=[LossRule(rate=0.05)])
+        result = Testbed(seed=92, instrument=True, faults=plan).migrate(
+            "minprog", strategy="pure-copy"
+        )
+        signature = _migration_signature(result)
+        signature["link_drops"] = result.link_drops
+        signature["retransmits"] = result.retransmits
+        return signature, _trace_blob("faulted", result.obs)
+
+    first_sig, first_blob = trial()
+    second_sig, second_blob = trial()
+    assert first_sig["retransmits"] > 0
+    assert first_sig == second_sig
+    assert first_blob == second_blob
+
+
+def test_stress_replays_byte_identically():
+    """A whole stress run — arrivals, picks, queueing, every migration —
+    replays to the same canonical hash and the same JSONL trace."""
+
+    def trial():
+        config = StressConfig(hosts=4, procs=6, seed=31, arrival="poisson")
+        result = run_stress(config, instrument=True)
+        return result.determinism_hash, _trace_blob("stress", result.obs)
+
+    first_hash, first_blob = trial()
+    second_hash, second_blob = trial()
+    assert first_hash == second_hash
+    assert first_blob == second_blob
 
 
 def test_three_workloads_fan_out_to_two_destinations():

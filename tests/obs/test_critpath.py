@@ -6,6 +6,9 @@ from repro.obs import analyze_run, build_chrome, load_chrome, render_analysis
 from repro.obs.critpath import classify, critical_path, phase_breakdown
 from repro.obs.span import Tracer
 from repro.testbed import Testbed
+from repro.workloads.builder import build_process
+from repro.workloads.registry import WORKLOADS
+from repro.workloads.runner import RemoteRunResult, remote_body
 
 
 def make_tracer():
@@ -170,6 +173,96 @@ def test_render_analysis_prints_the_breakdown(result):
     assert "post-insertion execution" in text
     assert "fault lifecycle:" in text
     assert "p95=" in text
+
+
+# -- overlapping migrations must not cross-attribute ------------------------------
+def test_overlapping_roots_keep_fault_time_in_their_own_trace():
+    """While one migrated process executes remotely (raising residual
+    imaginary faults), a second migration runs on the same link.  The
+    faults belong to the *first* process's exec root; the concurrent
+    migration's critical path must contain no residual-fault time and
+    its transfer span must count only its own core/RIMAS bytes."""
+    bed = Testbed(seed=77, instrument=True)
+    world = bed.world(host_names=("alpha", "beta", "gamma"))
+    runner = build_process(
+        world.source, WORKLOADS["minprog"], world.streams, name="runner"
+    )
+    build_process(
+        world.source, WORKLOADS["minprog"], world.streams, name="mover"
+    )
+    obs = world.obs
+    runner_inserted = world.manager("beta").expect_insertion("runner")
+
+    def drive_runner():
+        yield from world.manager("alpha").migrate(
+            "runner", world.manager("beta"), "pure-iou"
+        )
+        inserted = yield runner_inserted
+        result = RemoteRunResult("runner")
+        exec_span = obs.tracer.span("exec", process="runner")
+        obs.push_phase(exec_span)
+        yield from remote_body(
+            world.host("beta"), inserted, runner.trace, result
+        )
+        exec_span.finish()
+        obs.pop_phase(exec_span)
+        return result
+
+    def drive_mover():
+        # Start once the runner executes remotely, so the mover's
+        # migration overlaps the runner's residual-fault traffic.
+        yield runner_inserted
+        insertion = world.manager("gamma").expect_insertion("mover")
+        yield from world.manager("alpha").migrate(
+            "mover", world.manager("gamma"), "pure-iou"
+        )
+        yield insertion
+
+    pa = world.engine.process(drive_runner(), name="drive-runner")
+    pb = world.engine.process(drive_mover(), name="drive-mover")
+    run_result = world.engine.run(until=pa)
+    world.engine.run(until=pb)
+    world.engine.run()
+    obs.finalize()
+    assert run_result.verified
+
+    roots = obs.tracer.roots
+    mover_root = next(
+        s for s in roots
+        if s.name == "migrate" and s.attrs.get("process") == "mover"
+    )
+    exec_root = next(s for s in roots if s.name == "exec")
+    fault_spans = obs.tracer.find("fault")
+    assert fault_spans, "the runner must raise residual faults"
+
+    # The mover's migration overlapped the runner's remote execution —
+    # otherwise this test exercises nothing.
+    assert mover_root.start < exec_root.end
+    assert exec_root.start < mover_root.end
+
+    # Every fault span belongs to the runner's exec subtree, never to
+    # the concurrently-open mover migration.
+    exec_subtree = {id(s) for s in exec_root.walk()}
+    mover_subtree = {id(s) for s in mover_root.walk()}
+    for fault in fault_spans:
+        assert id(fault) in exec_subtree
+        assert id(fault) not in mover_subtree
+
+    # The mover's critical path holds no residual-fault time.
+    phases = phase_breakdown(critical_path(mover_root))
+    assert "residual-faults" not in phases
+
+    # Shared-link byte attribution: the mover's transfer span counts
+    # exactly its own core + RIMAS bytes, no bleed-through from the
+    # runner's concurrent fault traffic.
+    transfer = next(s for s in mover_root.children if s.name == "transfer")
+    assert transfer.counters["bytes"] == (
+        transfer.counters.get("bytes.migrate.core", 0)
+        + transfer.counters.get("bytes.migrate.rimas", 0)
+    )
+    # And the runner's fault traffic landed on its exec span.
+    assert exec_root.counters.get("faults.imaginary", 0) > 0
+    assert exec_root.counters.get("bytes", 0) > 0
 
 
 def test_analyze_run_without_migrations_reports_none():

@@ -1,0 +1,107 @@
+"""Property-based cluster-scheduler invariants.
+
+Random fleets of hosts and processes, random move sequences: the
+scheduler must never exceed its per-host cap, never lose or duplicate
+a process, and leave every surviving address space with a consistent
+Accessibility Map.  A second family drives whole stress runs and
+checks the same invariants end to end.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import ClusterScheduler, StressConfig, run_stress
+from repro.cluster.stress import ARRIVALS
+from repro.testbed import Testbed
+from repro.workloads.builder import build_process
+from repro.workloads.registry import WORKLOADS
+
+
+@st.composite
+def cluster_plan(draw):
+    """(hosts, procs, cap, moves, seed) for one scheduler trial."""
+    hosts = draw(st.integers(2, 4))
+    procs = draw(st.integers(1, 4))
+    cap = draw(st.integers(1, 3))
+    moves = draw(
+        st.lists(
+            st.tuples(st.integers(0, procs - 1), st.integers(0, hosts - 1)),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    seed = draw(st.integers(0, 2**16))
+    return hosts, procs, cap, moves, seed
+
+
+@given(cluster_plan())
+@settings(max_examples=20, deadline=None)
+def test_scheduler_respects_cap_and_conserves_processes(plan):
+    hosts, procs, cap, moves, seed = plan
+    host_names = tuple(f"h{i}" for i in range(hosts))
+    world = Testbed(seed=seed).world(host_names=host_names)
+    names = []
+    for index in range(procs):
+        host = world.host(host_names[index % hosts])
+        built = build_process(
+            host, WORKLOADS["minprog"], world.streams, name=f"q{index}"
+        )
+        names.append(built.process.name)
+    scheduler = ClusterScheduler(world, inflight_cap=cap)
+    for proc_index, dest_index in moves:
+        scheduler.submit(names[proc_index], host_names[dest_index])
+    world.engine.run(until=scheduler.drain())
+    world.engine.run()
+
+    # The per-host cap was never exceeded, at source or destination.
+    assert scheduler.peak_host_inflight <= cap
+    # Every submission reached a terminal state.
+    assert all(t.outcome is not None for t in scheduler.tickets)
+    assert sum(scheduler.outcome_counts().values()) == len(scheduler.tickets)
+    # No process was lost or duplicated: exactly one kernel holds each.
+    for name in names:
+        holders = [
+            host_name
+            for host_name in host_names
+            if name in world.host(host_name).kernel.processes
+        ]
+        assert holders and len(holders) == 1, (name, holders)
+    # Every surviving space serves a consistent AMap: coverage matches
+    # the space's own accounting and each run's class matches a point
+    # query at its start.
+    for host_name in host_names:
+        for process in world.host(host_name).kernel.processes.values():
+            space = process.space
+            amap = space.amap()
+            assert amap.total_bytes == space.total_bytes
+            assert amap.real_bytes == space.real_bytes
+            assert amap.imaginary_bytes == space.imaginary_bytes
+            for run in amap.runs():
+                assert space.accessibility(run.start) is run.accessibility
+
+
+@given(
+    st.integers(2, 3),
+    st.integers(2, 4),
+    st.integers(1, 2),
+    st.sampled_from(ARRIVALS),
+    st.integers(0, 2**16),
+)
+@settings(max_examples=10, deadline=None)
+def test_stress_runs_verify_and_respect_cap(hosts, procs, cap, arrival, seed):
+    config = StressConfig(
+        hosts=hosts, procs=procs, inflight_cap=cap, arrival=arrival,
+        seed=seed, job_seconds=6.0,
+    )
+    result = run_stress(config)
+    scheduler = result.scheduler
+    assert scheduler.peak_host_inflight <= cap
+    assert result.verified
+    # Every request was accounted for exactly once.
+    assert sum(result.outcomes.values()) == config.migrations
+    # Every job ran its whole reference trace exactly once, regardless
+    # of how many times it was frozen and reincarnated along the way.
+    for job in result.jobs:
+        assert job.finished
+        assert job.result.steps_executed == len(job.steps)
+        assert not job.result.mismatches
