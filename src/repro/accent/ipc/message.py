@@ -87,10 +87,16 @@ class RegionSection(Section):
     #: Per-page descriptor overhead (target index).
     PAGE_DESCRIPTOR_BYTES = 4
 
-    def __init__(self, pages, force_copy=False, label=None):
+    def __init__(self, pages, force_copy=False, label=None,
+                 transfer_window=None):
         self.pages = dict(pages)
         self.force_copy = force_copy
         self.label = label
+        #: Per-region prefetch window requested by a transfer plan
+        #: (None = no preference).  When the section is IOU-substituted
+        #: the window travels onto the cached segment, widening batched
+        #: fault replies against it.
+        self.transfer_window = transfer_window
 
     def __repr__(self):
         return (

@@ -24,16 +24,48 @@ from repro.sim import Resource
 OP_IMAG_READ = "imag.read"
 OP_IMAG_READ_REPLY = "imag.read.reply"
 OP_IMAG_DEATH = "imag.death"
+#: ... the batched/pipelined variant (multi-page request, streamed
+#: reply parts — see docs/transfer-plans.md) ...
+OP_IMAG_READ_BATCH = "imag.read.batch"
+OP_IMAG_READ_REPLY_PART = "imag.read.reply.part"
 #: ... and for the residual-dependency flusher (repro.cor.flusher).
 OP_IMAG_PUSH = "imag.push"
 OP_FLUSH_REGISTER = "flush.register"
 
 #: Wire bytes of an Imaginary Read Request's payload.
 IMAG_REQUEST_PAYLOAD_BYTES = 16
+#: Extra payload bytes per additional page named in a batched request.
+IMAG_BATCH_PAGE_BYTES = 4
 
 
 class PagerError(Exception):
     """Fault that cannot be resolved (bad reply, missing backing)."""
+
+
+class _BatchCollector:
+    """Concurrent imaginary faults coalescing into one batched request.
+
+    Keyed by (space, segment): every fault raised against the same
+    imaginary segment while the leader pays the pager's administrative
+    overhead joins the open collector instead of mailing its own
+    request.  ``page_events`` fire per demanded page as reply parts
+    install it; ``rtt`` is stamped when the first part lands.
+    """
+
+    __slots__ = ("faults", "page_events", "closed", "rtt")
+
+    def __init__(self):
+        self.faults = []  # (fault_id, page_index, fault_span)
+        self.page_events = {}  # page_index -> completion Event
+        self.closed = False
+        self.rtt = None
+
+    def add(self, engine, fault_id, index, span):
+        """Register one fault; returns the event its faulter waits on."""
+        self.faults.append((fault_id, index, span))
+        event = engine.event()
+        self.page_events[index] = event
+        return event
 
 
 class Pager:
@@ -50,6 +82,15 @@ class Pager:
         self._pending_replies = {}
         #: (space_id, page_index) -> in-flight fault Event, for dedupe.
         self._inflight = {}
+        #: Pages targeted per batched Imaginary Read Request; 1 keeps
+        #: the per-page path (bit-identical to the original protocol).
+        self.batch = 1
+        #: Reply parts a backer may stream per batched request.
+        self.pipeline = 1
+        #: (space_id, segment_id) -> open :class:`_BatchCollector`.
+        self._collectors = {}
+        #: request_id -> reply-part state for in-flight batched requests.
+        self._pending_batches = {}
         self._dispatcher = self.engine.process(
             self._reply_loop(), name=f"{host.name}-pager-dispatch"
         )
@@ -91,7 +132,10 @@ class Pager:
         done = self.engine.event()
         self._inflight[key] = done
         try:
-            yield from self._imaginary_fault_inner(space, index, mapping)
+            if self.batch > 1 or self.pipeline > 1:
+                yield from self._imaginary_fault_batched(space, index, mapping)
+            else:
+                yield from self._imaginary_fault_inner(space, index, mapping)
             done.succeed()
         except BaseException as error:
             # Defused: waiters sharing the fault still see the error
@@ -217,6 +261,199 @@ class Pager:
         finally:
             fault_span.finish()
 
+    # -- batched fault path (batch/pipeline > 1; docs/transfer-plans.md) --------
+    def _imaginary_fault_batched(self, space, index, mapping):
+        """Resolve an imaginary fault through the batched request path.
+
+        The first fault against a (space, segment) pair becomes the
+        *leader*: it pays the pager's administrative overhead once,
+        holds a deferred coalescing window open so concurrent faults
+        can join, then launches one multi-page request.  Every member
+        (leader included) just waits for its own page to be installed
+        by a reply part.
+        """
+        fault_started = self.engine.now
+        self.host.metrics.record_fault("imaginary")
+        fault_id = self.engine.serial("fault")
+        obs = self.host.metrics.obs
+        fault_span = obs.tracer.span(
+            "fault",
+            parent=obs.current_phase,
+            track=f"pager/{self.host.name}",
+            trace_id=mapping.handle.trace_id,
+            fault_id=fault_id,
+            page=index,
+            segment=mapping.handle.segment_id,
+        )
+        lifecycle = obs.lifecycle
+        if lifecycle is not None:
+            lifecycle.raised(
+                fault_id,
+                trace_id=fault_span.trace_id,
+                page=index,
+                segment_id=mapping.handle.segment_id,
+                host=self.host.name,
+                now=fault_started,
+            )
+        try:
+            key = (space.space_id, mapping.handle.segment_id)
+            collector = self._collectors.get(key)
+            if collector is None or collector.closed:
+                collector = _BatchCollector()
+                self._collectors[key] = collector
+                page_done = collector.add(
+                    self.engine, fault_id, index, fault_span
+                )
+                # Leader: one administrative charge for the whole batch.
+                with self.cpu.held() as req:
+                    yield req
+                    yield self.engine.timeout(
+                        self.calibration.pager_overhead_s
+                    )
+                # Coalescing window: every fault raised up to this
+                # instant joins before the deferred wakeup closes it.
+                yield self.engine.defer()
+                collector.closed = True
+                if self._collectors.get(key) is collector:
+                    del self._collectors[key]
+                self.engine.process(
+                    self._run_batch(space, mapping, collector),
+                    name=f"{self.host.name}-imag-batch",
+                )
+            else:
+                page_done = collector.add(
+                    self.engine, fault_id, index, fault_span
+                )
+            yield page_done
+            self.host.metrics.record_imag_latency(
+                self.engine.now - fault_started, collector.rtt
+            )
+            if lifecycle is not None:
+                lifecycle.resumed(fault_id, now=self.engine.now)
+        finally:
+            fault_span.finish()
+
+    def _run_batch(self, space, mapping, collector):
+        """Generator: mail one batched request; install its reply parts.
+
+        Runs as its own engine process so member faulters only block on
+        their page events.  Reply parts stream in (up to the pipeline
+        depth); each is installed and its demanded faulters woken as it
+        lands, so the first pages resume their processes while later
+        parts are still on the wire.
+        """
+        engine = self.engine
+        calibration = self.calibration
+        obs = self.host.metrics.obs
+        lifecycle = obs.lifecycle
+        request_id = engine.serial("batch")
+        demanded = sorted(collector.page_events)
+        window = max(self.batch, len(demanded))
+        payload = (
+            IMAG_REQUEST_PAYLOAD_BYTES
+            + IMAG_BATCH_PAGE_BYTES * (len(demanded) - 1)
+        )
+        request = Message(
+            dest=mapping.handle.backing_port,
+            op=OP_IMAG_READ_BATCH,
+            sections=[InlineSection(bytes(payload))],
+            reply_port=self.reply_port,
+            meta={
+                "request_id": request_id,
+                "faults": [(fid, idx) for fid, idx, _ in collector.faults],
+                "segment_id": mapping.handle.segment_id,
+                "window": window,
+                "pipeline": self.pipeline,
+            },
+        )
+        causal.attach(request, collector.faults[0][2])
+        state = {"queue": [], "event": engine.event()}
+        self._pending_batches[request_id] = state
+        request_sent = engine.now
+        try:
+            yield from self.host.kernel.send(request)
+        except TransportError as error:
+            self._pending_batches.pop(request_id, None)
+            self._fail_batch(space, collector, error)
+            return
+        if lifecycle is not None:
+            for fid, _idx, _span in collector.faults:
+                lifecycle.request_done(fid, now=engine.now)
+
+        received = 0
+        parts_total = None
+        pending_wakeups = dict(collector.page_events)
+        while parts_total is None or received < parts_total:
+            if not state["queue"]:
+                if self.host.fault_injector is not None:
+                    deadline = engine.timeout(
+                        calibration.imag_reply_deadline_s
+                    )
+                    yield engine.any_of([state["event"], deadline])
+                    if not state["event"].processed:
+                        self._pending_batches.pop(request_id, None)
+                        error = TransportError(
+                            f"no batched imaginary read reply within "
+                            f"{calibration.imag_reply_deadline_s}s"
+                        )
+                        self._fail_batch(space, collector, error)
+                        return
+                else:
+                    yield state["event"]
+                state["event"] = engine.event()
+            reply = state["queue"].pop(0)
+            received += 1
+            parts_total = reply.meta["parts"]
+            if collector.rtt is None:
+                collector.rtt = engine.now - request_sent
+            region = reply.first_section(RegionSection)
+            for page_index in sorted(region.pages):
+                if space.entry(page_index) is not None:
+                    continue
+                page = region.pages[page_index]
+                yield from self._install_resident(space, page_index, page)
+                if page_index not in pending_wakeups:
+                    space.page_table[page_index].prefetched = True
+            with self.cpu.held() as req:
+                yield req
+                yield engine.timeout(calibration.map_in_s)
+            for page_index in sorted(region.pages):
+                waiter = pending_wakeups.pop(page_index, None)
+                if waiter is not None:
+                    if lifecycle is not None:
+                        fid = next(
+                            f for f, i, _ in collector.faults
+                            if i == page_index
+                        )
+                        lifecycle.reply_done(fid, now=engine.now)
+                    waiter.succeed()
+        self._pending_batches.pop(request_id, None)
+        if pending_wakeups:
+            missing = sorted(pending_wakeups)
+            raise PagerError(
+                f"batched imaginary reply omitted demanded pages {missing}"
+            )
+
+    def _fail_batch(self, space, collector, error):
+        """Fail every member fault of a dead batch.
+
+        Stamps the lifecycle failures, performs the residual-dependency
+        kill once, and fails each member's page event so waiting
+        faulters raise the typed error at their yield point (defused —
+        a member killed along with its process leaves no waiter).
+        """
+        lifecycle = self.host.metrics.obs.lifecycle
+        if lifecycle is not None:
+            for fid, _idx, _span in collector.faults:
+                lifecycle.failed(fid, str(error), now=self.engine.now)
+        typed = self._residual_dependency(
+            space, collector.faults[0][1], error
+        )
+        for event in collector.page_events.values():
+            if not event.triggered:
+                event.fail(typed)
+                event.defuse()
+
     def _residual_dependency(self, space, index, cause):
         """An owed page's backing host is unreachable: kill the process.
 
@@ -245,6 +482,22 @@ class Pager:
         """Routes imaginary read replies to their waiting faults."""
         while True:
             message = yield self.reply_port.receive()
+            request_id = message.meta.get("request_id")
+            if request_id is not None:
+                state = self._pending_batches.get(request_id)
+                if state is None:
+                    if self.host.fault_injector is not None:
+                        self.host.metrics.obs.registry.counter(
+                            "stale_replies_total", labels=("host",)
+                        ).inc(1, host=self.host.name)
+                        continue
+                    raise PagerError(
+                        f"unmatched batched imaginary reply {request_id!r}"
+                    )
+                state["queue"].append(message)
+                if not state["event"].triggered:
+                    state["event"].succeed()
+                continue
             fault_id = message.meta.get("fault_id")
             waiter = self._pending_replies.pop(fault_id, None)
             if waiter is None:

@@ -1,6 +1,7 @@
 """Command-line interface.
 
     python -m repro migrate lisp-del --strategy pure-iou --prefetch 1
+    python -m repro migrate pm-mid --strategy adaptive --batch 8 --pipeline 4
     python -m repro sweep pm-start
     python -m repro chain pm-start --path alpha beta gamma --run 0.4
     python -m repro precopy pm-mid
@@ -16,6 +17,7 @@ import sys
 
 from repro.cluster.stress import ARRIVALS
 from repro.faults import FaultPlan, FaultPlanError
+from repro.migration.plan import TransferOptions
 from repro.migration.strategy import PURE_COPY, PURE_IOU, RESIDENT_SET, Strategy
 from repro.testbed import Testbed
 from repro.workloads.registry import WORKLOADS
@@ -44,6 +46,55 @@ def _add_common(parser, trace=False, faults=False):
                 "partitions, crashes, flusher; see docs/fault-injection.md)"
             ),
         )
+
+
+def _add_transfer(parser, prefetch=True):
+    """Register the uniform transfer knobs on one subcommand.
+
+    Every migration-running command accepts the same
+    ``--prefetch/--batch/--pipeline`` trio (``sweep`` omits
+    ``--prefetch`` because it sweeps that axis itself); the values feed
+    one :class:`~repro.migration.plan.TransferOptions` record.
+    """
+    if prefetch:
+        parser.add_argument(
+            "--prefetch", type=int, default=0, metavar="N",
+            help="extra contiguous pages the backer returns per request",
+        )
+    parser.add_argument(
+        "--batch", type=int, default=1, metavar="N",
+        help=(
+            "pages targeted per batched Imaginary Read Request "
+            "(1 = classic per-page faults)"
+        ),
+    )
+    parser.add_argument(
+        "--pipeline", type=int, default=1, metavar="D",
+        help=(
+            "reply/shipment pipeline depth "
+            "(1 = serial whole-message transfers)"
+        ),
+    )
+
+
+def _load_transfer(args, out):
+    """(knobs dict, exit code): the validated transfer flags.
+
+    Out-of-range values report cleanly (exit 2) instead of a
+    traceback.  The dict feeds ``options=`` on the testbed entry
+    points, which merge it with their per-command strategy default.
+    """
+    knobs = {
+        "prefetch": getattr(args, "prefetch", 0),
+        "batch": args.batch,
+        "pipeline": args.pipeline,
+    }
+    try:
+        TransferOptions(**knobs)
+    except ValueError as error:
+        out(f"bad transfer options: {error}")
+        return None, 2
+    return knobs, 0
 
 
 def _load_faults(args, out):
@@ -110,13 +161,14 @@ def build_parser():
     migrate.add_argument(
         "--strategy", choices=Strategy.names(), default=PURE_IOU
     )
-    migrate.add_argument("--prefetch", type=int, default=0)
+    _add_transfer(migrate)
     _add_common(migrate, trace=True, faults=True)
 
     sweep = commands.add_parser(
         "sweep", help="strategy × prefetch sweep for one workload"
     )
     sweep.add_argument("workload", choices=sorted(WORKLOADS))
+    _add_transfer(sweep, prefetch=False)
     _add_common(sweep, trace=True, faults=True)
 
     chain = commands.add_parser("chain", help="multi-hop migration")
@@ -130,6 +182,7 @@ def build_parser():
         help="trace fraction to execute at each intermediate host",
     )
     chain.add_argument("--strategy", choices=Strategy.names(), default=PURE_IOU)
+    _add_transfer(chain)
     _add_common(chain, trace=True, faults=True)
 
     precopy = commands.add_parser(
@@ -137,6 +190,7 @@ def build_parser():
     )
     precopy.add_argument("workload", choices=sorted(WORKLOADS))
     precopy.add_argument("--dirty-rate", type=float, default=None)
+    _add_transfer(precopy)
     _add_common(precopy, trace=True, faults=True)
 
     balance = commands.add_parser(
@@ -156,6 +210,7 @@ def build_parser():
             "cluster scheduler (default: serialize moves)"
         ),
     )
+    _add_transfer(balance)
     _add_common(balance, trace=True, faults=True)
 
     stress = commands.add_parser(
@@ -202,6 +257,7 @@ def build_parser():
         "--json", metavar="FILE", default=None,
         help="also write the canonical result (hash input) as JSON",
     )
+    _add_transfer(stress)
     _add_common(stress, trace=True, faults=True)
 
     faults = commands.add_parser(
@@ -279,12 +335,18 @@ def cmd_migrate(args, out):
     plan, code = _load_faults(args, out)
     if code:
         return code
+    knobs, code = _load_transfer(args, out)
+    if code:
+        return code
     bed = Testbed(seed=args.seed, instrument=bool(args.trace), faults=plan)
     result = bed.migrate(
-        args.workload, strategy=args.strategy, prefetch=args.prefetch
+        args.workload, strategy=args.strategy, options=knobs
     )
     out(f"workload          {result.spec.name}")
-    out(f"strategy          {result.strategy} (prefetch {result.prefetch})")
+    knob_report = f"prefetch {result.prefetch}"
+    if result.options.batched:
+        knob_report += f", batch {result.batch}, pipeline {result.pipeline}"
+    out(f"strategy          {result.strategy} ({knob_report})")
     if result.outcome == "completed":
         out(f"excise            {result.excise_s:.2f}s  "
             f"(AMap {result.excise_amap_s:.2f}s, "
@@ -318,9 +380,12 @@ def cmd_sweep(args, out):
     plan, code = _load_faults(args, out)
     if code:
         return code
+    knobs, code = _load_transfer(args, out)
+    if code:
+        return code
     bed = Testbed(seed=args.seed, instrument=bool(args.trace), faults=plan)
     traced = []
-    copy = bed.migrate(args.workload, strategy=PURE_COPY)
+    copy = bed.migrate(args.workload, strategy=PURE_COPY, options=knobs)
     traced.append((f"{args.workload}-copy", copy.obs))
     if copy.outcome != "completed":
         out(f"{args.workload}: pure-copy baseline {copy.outcome} "
@@ -332,7 +397,8 @@ def cmd_sweep(args, out):
     for strategy in (PURE_IOU, RESIDENT_SET):
         for prefetch in (0, 1, 3, 7, 15):
             result = bed.migrate(
-                args.workload, strategy=strategy, prefetch=prefetch
+                args.workload, strategy=strategy,
+                options={**knobs, "prefetch": prefetch},
             )
             tag = "iou" if strategy == PURE_IOU else "rs"
             traced.append((f"{args.workload}-{tag}-pf{prefetch}", result.obs))
@@ -355,6 +421,9 @@ def cmd_chain(args, out):
     plan, code = _load_faults(args, out)
     if code:
         return code
+    knobs, code = _load_transfer(args, out)
+    if code:
+        return code
     bed = Testbed(seed=args.seed, instrument=bool(args.trace), faults=plan)
     fractions = args.run
     if fractions is None:
@@ -364,6 +433,7 @@ def cmd_chain(args, out):
         path=tuple(args.path),
         strategy=args.strategy,
         run_fractions=tuple(fractions),
+        options=knobs,
     )
     out(f"chain {' -> '.join(result.path)} under {result.strategy}")
     for hop, seconds in enumerate(result.hop_times_s, 1):
@@ -388,8 +458,13 @@ def cmd_precopy(args, out):
     plan, code = _load_faults(args, out)
     if code:
         return code
+    knobs, code = _load_transfer(args, out)
+    if code:
+        return code
     bed = Testbed(seed=args.seed, instrument=bool(args.trace), faults=plan)
-    result = bed.migrate_precopy(args.workload, dirty_rate_pps=args.dirty_rate)
+    result = bed.migrate_precopy(
+        args.workload, dirty_rate_pps=args.dirty_rate, options=knobs
+    )
     out(f"pre-copy of {result.spec.name}: {len(result.rounds)} rounds")
     for index, round_ in enumerate(result.rounds, 1):
         out(f"  round {index}: {round_.pages} pages in {round_.seconds:.2f}s")
@@ -427,9 +502,18 @@ def cmd_balance(args, out):
     plan, code = _load_faults(args, out)
     if code:
         return code
+    knobs, code = _load_transfer(args, out)
+    if code:
+        return code
+    # Only a non-default trio pins the knobs scenario-wide; otherwise
+    # the legacy behaviour stands (each policy decision carries its own
+    # prefetch).
+    options = knobs if any(
+        (knobs["prefetch"], knobs["batch"] > 1, knobs["pipeline"] > 1)
+    ) else None
     scenario = Scenario(
         args.workloads, hosts=args.hosts, seed=args.seed,
-        instrument=bool(args.trace), faults=plan,
+        instrument=bool(args.trace), faults=plan, options=options,
     )
     result = scenario.run(policy, inflight_cap=args.inflight)
     out(f"policy {result.policy_name}: makespan {result.makespan_s:.1f}s, "
@@ -476,6 +560,9 @@ def cmd_stress(args, out):
             strategy=args.strategy,
             job_seconds=args.job_seconds,
             seed=args.seed,
+            prefetch=args.prefetch,
+            batch=args.batch,
+            pipeline=args.pipeline,
         )
     except ValueError as error:
         out(f"bad stress configuration: {error}")

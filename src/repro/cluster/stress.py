@@ -14,6 +14,7 @@ import json
 
 from repro.cluster.scheduler import ClusterScheduler
 from repro.loadbalance.job import ManagedJob
+from repro.migration.plan import TransferOptions
 from repro.testbed import Testbed
 from repro.workloads.builder import build_process
 from repro.workloads.registry import workload_by_name
@@ -28,7 +29,7 @@ class StressConfig:
     def __init__(self, hosts=4, procs=8, migrations=None, inflight_cap=4,
                  queue_limit=None, arrival="uniform", rate_per_s=2.0,
                  burst_size=4, workloads=("minprog",), strategy="pure-iou",
-                 job_seconds=20.0, seed=7):
+                 job_seconds=20.0, seed=7, prefetch=0, batch=1, pipeline=1):
         if hosts < 2:
             raise ValueError("a stress run needs at least two hosts")
         if procs < 1:
@@ -37,6 +38,9 @@ class StressConfig:
             raise ValueError(f"arrival must be one of {ARRIVALS}, got {arrival!r}")
         if rate_per_s <= 0:
             raise ValueError("rate_per_s must be positive")
+        # Range-checks prefetch/batch/pipeline so a bad trio fails here,
+        # with the other configuration errors, not mid-run.
+        TransferOptions(prefetch=prefetch, batch=batch, pipeline=pipeline)
         self.hosts = hosts
         self.procs = procs
         #: Migration requests to issue (default: one per process).
@@ -52,15 +56,31 @@ class StressConfig:
         #: jobs are still running when migrations land on them).
         self.job_seconds = job_seconds
         self.seed = seed
+        self.prefetch = prefetch
+        self.batch = batch
+        self.pipeline = pipeline
 
     @property
     def host_names(self):
         """Host names for the run: ``node00`` .. ``node{M-1}``."""
         return tuple(f"node{i:02d}" for i in range(self.hosts))
 
+    @property
+    def transfer_options(self):
+        """The run's :class:`TransferOptions` (strategy + knob trio)."""
+        return TransferOptions(
+            strategy=self.strategy, prefetch=self.prefetch,
+            batch=self.batch, pipeline=self.pipeline,
+        )
+
     def to_dict(self):
-        """Plain-data view (part of the determinism-hash input)."""
-        return {
+        """Plain-data view (part of the determinism-hash input).
+
+        The transfer-knob trio only appears when it deviates from the
+        defaults, so hashes recorded before the knobs existed stay
+        valid for default-knob runs.
+        """
+        data = {
             "hosts": self.hosts,
             "procs": self.procs,
             "migrations": self.migrations,
@@ -74,6 +94,13 @@ class StressConfig:
             "job_seconds": self.job_seconds,
             "seed": self.seed,
         }
+        if self.prefetch:
+            data["prefetch"] = self.prefetch
+        if self.batch != 1:
+            data["batch"] = self.batch
+        if self.pipeline != 1:
+            data["pipeline"] = self.pipeline
+        return data
 
 
 class StressResult:
@@ -201,6 +228,7 @@ def run_stress(config, calibration=None, instrument=False, faults=None):
         instrument=instrument, faults=faults,
     )
     world = bed.world(host_names=config.host_names)
+    world.apply_options(config.transfer_options)
     engine = world.engine
 
     jobs = []

@@ -10,7 +10,9 @@ from repro.accent.pager import (
     OP_FLUSH_REGISTER,
     OP_IMAG_DEATH,
     OP_IMAG_READ,
+    OP_IMAG_READ_BATCH,
     OP_IMAG_READ_REPLY,
+    OP_IMAG_READ_REPLY_PART,
 )
 from repro.cor.imaginary import ImaginarySegment
 from repro.obs import causal
@@ -47,15 +49,19 @@ class BackingServer:
     def __repr__(self):
         return f"<BackingServer {self.name} segments={len(self.segments)}>"
 
-    def create_segment(self, pages, label=None, trace_ctx=None):
+    def create_segment(self, pages, label=None, trace_ctx=None, window=None):
         """Register a new segment backed by this server's port.
 
         ``trace_ctx`` is the causal context of whatever shipment left
         these pages behind; faults against the segment stitch into it.
+        ``window`` is a transfer plan's per-region prefetch window: read
+        replies against the segment are widened to at least that many
+        pages.
         """
         segment = ImaginarySegment(self.port, pages, label=label,
                                    segment_id=self.engine.serial("segment"),
                                    trace_ctx=trace_ctx)
+        segment.window = window
         segment.created_at = self.engine.now
         self.segments[segment.segment_id] = segment
         self.note_progress(segment)
@@ -78,6 +84,8 @@ class BackingServer:
             message = yield self.port.receive()
             if message.op == OP_IMAG_READ:
                 yield from self._handle_read(message)
+            elif message.op == OP_IMAG_READ_BATCH:
+                yield from self._handle_read_batch(message)
             elif message.op == OP_IMAG_DEATH:
                 self._handle_death(message)
             elif message.op == OP_FLUSH_REGISTER:
@@ -99,7 +107,12 @@ class BackingServer:
         )
         try:
             yield self.engine.timeout(self.host.calibration.backer_lookup_s)
-            pages = segment.take(message.meta["page_index"], self.prefetch)
+            prefetch = self.prefetch
+            if segment.window:
+                # A transfer plan asked for a wider per-region window
+                # than the host-level knob provides.
+                prefetch = max(prefetch, segment.window - 1)
+            pages = segment.take(message.meta["page_index"], prefetch)
             extra = len(pages) - 1
             if extra:
                 self.host.metrics.record_prefetch(extra)
@@ -123,6 +136,82 @@ class BackingServer:
             # with the next request (Accent's backer is not
             # store-and-forward).
             self.host.kernel.post(reply)
+            self.note_progress(segment)
+        finally:
+            serve_span.finish()
+
+    def _handle_read_batch(self, message):
+        """Serve one batched Imaginary Read Request (multi-page).
+
+        One lookup charge covers the whole batch; the reply is widened
+        to the request window (further widened by any plan-stamped
+        segment window) and streamed back as up to ``pipeline`` parts —
+        demanded pages in the leading parts so their faulters resume
+        while prefetch tails are still on the wire.
+        """
+        segment = self.segment(message.meta["segment_id"])
+        obs = self.host.metrics.obs
+        faults = message.meta["faults"]
+        demanded = sorted({index for _fid, index in faults})
+        serve_span = obs.tracer.span(
+            "imag-serve-batch",
+            parent=causal.parent_of(message),
+            track=f"backer/{self.host.name}",
+            segment=segment.segment_id,
+            demanded=len(demanded),
+        )
+        try:
+            yield self.engine.timeout(self.host.calibration.backer_lookup_s)
+            window = max(
+                message.meta.get("window", 0),
+                segment.window or 0,
+                len(demanded) + self.prefetch,
+            )
+            pages = segment.take_batch(demanded, window)
+            extra = len(pages) - len(demanded)
+            if extra:
+                self.host.metrics.record_prefetch(extra)
+            serve_span.add("pages", len(pages))
+            lifecycle = obs.lifecycle
+            if lifecycle is not None:
+                for fault_id, _index in faults:
+                    lifecycle.service_done(
+                        fault_id, backer=self.host.name,
+                        pages=len(pages), now=self.engine.now,
+                    )
+            demanded_set = set(demanded)
+            # Demanded pages lead so their faulters resume first.
+            ordered = sorted(
+                pages, key=lambda i: (i not in demanded_set, i)
+            )
+            depth = max(1, min(message.meta.get("pipeline", 1), len(ordered)))
+            size = -(-len(ordered) // depth)  # ceil division
+            chunks = [
+                ordered[start:start + size]
+                for start in range(0, len(ordered), size)
+            ]
+            for part_number, chunk in enumerate(chunks, start=1):
+                reply = Message(
+                    dest=message.reply_port,
+                    op=OP_IMAG_READ_REPLY_PART,
+                    sections=[
+                        RegionSection(
+                            {index: pages[index] for index in chunk},
+                            force_copy=True,
+                            label="imag-reply-part",
+                        )
+                    ],
+                    meta={
+                        "request_id": message.meta["request_id"],
+                        "part": part_number,
+                        "parts": len(chunks),
+                    },
+                )
+                causal.attach(reply, serve_span)
+                # Fire-and-forget: the parts overlap on the link, which
+                # is the pipelining (bandwidth is shared by the
+                # capacity-1 medium interleaving their fragments).
+                self.host.kernel.post(reply)
             self.note_progress(segment)
         finally:
             serve_span.finish()

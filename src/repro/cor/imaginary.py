@@ -53,6 +53,10 @@ class ImaginarySegment:
         self.requests = 0
         self.pages_delivered = 0
         self.dead = False
+        #: Per-region prefetch window stamped by an adaptive transfer
+        #: plan (None = no plan override); the backer widens batched
+        #: replies to at least this many pages.
+        self.window = None
         #: Simulated times bracketing the residual-dependency window:
         #: stamped by the BackingServer at creation and when the last
         #: owed page drains (demand fault, prefetch, or flusher push).
@@ -97,6 +101,41 @@ class ImaginarySegment:
             picked = 0
             for candidate in self._sorted_indices[position:]:
                 if picked >= prefetch:
+                    break
+                if candidate in self.owed:
+                    result[candidate] = self.stash[candidate]
+                    self.owed.discard(candidate)
+                    picked += 1
+        self.pages_delivered += len(result)
+        return result
+
+    def take_batch(self, indices, window=0):
+        """Pages for one batched Imaginary Read Request.
+
+        Returns a dict with every demanded page, topped up to
+        ``window`` total pages with still-owed pages at the nearest
+        higher indices (the same ascending "contiguous neighbours"
+        policy as :meth:`take`, generalised from one demanded page to a
+        batch).  Counts as a single request.  Raises KeyError if any
+        demanded page was never part of the segment.
+        """
+        demanded = sorted(set(indices))
+        for index in demanded:
+            if index not in self.stash:
+                raise KeyError(
+                    f"page {index} is not part of segment {self.segment_id}"
+                )
+        self.requests += 1
+        result = {}
+        for index in demanded:
+            result[index] = self.stash[index]
+            self.owed.discard(index)
+        fill = window - len(result)
+        if fill > 0 and demanded:
+            position = bisect.bisect_right(self._sorted_indices, demanded[0])
+            picked = 0
+            for candidate in self._sorted_indices[position:]:
+                if picked >= fill:
                     break
                 if candidate in self.owed:
                     result[candidate] = self.stash[candidate]

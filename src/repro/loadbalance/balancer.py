@@ -3,6 +3,7 @@
 from repro.loadbalance.job import ManagedJob
 from repro.loadbalance.metrics import snapshot_loads
 from repro.loadbalance.policy import NoMigrationPolicy
+from repro.migration.plan import TransferOptions
 from repro.testbed import Testbed
 from repro.workloads.builder import build_process
 from repro.workloads.registry import workload_by_name
@@ -22,13 +23,20 @@ class LoadBalancer:
     ``migrating`` so the policy skips them.
     """
 
-    def __init__(self, world, jobs, policy, interval_s=4.0, scheduler=None):
+    def __init__(self, world, jobs, policy, interval_s=4.0, scheduler=None,
+                 options=None):
         self.world = world
         self.jobs = list(jobs)
         self.policy = policy
         self.interval_s = interval_s
         #: Optional ClusterScheduler enabling concurrent moves.
         self.scheduler = scheduler
+        #: Scenario-wide :class:`TransferOptions`, or None.  When set,
+        #: the knob trio is pinned for the whole run and the per-move
+        #: ``decision.prefetch`` override is skipped; when None each
+        #: decision installs its own prefetch, as before the knobs
+        #: existed.
+        self.options = options
         #: Executed decisions, in order of completion.
         self.log = []
         self._server = world.engine.process(self._loop(), name="balancer")
@@ -53,8 +61,9 @@ class LoadBalancer:
         yield paused
         if job.finished:
             return  # it beat us to the finish line
-        for host in world.hosts.values():
-            host.nms.prefetch = decision.prefetch
+        if self.options is None:
+            for host in world.hosts.values():
+                host.nms.prefetch = decision.prefetch
         source_manager = world.manager(decision.source)
         dest_manager = world.manager(decision.dest)
         insertion = dest_manager.expect_insertion(job.name)
@@ -69,8 +78,9 @@ class LoadBalancer:
         """Hand the decision to the scheduler; don't block the loop."""
         world = self.world
         job = next(j for j in self.jobs if j.name == decision.job_name)
-        for host in world.hosts.values():
-            host.nms.prefetch = decision.prefetch
+        if self.options is None:
+            for host in world.hosts.values():
+                host.nms.prefetch = decision.prefetch
         ticket = self.scheduler.submit(
             job.name,
             decision.dest,
@@ -134,7 +144,7 @@ class Scenario:
     """
 
     def __init__(self, workloads, hosts=3, seed=1987, calibration=None,
-                 interval_s=4.0, instrument=False, faults=None):
+                 interval_s=4.0, instrument=False, faults=None, options=None):
         self.workload_names = list(workloads)
         self.host_names = tuple(f"node{i}" for i in range(hosts))
         self.seed = seed
@@ -143,6 +153,11 @@ class Scenario:
         self.instrument = instrument
         #: Optional FaultPlan applied to the scenario's world.
         self.faults = faults
+        #: Optional scenario-wide transfer knobs (TransferOptions or
+        #: dict); None keeps the legacy per-decision prefetch override.
+        self.options = (
+            None if options is None else TransferOptions.coerce(options)
+        )
 
     def run(self, policy=None, inflight_cap=None):
         """Execute the scenario under ``policy``; returns a ScenarioResult.
@@ -158,6 +173,8 @@ class Scenario:
             instrument=self.instrument, faults=self.faults,
         )
         world = bed.world(host_names=self.host_names)
+        if self.options is not None:
+            world.apply_options(self.options)
         origin = world.host(self.host_names[0])
 
         jobs = []
@@ -177,7 +194,7 @@ class Scenario:
             scheduler = ClusterScheduler(world, inflight_cap=inflight_cap)
         balancer = LoadBalancer(
             world, jobs, policy, interval_s=self.interval_s,
-            scheduler=scheduler,
+            scheduler=scheduler, options=self.options,
         )
 
         all_done = world.engine.all_of([job.done for job in jobs])

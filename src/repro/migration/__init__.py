@@ -1,23 +1,45 @@
 """The SPICE migration facility (paper §3)."""
 
 from repro.migration.manager import MigrationManager
+from repro.migration.plan import (
+    IOU,
+    PlanContext,
+    RegionDecision,
+    SHIP,
+    TransferOptions,
+    TransferPlan,
+)
 from repro.migration.strategy import (
+    ADAPTIVE,
+    Adaptive,
     PURE_COPY,
     PURE_IOU,
-    RESIDENT_SET,
     PureCopy,
     PureIOU,
+    RESIDENT_SET,
     ResidentSet,
     Strategy,
+    WORKING_SET,
+    WorkingSet,
 )
 
 __all__ = [
+    "ADAPTIVE",
+    "Adaptive",
+    "IOU",
     "MigrationManager",
     "PURE_COPY",
     "PURE_IOU",
+    "PlanContext",
     "PureCopy",
     "PureIOU",
     "RESIDENT_SET",
+    "RegionDecision",
     "ResidentSet",
+    "SHIP",
     "Strategy",
+    "TransferOptions",
+    "TransferPlan",
+    "WORKING_SET",
+    "WorkingSet",
 ]

@@ -10,6 +10,7 @@ from repro.accent.ipc.message import Message, RegionSection
 from repro.accent.pager import OP_FLUSH_REGISTER
 from repro.accent.vm.address_space import ImaginaryMapping
 from repro.faults.errors import TransportError
+from repro.migration.plan import PlanContext, TransferOptions
 from repro.migration.precopy import OP_PRECOPY_ROUND, precopy_migrate
 from repro.migration.strategy import Strategy
 from repro.obs import causal
@@ -33,8 +34,14 @@ class MigrationManager:
         self.port = host.create_port(name=f"{host.name}-migmgr")
         self._pending_contexts = {}
         self._insertion_events = {}
+        #: Fallback :class:`TransferOptions` applied when :meth:`migrate`
+        #: is called without explicit options (set by the Testbed).
+        self.default_options = None
         #: process name -> {page index: freshest pre-copied Page}.
         self._precopy_stash = {}
+        #: process name -> distinct pages absorbed from pre-copy rounds
+        #: (for PrecopyResult.pages_transferred symmetry).
+        self.precopy_pages_merged = {}
         #: (op, process_name, reason) of messages the server refused.
         self.rejected = []
         self._server = self.engine.process(
@@ -45,14 +52,24 @@ class MigrationManager:
         return f"<MigrationManager {self.host.name}>"
 
     # -- source side -------------------------------------------------------------
-    def migrate(self, process_name, dest_manager, strategy):
+    def migrate(self, process_name, dest_manager, strategy, options=None):
         """Generator: excise ``process_name`` and ship it to the peer.
 
         Completes once both context messages have been delivered to the
         destination manager's port (insertion happens asynchronously
         there; wait on :meth:`expect_insertion` for it).  Phase marks
         are stamped into the host metrics collector.
+
+        ``options`` is a :class:`TransferOptions` (or dict); when
+        omitted, :attr:`default_options` applies.  The ``strategy``
+        argument always wins over the options' strategy field so direct
+        callers keep their explicit choice.  With ``pipeline > 1`` the
+        Core and RIMAS context messages ship concurrently, sharing the
+        link instead of serialising whole messages.
         """
+        options = TransferOptions.coerce(
+            options if options is not None else self.default_options
+        ).with_strategy(strategy)
         strategy = Strategy.by_name(strategy)
         metrics = self.host.metrics
         kernel = self.host.kernel
@@ -84,8 +101,16 @@ class MigrationManager:
         core.dest = dest_manager.port
         rimas.dest = dest_manager.port
 
+        plan = strategy.plan(PlanContext(self, rimas, options))
+
         transfer_span = root.child("transfer")
         obs.push_phase(transfer_span)
+        if options.pipeline > 1:
+            yield from self._transfer_pipelined(
+                process_name, dest_manager, core, rimas, plan,
+                root, transfer_span,
+            )
+            return
         try:
             # Connection setup plus Core-message handling dominate this
             # phase; the paper measures it at roughly one second (§4.3.2).
@@ -101,7 +126,7 @@ class MigrationManager:
             with transfer_span.child("rimas") as rimas_span:
                 causal.attach(rimas, rimas_span)
                 metrics.mark("rimas.start")
-                yield from strategy.prepare(self, rimas)
+                yield from plan.execute(self, rimas)
                 yield from kernel.send(rimas)
                 metrics.mark("rimas.end")
         except TransportError as error:
@@ -116,6 +141,69 @@ class MigrationManager:
             ) from error
         transfer_span.finish()
         obs.pop_phase(transfer_span)
+
+    def _transfer_pipelined(self, process_name, dest_manager, core, rimas,
+                            plan, root, transfer_span):
+        """Generator: ship Core and RIMAS concurrently (pipeline > 1).
+
+        Connection setup and the plan's carve cost are still paid
+        serially up front; the two context messages then travel as
+        independent processes whose fragments interleave on the link
+        (the destination serve loop accepts either arrival order).  If
+        either leg hits a transport fault, the other is allowed to
+        settle before the standard rollback runs.
+        """
+        metrics = self.host.metrics
+        obs = metrics.obs
+        yield self.engine.timeout(self.host.calibration.migration_setup_s)
+        yield from plan.execute(self, rimas)
+
+        core_span = transfer_span.child("core")
+        causal.attach(core, core_span)
+        rimas_span = transfer_span.child("rimas")
+        causal.attach(rimas, rimas_span)
+        metrics.mark("core.start")
+        metrics.mark("rimas.start")
+        legs = [
+            self.engine.process(
+                self._ship_leg(core, core_span, "core"),
+                name=f"{self.host.name}-ship-core",
+            ),
+            self.engine.process(
+                self._ship_leg(rimas, rimas_span, "rimas"),
+                name=f"{self.host.name}-ship-rimas",
+            ),
+        ]
+        yield self.engine.all_of(legs)
+        errors = [leg.value for leg in legs if leg.value is not None]
+        transfer_span.finish()
+        obs.pop_phase(transfer_span)
+        if errors:
+            yield from self._rollback(
+                process_name, dest_manager, core, rimas, errors[0]
+            )
+            raise MigrationAborted(
+                f"migration of {process_name!r} to "
+                f"{dest_manager.host.name} aborted: {errors[0]}"
+            ) from errors[0]
+
+    def _ship_leg(self, message, span, mark):
+        """Generator: send one context message on its own process.
+
+        Returns the :class:`TransportError` instead of raising so the
+        pipelined transfer can join both legs before deciding whether
+        to roll back (a raise here would detonate inside the engine,
+        not the migration driver).
+        """
+        try:
+            yield from self.host.kernel.send(message)
+        except TransportError as error:
+            span.add("failed", str(error))
+            span.finish()
+            return error
+        self.host.metrics.mark(f"{mark}.end")
+        span.finish()
+        return None
 
     def _rollback(self, process_name, dest_manager, core, rimas, error):
         """Generator: undo a failed transfer by reinserting locally.
@@ -292,6 +380,7 @@ class MigrationManager:
     def _merge_precopy_stash(self, name, rimas):
         """Complete the final RIMAS with the pre-copied pages."""
         stash = self._precopy_stash.pop(name, {})
+        self.precopy_pages_merged[name] = len(stash)
         region = rimas.first_section(RegionSection)
         if region is None:
             rimas.sections.append(
@@ -301,3 +390,4 @@ class MigrationManager:
         merged = dict(stash)
         merged.update(region.pages)  # final dirty pages are freshest
         region.pages = merged
+        self.precopy_pages_merged[name] = len(merged)

@@ -5,27 +5,54 @@
 * **Pure-IOU** — leave NoIOUs clear; the source NetMsgServer caches the
   collapsed RIMAS region, becomes its backer, and ships only IOUs.
   Pages flow later, on demand.
-* **Resident set** — the MigrationManager actively splits the RIMAS: the
-  pages resident in physical memory at migration time (a working-set
-  approximation) are shipped physically; the rest go as IOUs.  Carving
-  the scattered resident pages out of the collapsed region costs time
-  proportional to the owed remainder (see
+* **Resident set** — split the RIMAS: the pages resident in physical
+  memory at migration time (a working-set approximation) are shipped
+  physically; the rest go as IOUs.  Carving the scattered resident
+  pages out of the collapsed region costs time proportional to the owed
+  remainder (see
   :class:`~repro.calibration.Calibration.rs_carve_per_owed_page_s`).
+* **Working set** — like resident-set, but selects by reference
+  recency rather than residency.
+* **Adaptive** — per-region treatment from workload touch statistics:
+  hot pages ship, warm pages go as IOUs under a generous prefetch
+  window, cold pages go as IOUs with no window.
+
+A strategy *describes* its transfer as a
+:class:`~repro.migration.plan.TransferPlan` returned from
+:meth:`Strategy.plan`; the MigrationManager executes the plan.  The
+older imperative ``prepare(manager, rimas)`` generator hook still
+works for out-of-tree subclasses (a deprecation shim warns once per
+class), and the base class keeps ``prepare`` as a thin driver over
+``plan`` so existing callers of ``strategy.prepare(...)`` behave
+identically.  See docs/transfer-plans.md.
 """
 
-from repro.accent.ipc.message import RegionSection
+import warnings
+
+from repro.migration.plan import (
+    IOU,
+    SHIP,
+    LegacyPreparePlan,
+    PlanContext,
+    RegionDecision,
+    TransferPlan,
+)
 
 PURE_COPY = "pure-copy"
 PURE_IOU = "pure-iou"
 RESIDENT_SET = "resident-set"
 WORKING_SET = "working-set"
+ADAPTIVE = "adaptive"
 
 
 class Strategy:
-    """Base class; ``prepare`` mutates the RIMAS message before sending."""
+    """Base class; :meth:`plan` describes the transfer declaratively."""
 
     name = None
     _registry = {}
+    #: Classes already warned about relying on the legacy ``prepare``
+    #: hook (one DeprecationWarning per class, not per migration).
+    _legacy_warned = set()
 
     def __init_subclass__(cls, **kwargs):
         super().__init_subclass__(**kwargs)
@@ -50,9 +77,40 @@ class Strategy:
         """All registered strategy names, sorted."""
         return sorted(cls._registry)
 
+    def plan(self, context):
+        """Return the :class:`TransferPlan` for this transfer.
+
+        ``context`` is a :class:`~repro.migration.plan.PlanContext`.
+        Subclasses that predate the plan protocol and only override
+        ``prepare`` are adapted via :class:`LegacyPreparePlan` after a
+        one-time deprecation warning.
+        """
+        if type(self).prepare is not Strategy.prepare:
+            cls = type(self)
+            if cls not in Strategy._legacy_warned:
+                Strategy._legacy_warned.add(cls)
+                warnings.warn(
+                    f"{cls.__name__} overrides Strategy.prepare(), which is "
+                    f"deprecated; implement plan(context) -> TransferPlan "
+                    f"instead (see docs/transfer-plans.md)",
+                    DeprecationWarning,
+                    stacklevel=2,
+                )
+            return LegacyPreparePlan(self)
+        raise NotImplementedError(
+            f"{type(self).__name__} must implement plan(context)"
+        )
+
     def prepare(self, manager, rimas):
-        """Generator: adjust ``rimas`` (flags/sections) before shipment."""
-        raise NotImplementedError
+        """Generator: adjust ``rimas`` (flags/sections) before shipment.
+
+        Back-compat driver: builds a :class:`PlanContext`, asks
+        :meth:`plan` for the transfer plan, and executes it — so code
+        that still calls ``strategy.prepare(manager, rimas)`` directly
+        sees exactly the same mutations and timing as the plan path.
+        """
+        plan = self.plan(PlanContext(manager, rimas))
+        yield from plan.execute(manager, rimas)
 
     def __repr__(self):
         return f"<Strategy {self.name}>"
@@ -63,10 +121,9 @@ class PureCopy(Strategy):
 
     name = PURE_COPY
 
-    def prepare(self, manager, rimas):
-        rimas.no_ious = True
-        return
-        yield  # pragma: no cover - makes this a (trivially empty) generator
+    def plan(self, context):
+        """Plan: set the NoIOUs bit, no per-region decisions."""
+        return TransferPlan(no_ious=True)
 
 
 class PureIOU(Strategy):
@@ -74,10 +131,9 @@ class PureIOU(Strategy):
 
     name = PURE_IOU
 
-    def prepare(self, manager, rimas):
-        rimas.no_ious = False
-        return
-        yield  # pragma: no cover
+    def plan(self, context):
+        """Plan: clear the NoIOUs bit, no per-region decisions."""
+        return TransferPlan(no_ious=False)
 
 
 class _SplitShipment(Strategy):
@@ -87,49 +143,22 @@ class _SplitShipment(Strategy):
     #: Label prefix for the two replacement sections.
     tag = "split"
 
-    def select_shipped(self, manager, rimas, region):
+    def select_shipped(self, context):
         """Page indices to ship physically."""
         raise NotImplementedError
 
-    def prepare(self, manager, rimas):
-        calibration = manager.host.calibration
-        position = None
-        region = None
-        for index, section in enumerate(rimas.sections):
-            if isinstance(section, RegionSection):
-                position = index
-                region = section
-                break
-        if region is None:
-            return
-        shipped = self.select_shipped(manager, rimas, region)
-        shipped_pages = {
-            i: p for i, p in region.pages.items() if i in shipped
-        }
-        owed_pages = {
-            i: p for i, p in region.pages.items() if i not in shipped
-        }
-        # Carving scattered shipped pages out of the collapsed chunk
-        # fragments the remainder; the cost scales with the owed pages
-        # (this is what makes RS shipment of the huge Lisp spaces so
-        # much slower per byte than Pasmac's — Table 4-5).
-        yield manager.engine.timeout(
-            len(owed_pages) * calibration.rs_carve_per_owed_page_s
+    def plan(self, context):
+        """Plan: one SHIP row for the selection, IOUs for the rest."""
+        if context.region is None:
+            return TransferPlan()
+        shipped = set(self.select_shipped(context))
+        return TransferPlan(
+            decisions=[
+                RegionDecision(SHIP, shipped, label=f"{self.tag}-shipped"),
+                RegionDecision(IOU, label=f"{self.tag}-owed"),
+            ],
+            carve=True,
         )
-        replacement = []
-        if shipped_pages:
-            replacement.append(
-                RegionSection(
-                    shipped_pages, force_copy=True, label=f"{self.tag}-shipped"
-                )
-            )
-        if owed_pages:
-            replacement.append(
-                RegionSection(
-                    owed_pages, force_copy=False, label=f"{self.tag}-owed"
-                )
-            )
-        rimas.sections[position:position + 1] = replacement
 
 
 class ResidentSet(_SplitShipment):
@@ -138,8 +167,9 @@ class ResidentSet(_SplitShipment):
     name = RESIDENT_SET
     tag = "rs"
 
-    def select_shipped(self, manager, rimas, region):
-        return set(rimas.meta.get("resident_indices", ()))
+    def select_shipped(self, context):
+        """The pages resident in physical memory at excision."""
+        return context.resident_indices
 
 
 class WorkingSet(_SplitShipment):
@@ -160,17 +190,79 @@ class WorkingSet(_SplitShipment):
     def __init__(self, window_s=None):
         self.window_s = window_s
 
-    def select_shipped(self, manager, rimas, region):
+    def select_shipped(self, context):
+        """Pages touched within the working-set window before excision."""
         window = (
             self.window_s
             if self.window_s is not None
-            else manager.host.calibration.ws_window_s
+            else context.calibration.ws_window_s
         )
-        excised_at = rimas.meta.get("excised_at", manager.engine.now)
-        last_touch = rimas.meta.get("last_touch", {})
-        horizon = excised_at - window
+        horizon = context.excised_at - window
         return {
             index
-            for index, touched_at in last_touch.items()
+            for index, touched_at in context.last_touch.items()
             if touched_at is not None and touched_at >= horizon
         }
+
+
+class Adaptive(Strategy):
+    """Per-region treatment from the workload's touch statistics.
+
+    Three temperature classes, judged against the working-set window:
+
+    * **hot** — resident *and* touched within the window: shipped
+      physically (they will fault immediately anyway, so paying wire
+      time up front beats a round trip each).
+    * **warm** — touched at some point but outside the window: IOUs
+      under a generous prefetch window (:attr:`warm_window` pages per
+      batched fault), betting that a revisit sweeps neighbours too.
+    * **cold** — never touched: IOUs with the minimal window; many are
+      never demanded at all.
+
+    By construction the shipped set is a subset of the real pages
+    (never transfers more than pure-copy) and every shipped page is one
+    that can no longer fault (never faults more than pure-IOU).
+    """
+
+    name = ADAPTIVE
+
+    #: Prefetch window stamped on the warm IOU rows.
+    warm_window = 8
+
+    def __init__(self, window_s=None, warm_window=None):
+        self.window_s = window_s
+        if warm_window is not None:
+            self.warm_window = warm_window
+
+    def plan(self, context):
+        """Classify pages hot/warm/cold and emit one row per class."""
+        if context.region is None:
+            return TransferPlan()
+        window = (
+            self.window_s
+            if self.window_s is not None
+            else context.calibration.ws_window_s
+        )
+        horizon = context.excised_at - window
+        resident = context.resident_indices
+        last_touch = context.last_touch
+        hot, warm = set(), set()
+        for index in context.page_indices:
+            touched_at = last_touch.get(index)
+            if touched_at is None:
+                continue  # cold: the default IOU row picks it up
+            if index in resident and touched_at >= horizon:
+                hot.add(index)
+            else:
+                warm.add(index)
+        return TransferPlan(
+            decisions=[
+                RegionDecision(SHIP, hot, label="adaptive-hot"),
+                RegionDecision(
+                    IOU, warm, label="adaptive-warm",
+                    prefetch_window=self.warm_window,
+                ),
+                RegionDecision(IOU, label="adaptive-cold"),
+            ],
+            carve=True,
+        )

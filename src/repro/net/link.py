@@ -28,6 +28,12 @@ class Link:
         self.bytes = 0
         #: Frames eaten by the fault model (loss/partition/crash).
         self.drops = 0
+        #: Transmissions currently contending for the medium (queued or
+        #: serialising) — the pipelining signal the transfer benchmark
+        #: reports via :attr:`peak_inflight`.
+        self.inflight = 0
+        #: High-water mark of :attr:`inflight` over the run.
+        self.peak_inflight = 0
         #: The world's FaultInjector, or None for a perfect network.
         self.faults = None
 
@@ -52,11 +58,17 @@ class Link:
         already tells the whole story.
         """
         calibration = self.calibration
-        with self.medium.held() as req:
-            yield req
-            yield self.engine.timeout(
-                (nbytes * 8.0) / calibration.link_bandwidth_bps
-            )
+        self.inflight += 1
+        if self.inflight > self.peak_inflight:
+            self.peak_inflight = self.inflight
+        try:
+            with self.medium.held() as req:
+                yield req
+                yield self.engine.timeout(
+                    (nbytes * 8.0) / calibration.link_bandwidth_bps
+                )
+        finally:
+            self.inflight -= 1
         faults = self.faults
         if faults is not None:
             if source is not None and dest is not None:

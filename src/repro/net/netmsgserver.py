@@ -301,6 +301,7 @@ class NetMsgServer:
             segment = self.backing.create_segment(
                 section.pages, label=f"cached-{message.op}",
                 trace_ctx=trace_ctx,
+                window=getattr(section, "transfer_window", None),
             )
             iou = IOUSection(
                 segment.handle,

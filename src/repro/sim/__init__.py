@@ -19,7 +19,7 @@ Everything is deterministic: given the same seed and the same program,
 two runs produce identical event orderings and timings.
 """
 
-from repro.sim.engine import Engine, NORMAL, URGENT
+from repro.sim.engine import DEFERRED, Engine, NORMAL, URGENT
 from repro.sim.errors import Interrupt, SimulationError, StopProcess
 from repro.sim.events import AllOf, AnyOf, Event, Timeout
 from repro.sim.process import Process
@@ -30,6 +30,7 @@ from repro.sim.store import Store
 __all__ = [
     "AllOf",
     "AnyOf",
+    "DEFERRED",
     "Engine",
     "Event",
     "Interrupt",

@@ -11,6 +11,10 @@ from repro.sim.process import Process
 NORMAL = 1
 #: Events scheduled with URGENT at the same timestamp run first.
 URGENT = 0
+#: Events scheduled with DEFERRED at the same timestamp run after every
+#: NORMAL event already due at that instant — the batching window used
+#: to coalesce same-instant imaginary faults into one request.
+DEFERRED = 2
 
 
 class Engine:
@@ -116,6 +120,19 @@ class Engine:
     def timeout(self, delay, value=None):
         """Create an event that fires ``delay`` seconds from now."""
         return Timeout(self, delay, value)
+
+    def defer(self, value=None):
+        """Event that fires at the current instant, after NORMAL events.
+
+        A zero-delay wait at :data:`DEFERRED` priority: every NORMAL
+        event already scheduled for ``now`` runs first.  This is the
+        coalescing window the batched fault path uses — faults raised
+        in the same instant all reach the collector before the leader's
+        deferred wakeup closes it.
+        """
+        event = Event(self)
+        event.succeed(value, priority=DEFERRED)
+        return event
 
     def process(self, generator, name=None):
         """Start a new :class:`Process` running ``generator``."""

@@ -21,6 +21,7 @@ from repro.faults import FaultInjector, FaultPlan, ResidualDependencyError
 from repro.metrics.collector import MetricsCollector
 from repro.metrics.timeline import Timeline
 from repro.migration.manager import MigrationAborted, MigrationManager
+from repro.migration.plan import TransferOptions
 from repro.migration.strategy import PURE_IOU, Strategy
 from repro.net.link import Link
 from repro.net.netmsgserver import NetMsgServer
@@ -97,6 +98,7 @@ class TestbedWorld:
                         host,
                         batch_pages=fault_plan.flush.batch_pages,
                         interval_s=fault_plan.flush.interval_s,
+                        pipeline=fault_plan.flush.pipeline,
                     )
 
     # The classic two-host views used throughout the test suite.
@@ -125,15 +127,38 @@ class TestbedWorld:
         """The MigrationManager at host ``name``."""
         return self.managers[name]
 
+    def apply_options(self, options):
+        """Install one :class:`TransferOptions` on every host.
+
+        Sets the backer prefetch knob and the pager's batch/pipeline
+        windows host-wide, and makes the options each manager's default
+        so direct ``manager.migrate(...)`` calls inherit them.
+        """
+        options = TransferOptions.coerce(options)
+        for host in self.hosts.values():
+            host.nms.prefetch = options.prefetch
+            host.pager.batch = options.batch
+            host.pager.pipeline = options.pipeline
+        for manager in self.managers.values():
+            manager.default_options = options
+        return options
+
 
 class MigrationResult:
     """Everything one trial measured."""
 
     def __init__(self, spec, strategy_name, prefetch, world, run_result,
-                 outcome="completed", failure=None):
+                 outcome="completed", failure=None, options=None):
         self.spec = spec
         self.strategy = strategy_name
         self.prefetch = prefetch
+        #: The trial's full :class:`TransferOptions` (built from the
+        #: legacy kwargs when the caller didn't pass one).
+        self.options = TransferOptions.coerce(
+            options, strategy=strategy_name, prefetch=prefetch
+        )
+        self.batch = self.options.batch
+        self.pipeline = self.options.pipeline
         self.run_result = run_result
         #: "completed", "aborted" (rolled back to the source), or
         #: "killed" (a residual dependency broke post-migration).
@@ -311,14 +336,22 @@ class Testbed:
             instrument=self.instrument, fault_plan=self.faults,
         )
 
-    def migrate(self, workload, strategy=PURE_IOU, prefetch=0, run_remote=True):
-        """Run one full trial; returns a :class:`MigrationResult`."""
+    def migrate(self, workload, strategy=PURE_IOU, prefetch=0, run_remote=True,
+                options=None):
+        """Run one full trial; returns a :class:`MigrationResult`.
+
+        ``options`` is the unified :class:`TransferOptions` record; the
+        legacy ``strategy``/``prefetch`` kwargs remain as shorthand and
+        fill in its fields when it is omitted.
+        """
+        options = TransferOptions.coerce(
+            options, strategy=strategy, prefetch=prefetch
+        )
         spec = workload_by_name(workload)
-        strategy = Strategy.by_name(strategy)
+        strategy = Strategy.by_name(options.strategy)
         world = self.world()
         built = build_process(world.source, spec, world.streams)
-        world.source.nms.prefetch = prefetch
-        world.dest.nms.prefetch = prefetch
+        world.apply_options(options)
         run_result = RemoteRunResult(spec.name)
         metrics = world.metrics
         outcome = {"status": "completed", "failure": None}
@@ -328,7 +361,7 @@ class Testbed:
             insertion = world.dest_manager.expect_insertion(spec.name)
             try:
                 yield from world.source_manager.migrate(
-                    spec.name, world.dest_manager, strategy
+                    spec.name, world.dest_manager, strategy, options=options
                 )
             except MigrationAborted as error:
                 # The transfer died; the process was reinserted at the
@@ -362,9 +395,10 @@ class Testbed:
         # Drain in-flight asynchronous traffic (segment-death messages).
         world.engine.run()
         return MigrationResult(
-            spec, strategy.name, prefetch, world,
+            spec, strategy.name, options.prefetch, world,
             run_result if run_remote else None,
             outcome=outcome["status"], failure=outcome["failure"],
+            options=options,
         )
 
     def migrate_precopy(
@@ -374,20 +408,26 @@ class Testbed:
         stop_threshold=32,
         max_rounds=5,
         run_remote=True,
+        options=None,
     ):
         """Run one iterative pre-copy trial (the §5 V-system baseline).
 
         Returns a :class:`PrecopyResult`.  ``dirty_rate_pps`` defaults
         to the workload's own write intensity (see
-        :func:`repro.migration.precopy.default_dirty_rate`).
+        :func:`repro.migration.precopy.default_dirty_rate`).  ``options``
+        carries the unified transfer knobs; pre-copy ships everything
+        physically so only the prefetch/batch/pipeline settings that
+        govern any residual traffic apply.
         """
         from repro.migration.precopy import default_dirty_rate
 
+        options = TransferOptions.coerce(options, strategy="pre-copy")
         spec = workload_by_name(workload)
         if dirty_rate_pps is None:
             dirty_rate_pps = default_dirty_rate(spec)
         world = self.world()
         built = build_process(world.source, spec, world.streams)
+        world.apply_options(options)
         run_result = RemoteRunResult(spec.name)
         metrics = world.metrics
 
@@ -420,7 +460,8 @@ class Testbed:
         rounds = world.engine.run(until=trial_process)
         world.engine.run()
         return PrecopyResult(
-            spec, world, run_result if run_remote else None, rounds
+            spec, world, run_result if run_remote else None, rounds,
+            options=options,
         )
 
     def migrate_chain(
@@ -430,6 +471,7 @@ class Testbed:
         strategy=PURE_IOU,
         prefetch=0,
         run_fractions=None,
+        options=None,
     ):
         """Migrate a process along several hosts (§6's dispersed spaces).
 
@@ -444,8 +486,11 @@ class Testbed:
 
         Returns a :class:`ChainResult`.
         """
+        options = TransferOptions.coerce(
+            options, strategy=strategy, prefetch=prefetch
+        )
         spec = workload_by_name(workload)
-        strategy = Strategy.by_name(strategy)
+        strategy = Strategy.by_name(options.strategy)
         if len(path) < 2:
             raise ValueError("a chain needs at least two hosts")
         intermediates = len(path) - 2
@@ -457,8 +502,7 @@ class Testbed:
             )
         world = self.world(host_names=tuple(path))
         built = build_process(world.host(path[0]), spec, world.streams)
-        for host in world.hosts.values():
-            host.nms.prefetch = prefetch
+        world.apply_options(options)
 
         steps = list(built.trace.steps)
         boundaries = []
@@ -488,7 +532,8 @@ class Testbed:
                 insertion = world.manager(dst_name).expect_insertion(spec.name)
                 before = world.engine.now
                 yield from world.manager(src_name).migrate(
-                    spec.name, world.manager(dst_name), strategy
+                    spec.name, world.manager(dst_name), strategy,
+                    options=options,
                 )
                 inserted = yield insertion
                 hop_transfer_marks.append(world.engine.now - before)
@@ -519,26 +564,50 @@ class Testbed:
         world.engine.run(until=chain_process)
         world.engine.run()
         return ChainResult(
-            spec, strategy.name, prefetch, tuple(path), world,
-            run_result, hop_transfer_marks,
+            spec, strategy.name, options.prefetch, tuple(path), world,
+            run_result, hop_transfer_marks, options=options,
         )
 
 
 class PrecopyResult:
-    """Measurements from one iterative pre-copy migration (§5 baseline)."""
+    """Measurements from one iterative pre-copy migration (§5 baseline).
 
-    def __init__(self, spec, world, run_result, rounds):
+    Exposes the same data-movement surface as
+    :class:`MigrationResult` (``pages_transferred``,
+    ``prefetch_hit_ratio``, ``fault_records``) so ``repro analyze`` and
+    the EXPERIMENTS tables need no per-result special-casing.
+    """
+
+    def __init__(self, spec, world, run_result, rounds, options=None):
         self.spec = spec
         self.strategy = "pre-copy"
+        self.options = TransferOptions.coerce(options, strategy="pre-copy")
+        self.prefetch = self.options.prefetch
+        self.batch = self.options.batch
+        self.pipeline = self.options.pipeline
         self.obs = world.obs
         self.run_result = run_result
         #: Iterative rounds before the stop: (pages, seconds) each.
         self.rounds = list(rounds)
+        #: Fault-lifecycle records, [] unless the world ran instrumented
+        #: (pre-copy leaves no IOUs, so normally stays empty).
+        self.fault_records = (
+            world.obs.lifecycle.snapshot()
+            if world.obs.lifecycle is not None
+            else []
+        )
         metrics = world.metrics
         self._marks = dict(metrics.marks)
         self.bytes_total = metrics.total_link_bytes
         self.message_handling_s = metrics.total_message_handling_s
         self.faults = dict(metrics.faults)
+        self.prefetched_pages = metrics.prefetched_pages
+        self.prefetch_hits = metrics.prefetch_hits
+        #: Distinct pages of process memory moved to the new site (the
+        #: destination merges the freshest copy of every page).
+        self.pages_transferred = world.dest_manager.precopy_pages_merged.get(
+            spec.name, 0
+        )
 
     @property
     def downtime_s(self):
@@ -564,6 +633,13 @@ class PrecopyResult:
         return sum(r.pages for r in self.rounds)
 
     @property
+    def prefetch_hit_ratio(self):
+        """Prefetch hit ratio (None: pre-copy leaves nothing to fetch)."""
+        if self.prefetched_pages == 0:
+            return None
+        return self.prefetch_hits / self.prefetched_pages
+
+    @property
     def verified(self):
         if self.run_result is None or self.run_result.steps_executed == 0:
             return None
@@ -579,10 +655,16 @@ class PrecopyResult:
 class ChainResult:
     """Measurements from one multi-hop migration."""
 
-    def __init__(self, spec, strategy, prefetch, path, world, run_result, hop_times):
+    def __init__(self, spec, strategy, prefetch, path, world, run_result,
+                 hop_times, options=None):
         self.spec = spec
         self.strategy = strategy
         self.prefetch = prefetch
+        self.options = TransferOptions.coerce(
+            options, strategy=strategy, prefetch=prefetch
+        )
+        self.batch = self.options.batch
+        self.pipeline = self.options.pipeline
         self.path = path
         self.obs = world.obs
         self.run_result = run_result

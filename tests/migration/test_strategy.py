@@ -5,6 +5,8 @@ import pytest
 from repro.accent.ipc.message import Message, RegionSection
 from repro.accent.vm.page import Page
 from repro.migration.strategy import (
+    ADAPTIVE,
+    Adaptive,
     PURE_COPY,
     PURE_IOU,
     PureCopy,
@@ -22,8 +24,9 @@ def test_registry_lookup():
     assert isinstance(Strategy.by_name(PURE_IOU), PureIOU)
     assert isinstance(Strategy.by_name(RESIDENT_SET), ResidentSet)
     assert isinstance(Strategy.by_name(WORKING_SET), WorkingSet)
+    assert isinstance(Strategy.by_name(ADAPTIVE), Adaptive)
     assert Strategy.names() == sorted(
-        [PURE_COPY, PURE_IOU, RESIDENT_SET, WORKING_SET]
+        [PURE_COPY, PURE_IOU, RESIDENT_SET, WORKING_SET, ADAPTIVE]
     )
 
 
