@@ -100,6 +100,10 @@ class AddressSpace:
         self.page_table = {}
         self._sorted_pages = []  # kept sorted for run iteration
         self._sorted_dirty = False
+        #: Incremental :attr:`imaginary_bytes` — every structural
+        #: mutation adjusts it, so the telemetry sampler reads it in
+        #: O(1) instead of rescanning the run table each tick.
+        self._imag_bytes = 0
 
     def __repr__(self):
         return (
@@ -127,10 +131,22 @@ class AddressSpace:
         self.regions.add(
             start, start + size, ImaginaryMapping(handle, base_offset)
         )
+        # A fresh mapping holds no real pages yet: all of it is owed.
+        self._imag_bytes += size
 
     def invalidate(self, start, size):
         """Remove any region coverage and pages inside the range."""
         self._check_range(start, size)
+        end = start + size
+        for run_start, run_end, value in self.regions.overlapping(start, end):
+            if value is VALIDATED:
+                continue
+            lo, hi = max(run_start, start), min(run_end, end)
+            owed = hi - lo
+            for index in pages_spanned(lo, hi - lo):
+                if index in self.page_table:
+                    owed -= PAGE_SIZE
+            self._imag_bytes -= owed
         self.regions.remove(start, start + size)
         for index in list(pages_spanned(start, size)):
             if index in self.page_table:
@@ -190,12 +206,15 @@ class AddressSpace:
     # -- page management --------------------------------------------------------
     def install_page(self, index, page, residency=Residency.RESIDENT):
         """Enter a real page at page ``index`` (fault completion path)."""
-        if self.regions.get(index * PAGE_SIZE) is None:
+        region = self.regions.get(index * PAGE_SIZE)
+        if region is None:
             raise AddressSpaceError(
                 f"page {index} lies outside every region of {self.name}"
             )
         if index in self.page_table:
             raise AddressSpaceError(f"page {index} already present")
+        if region is not VALIDATED:
+            self._imag_bytes -= PAGE_SIZE  # this page is no longer owed
         self.page_table[index] = PageEntry(page, residency)
         # Keep the sorted index list incrementally when appending in
         # order; otherwise mark it for a lazy rebuild.
@@ -209,6 +228,9 @@ class AddressSpace:
         entry = self.page_table.pop(index)
         entry.page.release()
         self._sorted_dirty = True
+        region = self.regions.get(index * PAGE_SIZE)
+        if region is not None and region is not VALIDATED:
+            self._imag_bytes += PAGE_SIZE  # owed again through the mapping
         return entry
 
     def _sorted_page_list(self):
@@ -318,7 +340,15 @@ class AddressSpace:
 
     @property
     def imaginary_bytes(self):
-        """Memory still owed through imaginary mappings."""
+        """Memory still owed through imaginary mappings (O(1))."""
+        return self._imag_bytes
+
+    def _scan_imaginary_bytes(self):
+        """Recompute :attr:`imaginary_bytes` from the run table.
+
+        The ground truth the incremental counter must match — tests
+        cross-check the two after arbitrary mutation sequences.
+        """
         owed = 0
         pages = self._sorted_page_list()
         for run_start, run_end, value in self.regions.runs():

@@ -9,6 +9,7 @@
     python -m repro stress --hosts 16 --procs 64 --seed 7
     python -m repro report EXPERIMENTS.md
     python -m repro analyze trace.json
+    python -m repro health trace.json --html health.html
     python -m repro workloads
 """
 
@@ -75,6 +76,56 @@ def _add_transfer(parser, prefetch=True):
             "(1 = serial whole-message transfers)"
         ),
     )
+
+
+def _add_telemetry(parser):
+    """Register the continuous-telemetry knobs on one subcommand."""
+    parser.add_argument(
+        "--sample-period", type=float, default=0.0, metavar="S",
+        help=(
+            "sample fleet gauges every S simulated seconds into the "
+            "trace (0 = off; view with `repro health`)"
+        ),
+    )
+    parser.add_argument(
+        "--slo", metavar="FILE", default=None,
+        help=(
+            "evaluate SLO objectives from a JSON spec online "
+            "(burn-rate engine; see docs/observability.md)"
+        ),
+    )
+
+
+def _load_slo(args, out):
+    """(raw spec, parsed SLOs, exit code) for ``--slo FILE``.
+
+    A missing or malformed spec reports cleanly (exit 2) instead of a
+    traceback.  The raw document feeds :class:`StressConfig` (which
+    serialises it into the determinism-hash input); the parsed tuple
+    feeds the testbed entry points directly.
+    """
+    import json as json_module
+
+    from repro.obs.slo import SLOError, parse_slos
+
+    path = getattr(args, "slo", None)
+    if path is None:
+        return None, (), 0
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            raw = json_module.load(handle)
+    except OSError as error:
+        out(f"cannot read SLO spec {path!r}: {error}")
+        return None, (), 2
+    except json_module.JSONDecodeError as error:
+        out(f"bad SLO spec {path!r}: not valid JSON ({error})")
+        return None, (), 2
+    try:
+        slos = parse_slos(raw)
+    except SLOError as error:
+        out(f"bad SLO spec {path!r}: {error}")
+        return None, (), 2
+    return raw, tuple(slos), 0
 
 
 def _load_transfer(args, out):
@@ -162,6 +213,7 @@ def build_parser():
         "--strategy", choices=Strategy.names(), default=PURE_IOU
     )
     _add_transfer(migrate)
+    _add_telemetry(migrate)
     _add_common(migrate, trace=True, faults=True)
 
     sweep = commands.add_parser(
@@ -211,6 +263,7 @@ def build_parser():
         ),
     )
     _add_transfer(balance)
+    _add_telemetry(balance)
     _add_common(balance, trace=True, faults=True)
 
     stress = commands.add_parser(
@@ -258,6 +311,7 @@ def build_parser():
         help="also write the canonical result (hash input) as JSON",
     )
     _add_transfer(stress)
+    _add_telemetry(stress)
     _add_common(stress, trace=True, faults=True)
 
     faults = commands.add_parser(
@@ -326,6 +380,23 @@ def build_parser():
         help="also write the per-run analysis as JSON",
     )
 
+    health = commands.add_parser(
+        "health",
+        help=(
+            "fleet-health dashboard from a --sample-period trace "
+            "(timelines, percentile ribbons, SLO violation bands)"
+        ),
+    )
+    health.add_argument("tracefile")
+    health.add_argument(
+        "--html", metavar="FILE", default=None,
+        help="write the self-contained HTML dashboard here",
+    )
+    health.add_argument(
+        "--json", metavar="FILE", default=None,
+        help="also write the machine-readable health view as JSON",
+    )
+
     commands.add_parser("workloads", help="list the seven representatives")
     return parser
 
@@ -338,7 +409,13 @@ def cmd_migrate(args, out):
     knobs, code = _load_transfer(args, out)
     if code:
         return code
-    bed = Testbed(seed=args.seed, instrument=bool(args.trace), faults=plan)
+    _, slos, code = _load_slo(args, out)
+    if code:
+        return code
+    bed = Testbed(
+        seed=args.seed, instrument=bool(args.trace), faults=plan,
+        sample_period=args.sample_period, slos=slos,
+    )
     result = bed.migrate(
         args.workload, strategy=args.strategy, options=knobs
     )
@@ -508,12 +585,16 @@ def cmd_balance(args, out):
     # Only a non-default trio pins the knobs scenario-wide; otherwise
     # the legacy behaviour stands (each policy decision carries its own
     # prefetch).
+    _, slos, code = _load_slo(args, out)
+    if code:
+        return code
     options = knobs if any(
         (knobs["prefetch"], knobs["batch"] > 1, knobs["pipeline"] > 1)
     ) else None
     scenario = Scenario(
         args.workloads, hosts=args.hosts, seed=args.seed,
         instrument=bool(args.trace), faults=plan, options=options,
+        sample_period=args.sample_period, slos=slos,
     )
     result = scenario.run(policy, inflight_cap=args.inflight)
     out(f"policy {result.policy_name}: makespan {result.makespan_s:.1f}s, "
@@ -546,6 +627,9 @@ def cmd_stress(args, out):
     plan, code = _load_faults(args, out)
     if code:
         return code
+    slo_raw, _, code = _load_slo(args, out)
+    if code:
+        return code
     try:
         config = StressConfig(
             hosts=args.hosts,
@@ -563,6 +647,8 @@ def cmd_stress(args, out):
             prefetch=args.prefetch,
             batch=args.batch,
             pipeline=args.pipeline,
+            sample_period=args.sample_period,
+            slo=slo_raw,
         )
     except ValueError as error:
         out(f"bad stress configuration: {error}")
@@ -790,6 +876,76 @@ def cmd_analyze(args, out):
     return 0
 
 
+def cmd_health(args, out):
+    """Fleet-health dashboard from a sampled trace.
+
+    ``--html`` writes the self-contained dashboard; ``--json`` the
+    machine-readable view; with neither, a short text summary prints.
+    Exit 2 on an unreadable file, 1 when no run carries telemetry.
+    """
+    import json as json_module
+
+    from repro.obs import load_chrome
+    from repro.obs.health import health_json, summarize, write_health
+
+    try:
+        runs = load_chrome(args.tracefile)
+    except (OSError, ValueError) as error:
+        out(f"cannot read trace {args.tracefile!r}: {error}")
+        return 2
+    sampled = [
+        run for run in runs
+        if run.telemetry and run.telemetry.get("times")
+    ]
+    if not sampled:
+        out(f"{args.tracefile} holds no telemetry samples "
+            "(record with --sample-period)")
+        return 1
+    if args.html:
+        try:
+            write_health(args.html, sampled)
+        except OSError as error:
+            out(f"cannot write {args.html!r}: {error}")
+            return 1
+        out(f"health dashboard written to {args.html} "
+            f"({len(sampled)} run(s))")
+    if args.json:
+        payload = {"runs": [health_json(run) for run in sampled]}
+        try:
+            with open(args.json, "w", encoding="utf-8") as handle:
+                json_module.dump(payload, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+        except OSError as error:
+            out(f"cannot write {args.json!r}: {error}")
+            return 1
+        out(f"wrote {args.json}")
+    if not args.html and not args.json:
+        for run in sampled:
+            summary = summarize(run.telemetry)
+            out(f"run {run.pid}: {run.label}")
+            out(f"  samples      {summary['ticks']} every "
+                f"{summary['period_s']:g}s over {summary['duration_s']:g}s "
+                f"({len(summary['hosts'])} hosts)")
+            peaks = summary["peaks"]
+            if peaks:
+                depth = ", ".join(
+                    f"{key.split('.')[-1]} {value}"
+                    for key, value in sorted(peaks.items())
+                )
+                out(f"  peak depth   {depth}")
+            for key, value in sorted(summary["final_percentiles"].items()):
+                out(f"  {key:<22} {value:g}s (final window)")
+            slo = summary.get("slo")
+            if slo is not None:
+                burned = ", ".join(
+                    f"{name}={seconds:g}s"
+                    for name, seconds in slo["violation_seconds"].items()
+                ) or "none"
+                out(f"  SLO          {slo['violations']} violation(s); "
+                    f"time in violation: {burned}")
+    return 0
+
+
 def cmd_workloads(args, out):
     """List the seven representative workloads."""
     out(f"{'name':>10}  {'real':>12}  {'total':>14}  {'RS':>9}  description")
@@ -815,6 +971,7 @@ _COMMANDS = {
     "figures": cmd_figures,
     "inspect": cmd_inspect,
     "analyze": cmd_analyze,
+    "health": cmd_health,
     "workloads": cmd_workloads,
 }
 

@@ -132,6 +132,10 @@ class ClusterScheduler:
         self._wait_hist = registry.histogram(
             "cluster_wait_seconds", buckets=CLUSTER_SECONDS_BUCKETS
         )
+        # Register with the world's continuous sampler, if it has one.
+        telemetry = world.obs.telemetry
+        if telemetry is not None:
+            telemetry.add_scheduler(self)
 
     def __repr__(self):
         return (
@@ -148,6 +152,17 @@ class ClusterScheduler:
     def queued(self):
         """Migrations waiting for slots."""
         return len(self._pending)
+
+    def host_inflight(self, host_name):
+        """Migrations currently holding a slot at ``host_name``."""
+        return self._host_inflight.get(host_name, 0)
+
+    def host_queued(self, host_name):
+        """Queued migrations with an endpoint at ``host_name``."""
+        return sum(
+            1 for ticket in self._pending
+            if ticket.source == host_name or ticket.dest == host_name
+        )
 
     # -- submission -------------------------------------------------------------
     def submit(self, process_name, dest, source=None, strategy=PURE_IOU,
@@ -272,6 +287,9 @@ class ClusterScheduler:
             if inflight[endpoint] > self.peak_host_inflight:
                 self.peak_host_inflight = inflight[endpoint]
         self._wait_hist.observe(ticket.wait_s)
+        telemetry = self.world.obs.telemetry
+        if telemetry is not None:
+            telemetry.observe("scheduler.wait", ticket.wait_s)
         engine.process(
             self._drive(ticket), name=f"migrate-{ticket.process_name}"
         )
@@ -321,6 +339,9 @@ class ClusterScheduler:
         self._outcomes.inc(1, outcome=ticket.outcome or "failed")
         if ticket.freeze_s is not None:
             self._freeze_hist.observe(ticket.freeze_s)
+            telemetry = self.world.obs.telemetry
+            if telemetry is not None:
+                telemetry.observe("migration.freeze", ticket.freeze_s)
         ticket.done.succeed(ticket)
         self._pump()
         self._sample()

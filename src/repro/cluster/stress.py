@@ -14,6 +14,7 @@ import json
 
 from repro.cluster.scheduler import ClusterScheduler
 from repro.loadbalance.job import ManagedJob
+from repro.obs.slo import parse_slos
 from repro.migration.plan import TransferOptions
 from repro.testbed import Testbed
 from repro.workloads.builder import build_process
@@ -29,7 +30,8 @@ class StressConfig:
     def __init__(self, hosts=4, procs=8, migrations=None, inflight_cap=4,
                  queue_limit=None, arrival="uniform", rate_per_s=2.0,
                  burst_size=4, workloads=("minprog",), strategy="pure-iou",
-                 job_seconds=20.0, seed=7, prefetch=0, batch=1, pipeline=1):
+                 job_seconds=20.0, seed=7, prefetch=0, batch=1, pipeline=1,
+                 sample_period=0.0, slo=None):
         if hosts < 2:
             raise ValueError("a stress run needs at least two hosts")
         if procs < 1:
@@ -59,6 +61,20 @@ class StressConfig:
         self.prefetch = prefetch
         self.batch = batch
         self.pipeline = pipeline
+        if sample_period < 0:
+            raise ValueError("sample_period must be >= 0")
+        #: Continuous-telemetry cadence in simulated seconds (0 = off).
+        self.sample_period = sample_period
+        #: Raw SLO spec data (a list of objective dicts, or a
+        #: ``{"slos": [...]}`` document); parse errors surface here.
+        self.slo = slo
+        # Validated eagerly so a bad spec fails at configuration time.
+        self._slos = parse_slos(slo) if slo else ()
+
+    @property
+    def slo_objectives(self):
+        """Parsed :class:`~repro.obs.slo.SLO` objectives (may be ())."""
+        return self._slos
 
     @property
     def host_names(self):
@@ -100,6 +116,12 @@ class StressConfig:
             data["batch"] = self.batch
         if self.pipeline != 1:
             data["pipeline"] = self.pipeline
+        # Telemetry knobs likewise appear only when switched on, so
+        # hashes recorded before sampling existed stay valid.
+        if self.sample_period:
+            data["sample_period"] = self.sample_period
+        if self._slos:
+            data["slo"] = [slo.to_dict() for slo in self._slos]
         return data
 
 
@@ -226,6 +248,7 @@ def run_stress(config, calibration=None, instrument=False, faults=None):
     bed = Testbed(
         seed=config.seed, calibration=calibration,
         instrument=instrument, faults=faults,
+        sample_period=config.sample_period, slos=config.slo_objectives,
     )
     world = bed.world(host_names=config.host_names)
     world.apply_options(config.transfer_options)
@@ -292,5 +315,6 @@ def run_stress(config, calibration=None, instrument=False, faults=None):
     engine.run(until=scheduler.drain())
     engine.run(until=engine.all_of([job.done for job in jobs]))
     makespan = engine.now
+    world.stop_telemetry()
     engine.run()  # drain asynchronous residue (segment deaths etc.)
     return StressResult(config, world, scheduler, jobs, makespan)

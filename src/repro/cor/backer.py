@@ -78,6 +78,11 @@ class BackingServer:
     def live_segments(self):
         return [s for s in self.segments.values() if not s.dead]
 
+    def owed_pages(self):
+        """Pages this backer still owes across live segments — the
+        host's outstanding residual-dependency gauge."""
+        return sum(len(s.owed) for s in self.segments.values() if not s.dead)
+
     # -- server loop -------------------------------------------------------------
     def _serve(self):
         while True:

@@ -58,6 +58,9 @@ class ResidualFlusher:
         self.port = host.create_port(name=f"{host.name}-flusher")
         #: Pump processes started on behalf of registered segments.
         self.pumps = []
+        #: Segments those pumps are (or were) draining, in registration
+        #: order — the telemetry sampler's backlog view.
+        self.segments = []
         self._server = self.engine.process(
             self._serve(), name=f"{host.name}-flusher"
         )
@@ -82,7 +85,15 @@ class ResidualFlusher:
             name=f"{self.host.name}-pump-{segment.label}",
         )
         self.pumps.append(pump)
+        self.segments.append(segment)
         return pump
+
+    def backlog_pages(self):
+        """Owed pages across live segments this flusher is pumping."""
+        return sum(
+            len(segment.owed) for segment in self.segments
+            if not segment.dead
+        )
 
     def _pump(self, segment, dest_port, process_name, backer, trace_ctx=None):
         if self.pipeline > 1:

@@ -144,7 +144,8 @@ class Scenario:
     """
 
     def __init__(self, workloads, hosts=3, seed=1987, calibration=None,
-                 interval_s=4.0, instrument=False, faults=None, options=None):
+                 interval_s=4.0, instrument=False, faults=None, options=None,
+                 sample_period=0.0, slos=()):
         self.workload_names = list(workloads)
         self.host_names = tuple(f"node{i}" for i in range(hosts))
         self.seed = seed
@@ -158,6 +159,9 @@ class Scenario:
         self.options = (
             None if options is None else TransferOptions.coerce(options)
         )
+        #: Continuous-telemetry cadence (0 = off) and SLO objectives.
+        self.sample_period = sample_period
+        self.slos = tuple(slos)
 
     def run(self, policy=None, inflight_cap=None):
         """Execute the scenario under ``policy``; returns a ScenarioResult.
@@ -171,6 +175,7 @@ class Scenario:
         bed = Testbed(
             seed=self.seed, calibration=self.calibration,
             instrument=self.instrument, faults=self.faults,
+            sample_period=self.sample_period, slos=self.slos,
         )
         world = bed.world(host_names=self.host_names)
         if self.options is not None:
@@ -205,6 +210,7 @@ class Scenario:
             # still need to resolve (as "skipped") before the world is
             # quiet.
             world.engine.run(until=scheduler.drain())
+        world.stop_telemetry()
         world.engine.run()  # drain death messages etc.
         return ScenarioResult(
             getattr(policy, "name", type(policy).__name__),

@@ -92,6 +92,9 @@ class MetricsCollector:
         """One imaginary fault resolved: total and wire-round-trip time."""
         self._imag_fault.observe(total_s)
         self._imag_rtt.observe(rtt_s)
+        telemetry = self.obs.telemetry
+        if telemetry is not None:
+            telemetry.observe("fault.service", total_s)
 
     def record_prefetch(self, pages):
         """A backer just sent ``pages`` extra pages."""

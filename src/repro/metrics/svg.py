@@ -12,6 +12,7 @@ Charts are deliberately spartan — axis, ticks, labels, data — and emit
 self-contained SVG strings suitable for writing straight to disk.
 """
 
+import math
 from xml.sax.saxutils import escape
 
 #: A small qualitative palette (first entry is used for pure-copy).
@@ -31,11 +32,17 @@ PALETTE = (
 
 
 class SvgCanvas:
-    """Accumulates SVG elements with a fixed viewport."""
+    """Accumulates SVG elements with a fixed viewport.
 
-    def __init__(self, width, height):
+    ``background=None`` omits the backing rect entirely — the mode the
+    health dashboard uses so inline SVG inherits the page surface (and
+    its dark variant) instead of forcing white.
+    """
+
+    def __init__(self, width, height, background="white"):
         self.width = width
         self.height = height
+        self.background = background
         self._parts = []
 
     def rect(self, x, y, w, h, fill, stroke=None, stroke_width=1):
@@ -55,26 +62,68 @@ class SvgCanvas:
             f'y2="{y2:.2f}" stroke="{stroke}" stroke-width="{width}"/>'
         )
 
-    def text(self, x, y, content, size=11, anchor="start", rotate=None):
-        """Add escaped text."""
+    def text(self, x, y, content, size=11, anchor="start", rotate=None,
+             fill=None):
+        """Add escaped text (``fill=None`` inherits SVG's default)."""
         transform = (
             f' transform="rotate({rotate} {x:.2f} {y:.2f})"' if rotate else ""
         )
+        fill_attr = f' fill="{fill}"' if fill else ""
         self._parts.append(
             f'<text x="{x:.2f}" y="{y:.2f}" font-size="{size}" '
-            f'font-family="sans-serif" text-anchor="{anchor}"{transform}>'
+            f'font-family="sans-serif" text-anchor="{anchor}"'
+            f"{transform}{fill_attr}>"
             f"{escape(str(content))}</text>"
+        )
+
+    def polyline(self, points, stroke, width=2, opacity=None, title=None):
+        """Add an open path through ``points`` (``[(x, y), ...]``)."""
+        if len(points) < 2:
+            return
+        coords = " ".join(f"{x:.2f},{y:.2f}" for x, y in points)
+        opacity_attr = f' stroke-opacity="{opacity}"' if opacity else ""
+        element = (
+            f'<polyline points="{coords}" fill="none" stroke="{stroke}" '
+            f'stroke-width="{width}" stroke-linejoin="round"{opacity_attr}/>'
+        )
+        if title:
+            element = f"<g><title>{escape(str(title))}</title>{element}</g>"
+        self._parts.append(element)
+
+    def polygon(self, points, fill, opacity=None):
+        """Add a closed filled region through ``points``."""
+        if len(points) < 3:
+            return
+        coords = " ".join(f"{x:.2f},{y:.2f}" for x, y in points)
+        opacity_attr = f' fill-opacity="{opacity}"' if opacity else ""
+        self._parts.append(
+            f'<polygon points="{coords}" fill="{fill}" '
+            f'stroke="none"{opacity_attr}/>'
+        )
+
+    def circle(self, x, y, r, fill, title=None):
+        """Add a dot, optionally with a native hover tooltip."""
+        body = f"<title>{escape(str(title))}</title>" if title else ""
+        self._parts.append(
+            f'<g><circle cx="{x:.2f}" cy="{y:.2f}" r="{r:.2f}" '
+            f'fill="{fill}"/>{body}</g>'
+            if body else
+            f'<circle cx="{x:.2f}" cy="{y:.2f}" r="{r:.2f}" fill="{fill}"/>'
         )
 
     def render(self):
         """The complete SVG document as a string."""
         body = "\n".join(self._parts)
+        backing = (
+            f'<rect width="{self.width}" height="{self.height}" '
+            f'fill="{self.background}"/>\n'
+            if self.background else ""
+        )
         return (
             f'<svg xmlns="http://www.w3.org/2000/svg" '
             f'width="{self.width}" height="{self.height}" '
             f'viewBox="0 0 {self.width} {self.height}">\n'
-            f'<rect width="{self.width}" height="{self.height}" '
-            f'fill="white"/>\n{body}\n</svg>'
+            f"{backing}{body}\n</svg>"
         )
 
 
@@ -89,6 +138,24 @@ def _ticks(limit, count=5):
     value = 0
     while value <= limit + 1e-9:
         values.append(value)
+        value += step
+    return values
+
+
+def _fticks(limit, count=5):
+    """Like :func:`_ticks` but with sub-integer steps for small axes
+    (telemetry charts routinely span fractions of a second)."""
+    if limit <= 0:
+        return [0]
+    if limit / count >= 1:
+        return _ticks(limit, count)
+    raw = limit / count
+    magnitude = 10.0 ** math.floor(math.log10(raw))
+    step = max(1, round(raw / magnitude)) * magnitude
+    values = []
+    value = 0.0
+    while value <= limit + step * 1e-6:
+        values.append(round(value, 12))
         value += step
     return values
 
@@ -166,6 +233,128 @@ def grouped_bars(
         canvas.rect(legend_x, legend_y - 9, 10, 10, fill=color)
         canvas.text(legend_x + 14, legend_y, name, size=10)
         legend_x += 14 + 7 * len(str(name)) + 16
+    return canvas.render()
+
+
+def line_chart(
+    times,
+    series,
+    width=520,
+    height=190,
+    title="",
+    y_label="",
+    bands=(),
+    band_fill="#d03b3b",
+    ribbon=None,
+    ink="#1a1a19",
+    ink_muted="#6f6f6a",
+    grid="#e3e3df",
+    background=None,
+    y_max=None,
+):
+    """Render a multi-series line chart over a shared time axis.
+
+    ``series`` is ``[(name, values, color), ...]``; ``values`` aligns
+    with ``times`` and may contain None gaps (the line breaks there).
+    ``bands`` is ``[(t0, t1), ...]`` shaded x-ranges (SLO violations);
+    ``ribbon`` is ``(low_name, high_name, fill)`` filling the region
+    between two of the named series (percentile ribbons).  All colors
+    are plain strings, so callers embedding the SVG in HTML can pass
+    CSS custom properties (``var(--series-1)``) and let the page's
+    light/dark theme resolve them.
+    """
+    margin_left, margin_bottom, margin_top = 52, 30, 26
+    plot_w = width - margin_left - 14
+    plot_h = height - margin_top - margin_bottom
+    canvas = SvgCanvas(width, height, background=background)
+    if title:
+        canvas.text(margin_left, 15, title, size=12, fill=ink)
+
+    finite = [
+        value for _, values, _ in series for value in values
+        if value is not None
+    ]
+    top = max([v for v in finite] + [0.0]) or 1.0
+    if y_max is not None:
+        top = max(top, y_max)
+    t0 = times[0] if times else 0.0
+    t1 = times[-1] if times else 1.0
+    t_span = (t1 - t0) or 1.0
+
+    def x_of(when):
+        return margin_left + (when - t0) / t_span * plot_w
+
+    def y_of(value):
+        return margin_top + plot_h * (1 - value / top)
+
+    base_y = margin_top + plot_h
+    for band_start, band_end in bands:
+        x_start = max(margin_left, x_of(band_start))
+        x_end = min(margin_left + plot_w, x_of(band_end))
+        if x_end > x_start:
+            canvas.rect(x_start, margin_top, x_end - x_start, plot_h,
+                        fill=band_fill)
+
+    for tick in _fticks(top, count=4):
+        y = y_of(tick)
+        canvas.line(margin_left, y, margin_left + plot_w, y, stroke=grid,
+                    width=0.5)
+        canvas.text(margin_left - 6, y + 3, f"{tick:g}", size=9,
+                    anchor="end", fill=ink_muted)
+    for tick in _fticks(t1 - t0, count=5):
+        canvas.text(x_of(t0 + tick), height - margin_bottom + 14,
+                    f"{tick:g}s", size=9, anchor="middle", fill=ink_muted)
+    if y_label:
+        canvas.text(margin_left, margin_top - 6, y_label, size=9,
+                    fill=ink_muted)
+
+    by_name = {name: values for name, values, _ in series}
+    if ribbon is not None:
+        low_name, high_name, fill = ribbon
+        low = by_name.get(low_name, ())
+        high = by_name.get(high_name, ())
+        upper, lower = [], []
+        for index, when in enumerate(times):
+            lo = low[index] if index < len(low) else None
+            hi = high[index] if index < len(high) else None
+            if lo is None or hi is None:
+                continue
+            upper.append((x_of(when), y_of(hi)))
+            lower.append((x_of(when), y_of(lo)))
+        canvas.polygon(upper + lower[::-1], fill=fill)
+
+    for name, values, color in series:
+        segment = []
+        last_value = None
+        for index, when in enumerate(times):
+            value = values[index] if index < len(values) else None
+            if value is None:
+                canvas.polyline(segment, stroke=color, width=2, title=name)
+                segment = []
+                continue
+            segment.append((x_of(when), y_of(value)))
+            last_value = value
+        canvas.polyline(segment, stroke=color, width=2, title=name)
+        if len(segment) == 1:
+            canvas.circle(segment[0][0], segment[0][1], 2.5, fill=color,
+                          title=name)
+        if last_value is not None and segment:
+            canvas.circle(segment[-1][0], segment[-1][1], 2.0, fill=color,
+                          title=f"{name}: {last_value:g}")
+
+    canvas.line(margin_left, base_y, margin_left + plot_w, base_y,
+                stroke=ink_muted, width=1)
+    canvas.line(margin_left, margin_top, margin_left, base_y,
+                stroke=ink_muted, width=1)
+
+    if len(series) >= 2:
+        legend_x = margin_left + 4
+        legend_y = margin_top + 2
+        for name, _, color in series:
+            canvas.rect(legend_x, legend_y, 9, 3, fill=color)
+            canvas.text(legend_x + 13, legend_y + 5, name, size=9,
+                        fill=ink_muted)
+            legend_x += 13 + 6 * len(str(name)) + 14
     return canvas.render()
 
 

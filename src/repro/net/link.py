@@ -43,6 +43,15 @@ class Link:
             f"drops={self.drops}>"
         )
 
+    def reset_peaks(self):
+        """Re-arm the high-water marks for a fresh trial.
+
+        Back-to-back runs against one world would otherwise report the
+        earlier trial's peak; the current :attr:`inflight` (not zero)
+        is the correct floor — transmissions can straddle the reset.
+        """
+        self.peak_inflight = self.inflight
+
     def transmit(self, nbytes, source=None, dest=None, span=NULL_SPAN):
         """Generator: serialise ``nbytes`` onto the medium, then wait
         out the propagation delay.  Returns True if the frame was

@@ -40,25 +40,36 @@ from repro.obs.registry import (
     DEFAULT_LATENCY_BUCKETS,
     Histogram,
     Registry,
+    WindowedHistogram,
 )
+from repro.obs.slo import SLO, SLOEngine, SLOError, load_slos, parse_slos
 from repro.obs.span import NULL_SPAN, Span, Tracer
+from repro.obs.telemetry import DEFAULT_SAMPLE_PERIOD, Telemetry
 
 __all__ = [
     "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_SAMPLE_PERIOD",
     "FaultRecord",
     "Histogram",
     "Instrumentation",
     "LifecycleProfiler",
     "NULL_SPAN",
     "Registry",
+    "SLO",
+    "SLOEngine",
+    "SLOError",
     "Span",
+    "Telemetry",
     "TraceContext",
     "Tracer",
+    "WindowedHistogram",
     "analyze_run",
     "build_chrome",
     "critical_path",
     "jsonl_lines",
     "load_chrome",
+    "load_slos",
+    "parse_slos",
     "phase_breakdown",
     "render_analysis",
     "render_summary",
@@ -78,7 +89,11 @@ class Instrumentation:
     def __init__(self, clock=None, enabled=True):
         self.enabled = enabled
         self.tracer = Tracer(clock=clock, enabled=enabled)
-        self.registry = Registry()
+        self.registry = Registry(clock=clock)
+        #: The world's :class:`~repro.obs.telemetry.Telemetry`, or None
+        #: when continuous sampling is off — hot paths guard with one
+        #: attribute load.
+        self.telemetry = None
         #: Fault-lifecycle profiler, or None when disabled — hot-path
         #: sites guard with a single attribute load.
         self.lifecycle = LifecycleProfiler() if enabled else None

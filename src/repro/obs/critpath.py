@@ -172,12 +172,33 @@ def analyze_run(run):
         for span in _walk_roots(run.roots)
         if span.name == "flush-batch"
     )
+    slo_violations = []
+    for root in run.roots:
+        if root.name != "slo.violation":
+            continue
+        recovered = [
+            child for child in root.children
+            if child.name == "slo.recovered"
+        ]
+        slo_violations.append({
+            "slo": _arg(root, "slo"),
+            "metric": _arg(root, "metric"),
+            "objective": _arg(root, "objective"),
+            "threshold": _arg(root, "threshold"),
+            "start": root.start,
+            "end": _end(root),
+            "duration_s": _end(root) - root.start,
+            "peak_burn_rate": _arg(root, "burn_rate"),
+            "recovered": bool(recovered)
+            and not _arg(root, "open_at_exit"),
+        })
     records = getattr(run, "faults", None) or []
     return {
         "label": run.label,
         "migrations": migrations,
         "post_insertion": post,
         "flusher_s": flusher_s,
+        "slo_violations": slo_violations,
         "fault_lifecycle": aggregate(records) if records else None,
     }
 
@@ -239,6 +260,23 @@ def render_analysis(report):
         _phase_lines(post["phases"], post["duration_s"], lines, indent="    ")
     if report.get("flusher_s"):
         lines.append(f"  flusher push time   {report['flusher_s']:.3f}s")
+    violations = report.get("slo_violations")
+    if violations:
+        lines.append(f"  SLO violations: {len(violations)}")
+        for violation in violations:
+            fate = (
+                "recovered" if violation["recovered"] else "open at exit"
+            )
+            burn = violation.get("peak_burn_rate")
+            burn_text = (
+                f"peak burn {burn:g}x budget" if burn is not None
+                else "peak burn ?"
+            )
+            lines.append(
+                f"    {violation['slo'] or '?':<16} "
+                f"{violation['start']:.3f}s → {violation['end']:.3f}s  "
+                f"({violation['duration_s']:.3f}s, {burn_text}, {fate})"
+            )
     lifecycle = report.get("fault_lifecycle")
     if lifecycle:
         lines.append(

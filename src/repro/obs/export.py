@@ -81,6 +81,10 @@ def build_chrome(runs):
         lifecycle = getattr(obs, "lifecycle", None)
         if lifecycle is not None and lifecycle.records:
             meta["faults"] = lifecycle.snapshot()
+        # Continuous telemetry likewise: only sampled runs carry it.
+        telemetry = getattr(obs, "telemetry", None)
+        if telemetry is not None and telemetry.times:
+            meta["telemetry"] = telemetry.snapshot()
         run_meta.append(meta)
     return {
         "traceEvents": events,
@@ -136,6 +140,11 @@ def jsonl_lines(runs):
             for fault in lifecycle.snapshot():
                 record = {"type": "fault", "run": label, **fault}
                 yield json.dumps(record, sort_keys=True)
+        telemetry = getattr(obs, "telemetry", None)
+        if telemetry is not None and telemetry.times:
+            record = {"type": "telemetry", "run": label,
+                      **telemetry.snapshot()}
+            yield json.dumps(record, sort_keys=True)
 
 
 def write_jsonl(path, runs):
@@ -181,13 +190,16 @@ class SpanView:
 class RunView:
     """One run (pid) of a saved trace: span roots, metrics, fault records."""
 
-    def __init__(self, pid, label, roots, metrics, faults=()):
+    def __init__(self, pid, label, roots, metrics, faults=(),
+                 telemetry=None):
         self.pid = pid
         self.label = label
         self.roots = roots
         self.metrics = metrics
         #: Fault-lifecycle records (dicts), when the trace carried any.
         self.faults = list(faults)
+        #: Continuous-telemetry payload (dict), when the run sampled.
+        self.telemetry = telemetry
 
     def __repr__(self):
         return f"<RunView {self.label!r} roots={len(self.roots)}>"
@@ -203,6 +215,13 @@ def load_chrome(source):
             data = json.load(handle)
     else:
         data = source
+    if not isinstance(data, dict):
+        # A JSONL stream or bare array is not a Chrome trace; fail with
+        # a typed error the CLI turns into a clean exit, not a crash.
+        raise ValueError(
+            "not a Chrome trace: expected a JSON object with a "
+            f"'traceEvents' key, got {type(data).__name__}"
+        )
     labels = {}
     thread_names = {}
     spans_by_pid = {}
@@ -238,6 +257,10 @@ def load_chrome(source):
         run["pid"]: run.get("faults", [])
         for run in data.get("repro", {}).get("runs", ())
     }
+    telemetry_by_pid = {
+        run["pid"]: run.get("telemetry")
+        for run in data.get("repro", {}).get("runs", ())
+    }
     runs = []
     for pid in sorted(spans_by_pid):
         by_id = {
@@ -257,7 +280,8 @@ def load_chrome(source):
         runs.append(
             RunView(pid, labels.get(pid, f"run-{pid}"), roots,
                     metrics_by_pid.get(pid, {}),
-                    faults=faults_by_pid.get(pid, ()))
+                    faults=faults_by_pid.get(pid, ()),
+                    telemetry=telemetry_by_pid.get(pid))
         )
     # Runs that recorded metrics but no spans still deserve a view.
     for pid in sorted(metrics_by_pid):
@@ -265,7 +289,8 @@ def load_chrome(source):
             runs.append(
                 RunView(pid, labels.get(pid, f"run-{pid}"), [],
                         metrics_by_pid[pid],
-                        faults=faults_by_pid.get(pid, ()))
+                        faults=faults_by_pid.get(pid, ()),
+                        telemetry=telemetry_by_pid.get(pid))
             )
     runs.sort(key=lambda run: run.pid)
     return runs

@@ -26,6 +26,7 @@ from repro.migration.strategy import PURE_IOU, Strategy
 from repro.net.link import Link
 from repro.net.netmsgserver import NetMsgServer
 from repro.obs import Instrumentation
+from repro.obs.telemetry import DEFAULT_SAMPLE_PERIOD, Telemetry
 from repro.sim import Engine, SeededStreams
 from repro.workloads.builder import build_process
 from repro.workloads.registry import workload_by_name
@@ -51,7 +52,8 @@ class TestbedWorld:
     """
 
     def __init__(self, seed, calibration, host_names=("alpha", "beta"),
-                 instrument=False, fault_plan=None):
+                 instrument=False, fault_plan=None, sample_period=0.0,
+                 slos=()):
         if len(host_names) < 2:
             raise ValueError("a testbed needs at least two hosts")
         self.calibration = calibration
@@ -100,6 +102,35 @@ class TestbedWorld:
                         interval_s=fault_plan.flush.interval_s,
                         pipeline=fault_plan.flush.pipeline,
                     )
+        #: Continuous fleet telemetry, or None when sampling is off
+        #: (``--sample-period`` / ``--slo``).  SLO specs alone imply
+        #: the default cadence — burn rates need ticks to evaluate on.
+        if sample_period or slos:
+            telemetry = Telemetry(
+                self.obs, self.engine,
+                period=sample_period or DEFAULT_SAMPLE_PERIOD,
+                slos=slos,
+            )
+            telemetry.add_link(self.link)
+            for host in self.hosts.values():
+                telemetry.add_host(host)
+            telemetry.start()
+            self.obs.telemetry = telemetry
+
+    def begin_trial(self):
+        """Re-arm per-run counters before (re)using this world.
+
+        Back-to-back trials against one world would otherwise leak
+        high-water marks — most visibly :attr:`Link.peak_inflight` —
+        from the previous run's telemetry into the next.
+        """
+        self.link.reset_peaks()
+
+    def stop_telemetry(self):
+        """Stop the sampler ahead of the final drain (no-op when off)."""
+        telemetry = self.obs.telemetry
+        if telemetry is not None:
+            telemetry.stop()
 
     # The classic two-host views used throughout the test suite.
     @property
@@ -320,7 +351,7 @@ class Testbed:
     __test__ = False
 
     def __init__(self, seed=1987, calibration=None, instrument=False,
-                 faults=None):
+                 faults=None, sample_period=0.0, slos=()):
         self.seed = seed
         self.calibration = calibration or DEFAULT_CALIBRATION
         #: When true, every trial's world records spans (``--trace``).
@@ -328,13 +359,21 @@ class Testbed:
         #: Optional :class:`~repro.faults.FaultPlan` applied to every
         #: trial world this testbed builds.
         self.faults = faults
+        #: Continuous-telemetry cadence in simulated seconds (0 = off).
+        self.sample_period = sample_period
+        #: Parsed :class:`~repro.obs.slo.SLO` objectives for every
+        #: trial world (implies sampling at the default period).
+        self.slos = tuple(slos)
 
     def world(self, host_names=("alpha", "beta")):
         """A fresh world (for tests that drive the pieces by hand)."""
-        return TestbedWorld(
+        world = TestbedWorld(
             self.seed, self.calibration, host_names=host_names,
             instrument=self.instrument, fault_plan=self.faults,
+            sample_period=self.sample_period, slos=self.slos,
         )
+        world.begin_trial()
+        return world
 
     def migrate(self, workload, strategy=PURE_IOU, prefetch=0, run_remote=True,
                 options=None):
@@ -393,6 +432,7 @@ class Testbed:
         trial_process = world.engine.process(trial(), name=f"trial-{spec.name}")
         world.engine.run(until=trial_process)
         # Drain in-flight asynchronous traffic (segment-death messages).
+        world.stop_telemetry()
         world.engine.run()
         return MigrationResult(
             spec, strategy.name, options.prefetch, world,
@@ -458,6 +498,7 @@ class Testbed:
 
         trial_process = world.engine.process(trial(), name=f"precopy-{spec.name}")
         rounds = world.engine.run(until=trial_process)
+        world.stop_telemetry()
         world.engine.run()
         return PrecopyResult(
             spec, world, run_result if run_remote else None, rounds,
@@ -562,6 +603,7 @@ class Testbed:
 
         chain_process = world.engine.process(chain(), name=f"chain-{spec.name}")
         world.engine.run(until=chain_process)
+        world.stop_telemetry()
         world.engine.run()
         return ChainResult(
             spec, strategy.name, options.prefetch, tuple(path), world,

@@ -233,3 +233,32 @@ def test_huge_sparse_space_is_cheap():
     assert space.real_zero_bytes == four_gb - PAGE_SIZE
     amap = space.amap()
     assert amap.entry_count == 3  # zero, real page, zero
+
+
+def test_incremental_imaginary_counter_matches_scan():
+    """imaginary_bytes is kept incrementally (the telemetry sampler
+    reads it every tick); after any mutation sequence it must equal a
+    full rescan of the run table."""
+    space = AddressSpace()
+    space.map_imaginary(0, 8 * PAGE_SIZE, FakeHandle())
+    space.validate(8 * PAGE_SIZE, 4 * PAGE_SIZE)
+    space.map_imaginary(16 * PAGE_SIZE, 4 * PAGE_SIZE, FakeHandle())
+    assert space.imaginary_bytes == space._scan_imaginary_bytes() == (
+        12 * PAGE_SIZE
+    )
+    # Installing pages fills part of the debt (imaginary runs only).
+    space.install_page(0, Page())
+    space.install_page(17, Page())
+    space.install_page(9, Page())  # validated region: no change
+    assert space.imaginary_bytes == space._scan_imaginary_bytes() == (
+        10 * PAGE_SIZE
+    )
+    # Invalidating a half-filled imaginary range removes only the
+    # still-owed remainder.
+    space.invalidate(16 * PAGE_SIZE, 4 * PAGE_SIZE)
+    assert space.imaginary_bytes == space._scan_imaginary_bytes() == (
+        7 * PAGE_SIZE
+    )
+    # Invalidating across validated + imaginary coverage too.
+    space.invalidate(0, 12 * PAGE_SIZE)
+    assert space.imaginary_bytes == space._scan_imaginary_bytes() == 0

@@ -209,3 +209,40 @@ def test_three_workloads_fan_out_to_two_destinations():
     results = [world.engine.run(until=proc) for proc in procs]
     world.engine.run()
     assert all(result.verified for result in results)
+
+
+def test_sampled_stress_replays_byte_identically():
+    """Telemetry on (sampler + SLO engine) must not disturb replay: the
+    tick serials come from Engine.serial, so two identically-seeded
+    trials produce the same hash and the same JSONL trace bytes —
+    telemetry payload included."""
+
+    def trial():
+        config = StressConfig(
+            hosts=4, procs=6, seed=31, arrival="poisson",
+            sample_period=0.5,
+            slo=[{"name": "q", "metric": "scheduler.queued",
+                  "objective": "value", "threshold": 2.0,
+                  "window_s": 2.0}],
+        )
+        result = run_stress(config, instrument=True)
+        return result.determinism_hash, _trace_blob("stress", result.obs)
+
+    first_hash, first_blob = trial()
+    second_hash, second_blob = trial()
+    assert first_hash == second_hash
+    assert first_blob == second_blob
+    assert b'"telemetry"' in first_blob
+
+
+def test_sampling_leaves_the_unsampled_hash_unchanged():
+    """sample_period/slo serialise into the config hash only when set,
+    so seed-era determinism hashes stay valid."""
+    plain = StressConfig(hosts=4, procs=6, seed=31, arrival="poisson")
+    sampled = StressConfig(hosts=4, procs=6, seed=31, arrival="poisson",
+                           sample_period=0.5)
+    assert "sample_period" not in plain.to_dict()
+    assert sampled.to_dict()["sample_period"] == 0.5
+    first = run_stress(plain, instrument=True)
+    blob = _trace_blob("stress", first.obs)
+    assert b'"telemetry"' not in blob

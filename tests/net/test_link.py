@@ -111,3 +111,24 @@ def test_fault_model_is_skipped_without_endpoints():
     assert link.drops == 0
     assert link.faults.recorded == []
     assert link.frames == 1
+
+
+def test_reset_peaks_rearms_to_current_inflight():
+    """Peak watermarks re-arm per trial so back-to-back runs don't leak."""
+    eng = Engine()
+    link = Link(eng, Calibration())
+
+    def sender():
+        yield from link.transmit(1250)
+
+    eng.process(sender())
+    eng.process(sender())
+    eng.run()
+    assert link.peak_inflight == 2
+    assert link.inflight == 0
+    link.reset_peaks()
+    assert link.peak_inflight == 0
+    # A transfer still on the wire is the new floor, not zero.
+    link.inflight = 1
+    link.reset_peaks()
+    assert link.peak_inflight == 1

@@ -1,0 +1,318 @@
+"""Continuous telemetry: windowed histograms, the sampler, SLOs."""
+
+import json
+
+import pytest
+
+from repro.cluster import StressConfig, run_stress
+from repro.obs import Instrumentation, build_chrome, load_chrome
+from repro.obs.registry import Histogram, Registry, WindowedHistogram
+from repro.obs.slo import SLO, SLOEngine, SLOError, parse_slos
+from repro.obs.telemetry import DEFAULT_SAMPLE_PERIOD, Telemetry
+from repro.testbed import Testbed
+
+
+# -- mergeable fixed-bucket histograms ---------------------------------------------
+def test_merge_from_sums_counts_and_unions_extrema():
+    left = Histogram(buckets=(1.0, 2.0))
+    right = Histogram(buckets=(1.0, 2.0))
+    left.observe(0.5)
+    right.observe(1.5)
+    right.observe(9.0)  # overflow
+    left.merge_from(right)
+    assert left.count == 3
+    assert left.counts == [1, 1]
+    assert left.overflow == 1
+    assert (left.min, left.max) == (0.5, 9.0)
+
+
+def test_merge_from_rejects_different_buckets():
+    with pytest.raises(ValueError):
+        Histogram(buckets=(1.0,)).merge_from(Histogram(buckets=(2.0,)))
+
+
+def test_merge_from_empty_histogram_is_identity():
+    hist = Histogram(buckets=(1.0,))
+    hist.observe(0.5)
+    before = hist.snapshot()
+    hist.merge_from(Histogram(buckets=(1.0,)))
+    assert hist.snapshot() == before
+
+
+def test_count_above_resolves_on_bucket_bounds():
+    hist = Histogram(buckets=(1.0, 2.0, 4.0))
+    for value in (0.5, 1.5, 3.0, 9.0):
+        hist.observe(value)
+    assert hist.count_above(1.0) == 3
+    assert hist.count_above(2.0) == 2
+    assert hist.count_above(4.0) == 1  # only the overflow observation
+    assert Histogram().count_above(1.0) == 0
+
+
+# -- windowed histograms -----------------------------------------------------------
+def test_windowed_histogram_tumbles_on_the_clock():
+    now = [0.0]
+    hist = WindowedHistogram(lambda: now[0], window_s=1.0, buckets=(1.0, 5.0))
+    hist.observe(0.5)
+    now[0] = 1.2  # next epoch
+    hist.observe(3.0)
+    assert len(hist.chunks) == 2
+    # The 1-window view sees only the current epoch.
+    assert hist.merged(1).count == 1
+    assert hist.merged(2).count == 2
+    assert hist.total.count == 2
+
+
+def test_windowed_percentile_slides_over_k_chunks():
+    now = [0.0]
+    hist = WindowedHistogram(lambda: now[0], window_s=1.0, buckets=(1.0, 5.0))
+    hist.observe(4.0)
+    now[0] = 1.0
+    hist.observe(0.2)
+    # Current epoch alone: only the small value.
+    assert hist.percentile(0.99, windows=1) <= 1.0
+    # Two-window slide includes the old large value.
+    assert hist.percentile(0.99, windows=2) > 1.0
+    # Once time moves past the retained window the old chunk ages out.
+    now[0] = 5.0
+    assert hist.percentile(0.99, windows=2) is None
+
+
+def test_windowed_histogram_evicts_beyond_retain():
+    now = [0.0]
+    hist = WindowedHistogram(
+        lambda: now[0], window_s=1.0, retain=2, buckets=(1.0,)
+    )
+    for epoch in range(4):
+        now[0] = float(epoch)
+        hist.observe(0.5)
+    assert len(hist.chunks) == 2
+    assert hist.total.count == 4  # the all-time merge never evicts
+
+
+def test_registry_windowed_family_keeps_label_sets_isolated():
+    clock = [0.0]
+    registry = Registry(clock=lambda: clock[0])
+    family = registry.windowed_histogram(
+        "wait_windowed", labels=("host",), window_s=1.0, buckets=(1.0,)
+    )
+    family.labels(host="alpha").observe(0.5)
+    family.labels(host="beta").observe(0.7)
+    family.labels(host="alpha").observe(0.9)
+    assert family.labels(host="alpha").count == 2
+    assert family.labels(host="beta").count == 1
+    snap = family.snapshot()
+    assert snap["kind"] == "windowed_histogram"
+    assert [series["labels"] for series in snap["series"]] == [
+        {"host": "alpha"}, {"host": "beta"},
+    ]
+
+
+# -- SLO specs ---------------------------------------------------------------------
+def test_parse_slos_accepts_document_or_bare_list():
+    entry = {"name": "a", "metric": "m", "threshold": 1.0}
+    assert len(parse_slos([entry])) == 1
+    assert len(parse_slos({"slos": [entry]})) == 1
+
+
+def test_percentile_objective_doubles_as_default_budget():
+    slo = SLO("a", "m", 1.0, objective="p99")
+    assert slo.budget == pytest.approx(0.01)
+    explicit = SLO("b", "m", 1.0, objective="p99", budget=0.1)
+    assert explicit.budget == pytest.approx(0.1)
+    assert SLO("c", "m", 1.0, objective="value").budget is None
+
+
+@pytest.mark.parametrize("bad", [
+    {"metric": "m", "threshold": 1.0},                      # missing name
+    {"name": "a", "threshold": 1.0},                        # missing metric
+    {"name": "a", "metric": "m"},                           # missing threshold
+    {"name": "a", "metric": "m", "threshold": 0},           # bad threshold
+    {"name": "a", "metric": "m", "threshold": 1, "objective": "p42"},
+    {"name": "a", "metric": "m", "threshold": 1, "budget": 2.0},
+    {"name": "a", "metric": "m", "threshold": 1, "windowe": 5},  # unknown key
+])
+def test_parse_slos_rejects_malformed_entries(bad):
+    with pytest.raises(SLOError):
+        parse_slos([bad])
+
+
+def test_parse_slos_rejects_duplicate_names():
+    entry = {"name": "a", "metric": "m", "threshold": 1.0}
+    with pytest.raises(SLOError):
+        parse_slos([entry, dict(entry)])
+
+
+def test_slo_round_trips_through_to_dict():
+    slo = SLO("a", "m", 2.0, objective="p95", window_s=7.0, budget=0.2)
+    (back,) = parse_slos([slo.to_dict()])
+    assert back.to_dict() == slo.to_dict()
+
+
+# -- the burn-rate engine ----------------------------------------------------------
+def _distribution_window(values, buckets=(1.0, 2.0, 4.0)):
+    hist = Histogram(buckets=buckets)
+    for value in values:
+        hist.observe(value)
+    return hist
+
+
+def test_burn_rate_is_bad_fraction_over_budget():
+    slo = SLO("freeze", "migration.freeze", 2.0, objective="p99",
+              budget=0.1)
+    window = _distribution_window([0.5] * 8 + [3.0, 3.0])  # 20% bad
+    burn, _ = slo.evaluate(window, None)
+    assert burn == pytest.approx(2.0)
+    assert slo.evaluate(None, None) == (0.0, None)  # empty window: no burn
+
+
+def test_gauge_objective_burns_as_value_over_threshold():
+    slo = SLO("queue", "scheduler.queued", 4.0, objective="value")
+    assert slo.evaluate(None, 8.0)[0] == pytest.approx(2.0)
+    assert slo.evaluate(None, None) == (0.0, None)
+
+
+def test_engine_opens_and_closes_violation_spans():
+    obs = Instrumentation(clock=lambda: 0.0, enabled=True)
+    slo = SLO("queue", "scheduler.queued", 2.0, objective="value",
+              window_s=1.0)
+    engine = SLOEngine([slo], obs)
+    gauge = {"value": 5.0}
+    burns = engine.evaluate(
+        1.0, lambda s: None, lambda s: gauge["value"]
+    )
+    assert burns["queue"] == pytest.approx(2.5)
+    assert [event["type"] for event in engine.events] == ["slo.violation"]
+    gauge["value"] = 1.0
+    engine.evaluate(2.0, lambda s: None, lambda s: gauge["value"])
+    kinds = [event["type"] for event in engine.events]
+    assert kinds == ["slo.violation", "slo.recovered"]
+    assert engine.events[1]["peak_burn_rate"] == pytest.approx(2.5)
+    (root,) = [r for r in obs.tracer.roots if r.name == "slo.violation"]
+    assert root.attrs["burn_rate"] == pytest.approx(2.5)
+    assert root.end == 2.0
+    assert [child.name for child in root.children] == ["slo.recovered"]
+
+
+def test_finalize_marks_still_open_violations():
+    obs = Instrumentation(clock=lambda: 0.0, enabled=True)
+    slo = SLO("queue", "scheduler.queued", 1.0, objective="value")
+    engine = SLOEngine([slo], obs)
+    engine.evaluate(1.0, lambda s: None, lambda s: 3.0)
+    engine.finalize(4.0)
+    (root,) = obs.tracer.roots
+    assert root.attrs["open_at_exit"] is True
+    assert root.end == 4.0
+    # Recovery never happened, so no slo.recovered child exists.
+    assert root.children == []
+
+
+# -- the sampler -------------------------------------------------------------------
+def test_sampled_migration_records_aligned_series():
+    bed = Testbed(seed=11, instrument=True, sample_period=0.5)
+    result = bed.migrate("minprog")
+    telemetry = result.obs.telemetry
+    assert telemetry is not None
+    assert len(telemetry.times) > 2
+    # Tick serials are engine-stable and strictly increasing.
+    assert telemetry.ticks == sorted(telemetry.ticks)
+    depth = len(telemetry.times)
+    for name, column in telemetry.series.items():
+        assert len(column) == depth, name
+    # Host gauges exist for both testbed hosts.
+    assert "host.alpha.resident_pages" in telemetry.series
+    assert "host.beta.resident_pages" in telemetry.series
+    assert "link.ether.inflight" in telemetry.series
+    # The fault-service ribbon appears once remote execution faults.
+    assert "fault.service.p99" in telemetry.series
+
+
+def test_slos_alone_imply_default_sampling():
+    slos = parse_slos([
+        {"name": "q", "metric": "scheduler.queued", "objective": "value",
+         "threshold": 100.0},
+    ])
+    bed = Testbed(seed=11, instrument=True, slos=slos)
+    result = bed.migrate("minprog")
+    telemetry = result.obs.telemetry
+    assert telemetry is not None
+    assert telemetry.period == pytest.approx(DEFAULT_SAMPLE_PERIOD)
+    assert telemetry.slo_engine is not None
+
+
+def test_stop_takes_a_final_flush_sample():
+    bed = Testbed(seed=11, sample_period=10_000.0)
+    world = bed.world()
+    telemetry = world.obs.telemetry
+
+    def tick():
+        yield world.engine.timeout(3.0)
+
+    world.engine.run(until=world.engine.process(tick()))
+    assert telemetry.times == []  # period never elapsed
+    world.stop_telemetry()
+    assert telemetry.times == [3.0]
+    world.engine.run()  # the pending timeout drains without sampling again
+    assert telemetry.times == [3.0]
+
+
+def test_unsampled_world_has_no_telemetry_families():
+    # The windowed families are created by Telemetry alone, so a
+    # sampling-free registry snapshot is unchanged from the seed.
+    bed = Testbed(seed=11, instrument=True)
+    result = bed.migrate("minprog")
+    assert result.obs.telemetry is None
+    names = [name for name, _ in result.obs.registry.families()]
+    assert not any("windowed" in name for name in names)
+
+
+# -- export round trip -------------------------------------------------------------
+def test_telemetry_rides_the_chrome_trace_and_loads_back(tmp_path):
+    config = StressConfig(
+        hosts=3, procs=4, seed=21, sample_period=0.5,
+        slo=[{"name": "q", "metric": "scheduler.queued",
+              "objective": "value", "threshold": 1.0, "window_s": 2.0}],
+    )
+    result = run_stress(config, instrument=True)
+    trace = build_chrome([("stress", result.obs)])
+    (meta,) = trace["repro"]["runs"]
+    assert meta["telemetry"] == result.obs.telemetry.snapshot()
+    # JSON-serialisable end to end.
+    path = tmp_path / "trace.json"
+    path.write_text(json.dumps(trace), encoding="utf-8")
+    (run,) = load_chrome(str(path))
+    assert run.telemetry["series"]["scheduler.inflight"]
+    assert run.telemetry["slo"]["specs"][0]["name"] == "q"
+
+
+def test_unsampled_trace_carries_no_telemetry_key():
+    result = Testbed(seed=11, instrument=True).migrate("minprog")
+    trace = build_chrome([("migrate", result.obs)])
+    (meta,) = trace["repro"]["runs"]
+    assert "telemetry" not in meta
+
+
+def test_stress_config_hash_input_omits_default_telemetry():
+    assert "sample_period" not in StressConfig(seed=1).to_dict()
+    assert "slo" not in StressConfig(seed=1).to_dict()
+    sampled = StressConfig(seed=1, sample_period=0.5, slo=[
+        {"name": "q", "metric": "scheduler.queued", "objective": "value",
+         "threshold": 1.0},
+    ])
+    data = sampled.to_dict()
+    assert data["sample_period"] == 0.5
+    assert data["slo"][0]["name"] == "q"
+
+
+def test_scheduler_feeds_wait_and_freeze_windows():
+    config = StressConfig(hosts=3, procs=4, seed=21, sample_period=0.5)
+    result = run_stress(config)
+    telemetry = result.obs.telemetry
+    assert "migration.freeze.p99" in telemetry.series
+    assert "scheduler.wait.p99" in telemetry.series
+    assert any(
+        value is not None
+        for value in telemetry.series["migration.freeze.p99"]
+    )
+    # Per-host scheduler depths rode along.
+    assert "host.node00.inflight" in telemetry.series

@@ -251,3 +251,96 @@ def test_analyze_without_migrations_reports_it(tmp_path):
     code, text = run_cli(["analyze", str(empty)])
     assert code == 1
     assert "no migrate spans" in text
+
+
+def test_inspect_malformed_trace_fails_cleanly(tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text("[1, 2, 3]", encoding="utf-8")
+    code, text = run_cli(["inspect", str(bad)])
+    assert code == 2
+    assert "cannot read trace" in text
+
+
+def test_analyze_malformed_trace_fails_cleanly(tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text("[1, 2, 3]", encoding="utf-8")
+    code, text = run_cli(["analyze", str(bad)])
+    assert code == 2
+    assert "cannot read trace" in text
+
+
+def test_migrate_rejects_bad_slo_spec(tmp_path):
+    spec = tmp_path / "slo.json"
+    spec.write_text('{"slos": [{"name": "x"}]}', encoding="utf-8")
+    code, text = run_cli(["migrate", "minprog", "--slo", str(spec)])
+    assert code == 2
+    assert "bad SLO spec" in text
+
+
+def test_migrate_rejects_unreadable_slo_spec(tmp_path):
+    code, text = run_cli(
+        ["migrate", "minprog", "--slo", str(tmp_path / "nope.json")]
+    )
+    assert code == 2
+    assert "cannot read SLO spec" in text
+
+
+def test_health_missing_file_fails_cleanly(tmp_path):
+    code, text = run_cli(["health", str(tmp_path / "nope.json")])
+    assert code == 2
+    assert "cannot read trace" in text
+
+
+def test_health_without_samples_points_at_sample_period(tmp_path):
+    trace = tmp_path / "migrate.json"
+    run_cli(["migrate", "minprog", "--trace", str(trace)])
+    code, text = run_cli(["health", str(trace)])
+    assert code == 1
+    assert "no telemetry samples" in text
+    assert "--sample-period" in text
+
+
+def test_health_renders_dashboard_and_json(tmp_path):
+    import json
+
+    trace = tmp_path / "stress.json"
+    spec = tmp_path / "slo.json"
+    spec.write_text(json.dumps({"slos": [
+        {"name": "freeze-p99", "metric": "migration.freeze",
+         "objective": "p99", "threshold": 2.0, "window_s": 10.0},
+    ]}), encoding="utf-8")
+    code, text = run_cli(
+        ["stress", "--hosts", "4", "--procs", "8", "--seed", "7",
+         "--sample-period", "0.5", "--slo", str(spec),
+         "--trace", str(trace)]
+    )
+    assert code == 0
+
+    html = tmp_path / "health.html"
+    code, text = run_cli(["health", str(trace), "--html", str(html)])
+    assert code == 0
+    assert "health dashboard written to" in text
+    page = html.read_text(encoding="utf-8")
+    assert page.startswith("<!DOCTYPE html>")
+    assert "<svg" in page and "Freeze time" in page
+
+    report = tmp_path / "health.json"
+    code, text = run_cli(["health", str(trace), "--json", str(report)])
+    assert code == 0
+    payload = json.loads(report.read_text(encoding="utf-8"))
+    (run,) = payload["runs"]
+    assert run["summary"]["ticks"] == len(run["telemetry"]["times"])
+    assert run["summary"]["hosts"]
+
+    # No flags: a text summary.
+    code, text = run_cli(["health", str(trace)])
+    assert code == 0
+    assert "samples" in text
+
+
+def test_stress_sampled_summary_mentions_telemetry(tmp_path):
+    code, text = run_cli(
+        ["stress", "--hosts", "3", "--procs", "4", "--seed", "5",
+         "--sample-period", "0.5"]
+    )
+    assert code == 0
