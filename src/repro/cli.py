@@ -7,6 +7,7 @@
     python -m repro precopy pm-mid
     python -m repro balance chess chess pm-mid --hosts 3
     python -m repro stress --hosts 16 --procs 64 --seed 7
+    python -m repro serve --services kv matmul stream --strategy adaptive
     python -m repro report EXPERIMENTS.md
     python -m repro analyze trace.json
     python -m repro health trace.json --html health.html
@@ -17,6 +18,7 @@ import argparse
 import sys
 
 from repro.cluster.stress import ARRIVALS
+from repro.serve.workloads import SERVING
 from repro.faults import FaultPlan, FaultPlanError
 from repro.migration.plan import TransferOptions
 from repro.migration.strategy import PURE_COPY, PURE_IOU, RESIDENT_SET, Strategy
@@ -313,6 +315,81 @@ def build_parser():
     _add_transfer(stress)
     _add_telemetry(stress)
     _add_common(stress, trace=True, faults=True)
+
+    serve = commands.add_parser(
+        "serve",
+        help=(
+            "live request-serving run: seeded traffic through a flow "
+            "router while migrations land (during-migration latency)"
+        ),
+    )
+    serve.add_argument(
+        "--services", nargs="+", default=["kv", "matmul", "stream"],
+        choices=sorted(SERVING), metavar="NAME",
+        help="serving workload mix, assigned round-robin across processes",
+    )
+    serve.add_argument("--hosts", type=int, default=3)
+    serve.add_argument(
+        "--procs", type=int, default=None,
+        help="serving processes (default: one per listed service)",
+    )
+    serve.add_argument(
+        "--clients", type=int, default=2, metavar="N",
+        help="client generators per serving process",
+    )
+    serve.add_argument(
+        "--requests", type=int, default=60, metavar="N",
+        help="requests each client issues",
+    )
+    serve.add_argument(
+        "--request-arrival", choices=ARRIVALS, default="poisson",
+        help="inter-arrival pattern for client requests",
+    )
+    serve.add_argument(
+        "--request-rate", type=float, default=16.0,
+        help=(
+            "per-client request rate (per simulated second), scaled by "
+            "each serving workload's rate_scale"
+        ),
+    )
+    serve.add_argument(
+        "--request-burst", type=int, default=8,
+        help="requests per burst when --request-arrival burst",
+    )
+    serve.add_argument(
+        "--deadline", type=float, default=5.0, metavar="S",
+        help="per-attempt request deadline in simulated seconds (0 = none)",
+    )
+    serve.add_argument(
+        "--retries", type=int, default=1, metavar="N",
+        help="retry budget per request after an expired attempt",
+    )
+    serve.add_argument(
+        "--migrations", type=int, default=None,
+        help="migration requests to issue (default: one per process)",
+    )
+    serve.add_argument(
+        "--arrival", choices=ARRIVALS, default="uniform",
+        help="inter-arrival pattern for migration requests",
+    )
+    serve.add_argument(
+        "--rate", type=float, default=1.0,
+        help="migration request rate (per simulated second)",
+    )
+    serve.add_argument(
+        "--inflight", type=int, default=2, metavar="K",
+        help="per-host in-flight migration cap",
+    )
+    serve.add_argument(
+        "--strategy", choices=Strategy.names(), default=PURE_IOU
+    )
+    serve.add_argument(
+        "--json", metavar="FILE", default=None,
+        help="also write the canonical result (hash input) as JSON",
+    )
+    _add_transfer(serve)
+    _add_telemetry(serve)
+    _add_common(serve, trace=True, faults=True)
 
     faults = commands.add_parser(
         "faults",
@@ -698,6 +775,110 @@ def cmd_stress(args, out):
     return 0 if result.verified else 1
 
 
+def cmd_serve(args, out):
+    """Run the live request-serving harness and print its report."""
+    import json as json_module
+
+    from repro.cluster import StressConfig
+    from repro.serve import ServeError, run_serve
+
+    plan, code = _load_faults(args, out)
+    if code:
+        return code
+    slo_raw, _, code = _load_slo(args, out)
+    if code:
+        return code
+    procs = args.procs if args.procs is not None else len(args.services)
+    try:
+        config = StressConfig(
+            hosts=args.hosts,
+            procs=procs,
+            migrations=args.migrations,
+            inflight_cap=args.inflight,
+            arrival=args.arrival,
+            rate_per_s=args.rate,
+            strategy=args.strategy,
+            seed=args.seed,
+            prefetch=args.prefetch,
+            batch=args.batch,
+            pipeline=args.pipeline,
+            sample_period=args.sample_period,
+            slo=slo_raw,
+            services=args.services,
+            clients_per_service=args.clients,
+            requests_per_client=args.requests,
+            request_arrival=args.request_arrival,
+            request_rate_per_s=args.request_rate,
+            request_burst=args.request_burst,
+            deadline_s=args.deadline,
+            retry_budget=args.retries,
+        )
+        result = run_serve(config, instrument=bool(args.trace), faults=plan)
+    except (ServeError, ValueError) as error:
+        out(f"bad serve configuration: {error}")
+        return 2
+    counts = result.counts
+    migrations = ", ".join(
+        f"{outcome}={count}"
+        for outcome, count in sorted(result.outcomes.items())
+    ) or "none"
+    out(f"serve {len(config.services)} service kind(s) x "
+        f"{config.procs} procs on {config.hosts} hosts, "
+        f"{config.clients_per_service} client(s)/proc x "
+        f"{config.requests_per_client} requests "
+        f"({config.request_arrival} at {config.request_rate_per_s:g}/s), "
+        f"seed {config.seed}")
+    out(f"requests          issued {counts['issued']}  "
+        f"completed {counts['completed']}  dropped {counts['dropped']}  "
+        f"retried {counts['retried']}  redirected {counts['redirected']}")
+
+    def latency_line(label, during):
+        values = result.latencies(during=during)
+        if not values:
+            out(f"{label} no completed requests")
+            return
+        p50 = result.latency_percentile(0.50, during=during)
+        p99 = result.latency_percentile(0.99, during=during)
+        p999 = result.latency_percentile(0.999, during=during)
+        out(f"{label} p50 {p50:.3f}s  p99 {p99:.3f}s  "
+            f"p999 {p999:.3f}s  ({len(values)} requests)")
+
+    latency_line("latency (all)    ", None)
+    latency_line("during migration ", True)
+    for kind in sorted({job.serving.name for job in result.jobs}):
+        overall = result.latency_percentile(0.99, kind=kind)
+        during = result.latency_percentile(0.99, kind=kind, during=True)
+        overall_txt = "-" if overall is None else f"{overall:.3f}s"
+        during_txt = "-" if during is None else f"{during:.3f}s"
+        out(f"  {kind:<10} p99 {overall_txt}  during-migration p99 "
+            f"{during_txt}")
+    out(f"migrations        {migrations}  "
+        f"(makespan {result.makespan_s:.1f}s)")
+    out(f"bytes on wire     {result.bytes_total:,}")
+    out(f"events dispatched {result.events_dispatched:,}")
+    out(f"verified          {result.verified}")
+    out(f"determinism hash  {result.determinism_hash}")
+    if args.json:
+        try:
+            with open(args.json, "w", encoding="utf-8") as handle:
+                json_module.dump(
+                    result.to_dict(), handle, indent=2, sort_keys=True
+                )
+                handle.write("\n")
+        except OSError as error:
+            out(f"cannot write {args.json!r}: {error}")
+            return 1
+        out(f"wrote {args.json}")
+    if args.trace:
+        label = (
+            f"serve-{'-'.join(config.services)}-"
+            f"{config.strategy}-seed{config.seed}"
+        )
+        if _write_trace(args.trace, [(label, result.obs)], out):
+            return 1
+    return 0 if result.verified else 1
+
+
 def cmd_faults(args, out):
     """Fault-injection survey: loss sweep plus crash/flusher outcomes.
 
@@ -933,6 +1114,13 @@ def cmd_health(args, out):
                     for key, value in sorted(peaks.items())
                 )
                 out(f"  peak depth   {depth}")
+            serving = summary.get("serving")
+            if serving is not None:
+                out(f"  serving      issued {serving['issued']}, "
+                    f"completed {serving['completed']}, "
+                    f"dropped {serving['dropped']}, "
+                    f"retried {serving['retried']}, "
+                    f"redirected {serving['redirected']}")
             for key, value in sorted(summary["final_percentiles"].items()):
                 out(f"  {key:<22} {value:g}s (final window)")
             slo = summary.get("slo")
@@ -965,6 +1153,7 @@ _COMMANDS = {
     "precopy": cmd_precopy,
     "balance": cmd_balance,
     "stress": cmd_stress,
+    "serve": cmd_serve,
     "faults": cmd_faults,
     "report": cmd_report,
     "export": cmd_export,

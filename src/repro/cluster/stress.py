@@ -31,7 +31,11 @@ class StressConfig:
                  queue_limit=None, arrival="uniform", rate_per_s=2.0,
                  burst_size=4, workloads=("minprog",), strategy="pure-iou",
                  job_seconds=20.0, seed=7, prefetch=0, batch=1, pipeline=1,
-                 sample_period=0.0, slo=None):
+                 sample_period=0.0, slo=None, services=(),
+                 clients_per_service=2, requests_per_client=60,
+                 request_arrival="poisson", request_rate_per_s=16.0,
+                 request_burst=8, deadline_s=5.0, retry_budget=1,
+                 retry_backoff_s=0.05, migration_tail_s=15.0):
         if hosts < 2:
             raise ValueError("a stress run needs at least two hosts")
         if procs < 1:
@@ -70,6 +74,35 @@ class StressConfig:
         self.slo = slo
         # Validated eagerly so a bad spec fails at configuration time.
         self._slos = parse_slos(slo) if slo else ()
+        # Serving knobs (repro serve): inert — and absent from
+        # to_dict() — unless a service mix is configured, so stress
+        # determinism hashes recorded before the serving layer existed
+        # stay valid.  Name validation lives in repro.serve (the
+        # cluster layer must not import up into it).
+        if request_arrival not in ARRIVALS:
+            raise ValueError(
+                f"request_arrival must be one of {ARRIVALS}, "
+                f"got {request_arrival!r}"
+            )
+        if request_rate_per_s <= 0:
+            raise ValueError("request_rate_per_s must be positive")
+        if retry_budget < 0:
+            raise ValueError("retry_budget must be >= 0")
+        #: Serving workload mix (names from repro.serve.SERVING;
+        #: empty = plain stress run).
+        self.services = tuple(services)
+        self.clients_per_service = clients_per_service
+        self.requests_per_client = requests_per_client
+        self.request_arrival = request_arrival
+        self.request_rate_per_s = request_rate_per_s
+        self.request_burst = request_burst
+        #: Per-attempt deadline in simulated seconds (0 = none).
+        self.deadline_s = deadline_s
+        self.retry_budget = retry_budget
+        self.retry_backoff_s = retry_backoff_s
+        #: Seconds after a flow re-binds still counted as "during
+        #: migration" (the copy-on-reference fault tail).
+        self.migration_tail_s = migration_tail_s
 
     @property
     def slo_objectives(self):
@@ -122,6 +155,21 @@ class StressConfig:
             data["sample_period"] = self.sample_period
         if self._slos:
             data["slo"] = [slo.to_dict() for slo in self._slos]
+        # Serving knobs appear as one block, and only when a mix is
+        # configured — same convention again.
+        if self.services:
+            data["serving"] = {
+                "services": list(self.services),
+                "clients_per_service": self.clients_per_service,
+                "requests_per_client": self.requests_per_client,
+                "request_arrival": self.request_arrival,
+                "request_rate_per_s": self.request_rate_per_s,
+                "request_burst": self.request_burst,
+                "deadline_s": self.deadline_s,
+                "retry_budget": self.retry_budget,
+                "retry_backoff_s": self.retry_backoff_s,
+                "migration_tail_s": self.migration_tail_s,
+            }
         return data
 
 
@@ -229,18 +277,29 @@ class StressResult:
         )
 
 
-def _interarrival(config, rng, index):
-    """Simulated seconds before request ``index`` is issued."""
-    mean_gap = 1.0 / config.rate_per_s
-    if config.arrival == "uniform":
+def interarrival(arrival, rate_per_s, burst_size, rng, index):
+    """Simulated seconds before request ``index`` is issued.
+
+    Shared by migration arrivals here and the serving layer's client
+    generators (:mod:`repro.serve.client`), so both traffic kinds speak
+    the same uniform/poisson/burst vocabulary.
+    """
+    mean_gap = 1.0 / rate_per_s
+    if arrival == "uniform":
         return mean_gap
-    if config.arrival == "poisson":
-        return rng.expovariate(config.rate_per_s)
+    if arrival == "poisson":
+        return rng.expovariate(rate_per_s)
     # burst: burst_size requests back to back, then a long gap that
     # keeps the long-run rate at rate_per_s.
-    if index % config.burst_size:
+    if index % burst_size:
         return 0.0
-    return mean_gap * config.burst_size
+    return mean_gap * burst_size
+
+
+def _interarrival(config, rng, index):
+    return interarrival(
+        config.arrival, config.rate_per_s, config.burst_size, rng, index
+    )
 
 
 def run_stress(config, calibration=None, instrument=False, faults=None):

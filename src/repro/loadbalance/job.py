@@ -44,6 +44,11 @@ class ManagedJob:
         host = self.current_host.name if self.current_host else "-"
         return f"<ManagedJob {self.name} {state} on {host}>"
 
+    #: Batch jobs serve no requests; the attribute exists so load
+    #: snapshots can read a uniform serving-load signal across managed
+    #: and serving jobs (see repro.serve.server.ServingJob).
+    requests_per_s = 0.0
+
     @property
     def remaining_steps(self):
         return len(self.steps) - self.position

@@ -16,6 +16,12 @@ class HostLoad:
     #: remote faults will keep landing here (the dispersal term the
     #: paper says load metrics must include).
     backed_pages: int
+    #: Aggregate request throughput of serving jobs on this host
+    #: (requests per simulated second; 0.0 for batch jobs).  An
+    #: *optional* policy signal — deliberately not in :attr:`score`, so
+    #: existing policies decide exactly as before; a latency-aware
+    #: policy can weigh it explicitly.
+    requests_per_s: float = 0.0
 
     @property
     def score(self):
@@ -32,15 +38,23 @@ class HostLoad:
 def snapshot_loads(hosts, jobs):
     """Sample every host; returns {host_name: HostLoad}.
 
-    ``jobs`` are :class:`~repro.loadbalance.job.ManagedJob` instances;
-    a job counts against the host it currently runs on.
+    ``jobs`` are :class:`~repro.loadbalance.job.ManagedJob` (or
+    :class:`~repro.serve.server.ServingJob`) instances; a job counts
+    against the host it currently runs on, and any per-job
+    ``requests_per_s`` it exposes aggregates into the host's serving
+    load.
     """
     running = {}
+    request_rates = {}
     for job in jobs:
         if job.current_host is not None and not job.finished:
-            running[job.current_host.name] = (
-                running.get(job.current_host.name, 0) + 1
-            )
+            host_name = job.current_host.name
+            running[host_name] = running.get(host_name, 0) + 1
+            rate = getattr(job, "requests_per_s", 0.0)
+            if rate:
+                request_rates[host_name] = (
+                    request_rates.get(host_name, 0.0) + rate
+                )
     loads = {}
     for name, host in hosts.items():
         backed = sum(
@@ -52,5 +66,6 @@ def snapshot_loads(hosts, jobs):
             running_jobs=running.get(name, 0),
             cpu_queue=host.cpu.queued,
             backed_pages=backed,
+            requests_per_s=request_rates.get(name, 0.0),
         )
     return loads

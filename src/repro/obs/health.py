@@ -30,7 +30,18 @@ _METRIC_LABELS = {
     "migration.freeze": "Freeze time",
     "scheduler.wait": "Scheduler wait",
     "fault.service": "Fault service time",
+    "request.latency": "Request latency",
 }
+
+
+def _metric_label(metric):
+    """Display label for one distribution metric's ribbon card."""
+    label = _METRIC_LABELS.get(metric)
+    if label is not None:
+        return label
+    if metric.startswith("request.latency."):
+        return f"Request latency — {metric[len('request.latency.'):]}"
+    return metric
 
 #: Keyword args giving every chart the page's themable chrome.
 _CHART_INK = {
@@ -144,6 +155,15 @@ def summarize(telemetry):
             if value is not None:
                 final[f"{metric}.{suffix}"] = value
     summary["final_percentiles"] = final
+    # Serving counters appear only when a flow router fed the sampler
+    # (repro serve); a trace without serving data simply omits the key.
+    if "serve.issued" in series:
+        summary["serving"] = {
+            key: _last(series.get(f"serve.{key}")) or 0
+            for key in (
+                "issued", "completed", "dropped", "retried", "redirected",
+            )
+        }
     slo = telemetry.get("slo")
     if slo is not None:
         bands = violation_bands(telemetry)
@@ -317,6 +337,19 @@ def _tiles(summary):
     p99 = final.get("migration.freeze.p99")
     if p99 is not None:
         tiles.append(_tile(f"{p99:g}s", "freeze p99 (final window)"))
+    serving = summary.get("serving")
+    if serving is not None:
+        tiles.append(_tile(serving["completed"], "requests completed"))
+        tiles.append(_tile(
+            serving["dropped"], "requests dropped",
+            critical=serving["dropped"] > 0,
+        ))
+        tiles.append(_tile(serving["retried"], "requests retried"))
+        latency_p99 = final.get("request.latency.p99")
+        if latency_p99 is not None:
+            tiles.append(
+                _tile(f"{latency_p99:g}s", "request p99 (final window)")
+            )
     slo = summary.get("slo")
     if slo is not None:
         tiles.append(
@@ -395,6 +428,26 @@ def _run_section(run):
             "cluster-wide in-flight and queued migrations",
         ))
 
+    if "serve.issued" in series:
+        svg = line_chart(
+            times,
+            [
+                ("completed", series.get("serve.completed", []),
+                 "var(--series-3)"),
+                ("dropped", series.get("serve.dropped", []),
+                 "var(--status-critical)"),
+                ("retried", series.get("serve.retried", []),
+                 "var(--series-2)"),
+                ("redirected", series.get("serve.redirected", []),
+                 "var(--series-1)"),
+            ],
+            width=640, height=200, y_label="requests", **_CHART_INK,
+        )
+        charts.append(_card(
+            "Serving outcomes", svg,
+            "cumulative request outcomes through the flow router",
+        ))
+
     window_note = f"sliding {telemetry.get('window_s', 0):g}s window"
     for metric in _percentile_metrics(series):
         ribbon_series = [
@@ -418,7 +471,7 @@ def _run_section(run):
         if bands:
             subtitle += "; shaded bands mark SLO violations"
         charts.append(_card(
-            f"{_METRIC_LABELS.get(metric, metric)} — rolling percentiles",
+            f"{_metric_label(metric)} — rolling percentiles",
             svg, subtitle,
         ))
 

@@ -55,6 +55,25 @@ DISTRIBUTIONS = {
                       DEFAULT_LATENCY_BUCKETS),
 }
 
+#: Request latencies span sub-millisecond service times to tens of
+#: seconds inside a frozen flow — wider than the default buckets on
+#: both ends (mirrors repro.serve.router.SERVING_LATENCY_BUCKETS).
+SERVING_LATENCY_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0, 30.0,
+)
+
+#: Bucket choices for metrics created lazily by :meth:`Telemetry.observe`,
+#: matched by metric-name prefix (first hit wins).  ``request.latency``
+#: and its per-service sub-metrics (``request.latency.kv`` ...) are fed
+#: by the serving layer's flow router only when serving runs, so they
+#: are not in :data:`DISTRIBUTIONS` — eager registration would add
+#: empty families (and all-None ribbon columns) to every sampled
+#: non-serving trace.
+AUTO_BUCKETS = (
+    ("request.latency", SERVING_LATENCY_BUCKETS),
+)
+
 #: Ribbon statistics appended per distribution per tick.
 PERCENTILES = (("p50", 0.50), ("p99", 0.99), ("p999", 0.999))
 
@@ -95,6 +114,7 @@ class Telemetry:
         self._rebuild_ribbons()
         self.slo_engine = SLOEngine(slos, obs) if slos else None
         self._schedulers = []
+        self._routers = []
         self._links = []
         self._hosts = []
         self._flushers = []
@@ -157,6 +177,23 @@ class Telemetry:
             host_columns,
         ))
 
+    def add_router(self, router):
+        """Sample this flow router's request counters + backlog.
+
+        The cumulative outcome counters become ``serve.*`` series, so
+        the health dashboard can show drop/retry/redirect progression
+        from the trace payload alone.
+        """
+        self._routers.append((
+            router,
+            self._column("serve.issued"),
+            self._column("serve.completed"),
+            self._column("serve.dropped"),
+            self._column("serve.retried"),
+            self._column("serve.redirected"),
+            self._column("serve.outstanding"),
+        ))
+
     def add_link(self, link):
         """Sample this link's inflight/peak/bytes gauges."""
         name = link.name
@@ -186,8 +223,13 @@ class Telemetry:
         hist = self._hists.get(metric)
         if hist is None:
             family = metric.replace(".", "_") + "_windowed"
+            buckets = DEFAULT_LATENCY_BUCKETS
+            for prefix, candidate in AUTO_BUCKETS:
+                if metric.startswith(prefix):
+                    buckets = candidate
+                    break
             hist = self._hists[metric] = self.obs.registry.windowed_histogram(
-                family, window_s=self.period
+                family, window_s=self.period, buckets=buckets
             ).labels()
             self._rebuild_ribbons()
         hist.observe(value)
@@ -258,6 +300,15 @@ class Telemetry:
             for name, col_host_inflight, col_host_queued in host_columns:
                 col_host_inflight.append(scheduler.host_inflight(name))
                 col_host_queued.append(scheduler.host_queued(name))
+        for (router, col_issued, col_completed, col_dropped, col_retried,
+             col_redirected, col_outstanding) in self._routers:
+            counts = router.counts
+            col_issued.append(counts["issued"])
+            col_completed.append(counts["completed"])
+            col_dropped.append(counts["dropped"])
+            col_retried.append(counts["retried"])
+            col_redirected.append(counts["redirected"])
+            col_outstanding.append(router.outstanding)
         for link, col_inflight, col_peak, col_bytes in self._links:
             col_inflight.append(link.inflight)
             col_peak.append(link.peak_inflight)

@@ -1,0 +1,48 @@
+"""Live request serving across migrations (``repro serve``).
+
+The paper's claim is that copy-on-reference keeps a migrating process
+*usable*; this package makes "usable" measurable.  It layers three
+pieces over the cluster/stress substrate:
+
+* :mod:`repro.serve.workloads` — serving shapes (KV cache, matmul
+  inference, windowed stream operator) whose request patterns touch
+  the migrated address space so demand paging lands in request latency.
+* :mod:`repro.serve.server` / :mod:`repro.serve.client` — engine
+  processes: servers drain an inbox between cooperative pauses, seeded
+  open-loop clients issue deadline-bounded requests with bounded retry.
+* :mod:`repro.serve.router` — the front-end
+  :class:`~repro.serve.router.FlowRouter` mapping flows to hosts,
+  buffering arrivals while a flow is frozen for migration and counting
+  redirects/drops/retries.
+
+:func:`~repro.serve.harness.run_serve` ties them together behind
+``repro serve``; the result's during-migration p50/p99/p999 is the
+serving-layer headline metric.
+"""
+
+from repro.serve.client import ClientGenerator
+from repro.serve.harness import ServingResult, run_serve
+from repro.serve.router import FlowRouter, Request, SERVING_LATENCY_BUCKETS
+from repro.serve.server import ServingJob
+from repro.serve.workloads import (
+    SERVING,
+    ServeError,
+    ServingSpec,
+    make_pattern,
+    serving_by_name,
+)
+
+__all__ = [
+    "SERVING",
+    "SERVING_LATENCY_BUCKETS",
+    "ClientGenerator",
+    "FlowRouter",
+    "Request",
+    "ServeError",
+    "ServingJob",
+    "ServingResult",
+    "ServingSpec",
+    "make_pattern",
+    "run_serve",
+    "serving_by_name",
+]

@@ -1,0 +1,59 @@
+"""Seeded client generators: open-loop traffic against the router.
+
+Each client targets one service and issues a fixed number of logical
+requests at a configurable arrival process — the same
+uniform/poisson/burst family the stress harness uses for migration
+requests (:func:`repro.cluster.stress.interarrival`), drawn from its
+own named RNG stream so one seed fixes every client's timeline
+independently of how the servers interleave.
+
+Clients are open-loop: a slow or frozen server does not slow the
+arrival process down, it grows the router's buffer — which is what
+makes during-migration latency an honest number.
+"""
+
+from repro.cluster.stress import interarrival
+
+from repro.serve.router import Request
+
+
+class ClientGenerator:
+    """One client's request stream against one service."""
+
+    def __init__(self, world, router, service, kind, name, requests,
+                 arrival="poisson", rate_per_s=20.0, burst_size=8,
+                 deadline_s=0.0, retry_budget=0):
+        self.world = world
+        self.router = router
+        self.service = service
+        self.kind = kind
+        self.name = name
+        self.requests = requests
+        self.arrival = arrival
+        self.rate_per_s = rate_per_s
+        self.burst_size = burst_size
+        self.deadline_s = deadline_s
+        self.retry_budget = retry_budget
+        self.issued = 0
+
+    def run(self):
+        """Generator body: issue every request, then exit."""
+        engine = self.world.engine
+        rng = self.world.streams.stream(f"serve.client:{self.name}")
+        for index in range(self.requests):
+            gap = interarrival(
+                self.arrival, self.rate_per_s, self.burst_size, rng, index
+            )
+            if gap > 0:
+                yield engine.timeout(gap)
+            request = Request(
+                service=self.service,
+                kind=self.kind,
+                rid=f"{self.name}/{index}",
+                issued_at=engine.now,
+                deadline_s=self.deadline_s,
+                retry_budget=self.retry_budget,
+            )
+            self.issued += 1
+            self.router.submit(request)
+        return self.issued

@@ -1,0 +1,302 @@
+"""The deterministic serving harness (``repro serve``).
+
+Builds an M-host world, spreads request-serving processes across it
+(round-robin over the configured service mix), points seeded client
+generators at the flow router, and replays a seeded arrival pattern of
+migration requests through the cluster scheduler — so every migration
+lands *under live traffic* and the headline numbers are request
+latency percentiles during migration, plus drop/retry/redirect counts.
+
+Reuses :class:`~repro.cluster.stress.StressConfig` (the serving knobs
+ride on it, hash-stable: they serialise only when a service mix is
+configured) and the scheduler/testbed/fault plumbing unchanged, so
+``repro serve`` composes with ``--faults``, ``--slo``,
+``--sample-period`` and the full transfer-strategy surface.
+"""
+
+import hashlib
+import json
+
+from repro.cluster.scheduler import ClusterScheduler
+from repro.cluster.stress import interarrival
+from repro.testbed import Testbed
+from repro.workloads.builder import build_process
+from repro.workloads.registry import workload_by_name
+
+from repro.serve.client import ClientGenerator
+from repro.serve.router import FlowRouter
+from repro.serve.server import ServingJob
+from repro.serve.workloads import ServeError, serving_by_name
+
+#: Percentiles reported per latency population.
+LATENCY_PERCENTILES = (("p50", 0.50), ("p99", 0.99), ("p999", 0.999))
+
+
+def _nearest_rank(values, q):
+    """Exact nearest-rank percentile over a sorted list (or None)."""
+    if not values:
+        return None
+    rank = min(len(values) - 1, max(0, int(q * len(values))))
+    return values[rank]
+
+
+class ServingResult:
+    """Everything one serving run measured, canonically serialisable."""
+
+    def __init__(self, config, world, scheduler, router, jobs, makespan_s):
+        self.config = config
+        self.obs = world.obs
+        self.scheduler = scheduler
+        self.router = router
+        self.jobs = list(jobs)
+        self.tickets = list(scheduler.tickets)
+        self.makespan_s = makespan_s
+        self.outcomes = scheduler.outcome_counts()
+        self.counts = dict(router.counts)
+        #: Terminal per-request records (see FlowRouter._record).
+        self.records = list(router.records)
+        metrics = world.metrics
+        self.bytes_total = metrics.total_link_bytes
+        self.faults = dict(metrics.faults)
+        self.events_dispatched = world.engine.dispatched
+        #: Correct iff every served page verified, something actually
+        #: completed, and request conservation held.
+        self.verified = (
+            not any(job.mismatches for job in self.jobs)
+            and self.counts["completed"] > 0
+            and self.counts["issued"]
+            == self.counts["completed"] + self.counts["dropped"]
+        )
+
+    @property
+    def completed_migrations(self):
+        return self.outcomes.get("completed", 0)
+
+    # -- latency views -----------------------------------------------------------
+    def latencies(self, kind=None, during=None):
+        """Sorted completed-request latencies, optionally filtered by
+        serving workload ``kind`` and/or ``during``-migration flag."""
+        return sorted(
+            record["latency_s"]
+            for record in self.records
+            if record["outcome"] == "completed"
+            and (kind is None or record["kind"] == kind)
+            and (during is None or record["during_migration"] == during)
+        )
+
+    def latency_percentile(self, q, kind=None, during=None):
+        """Exact nearest-rank latency quantile, or None if empty."""
+        return _nearest_rank(self.latencies(kind=kind, during=during), q)
+
+    def _summary_for(self, kind=None):
+        block = {}
+        for scope, during in (("overall", None), ("during_migration", True)):
+            values = self.latencies(kind=kind, during=during)
+            entry = {"count": len(values)}
+            for suffix, q in LATENCY_PERCENTILES:
+                value = _nearest_rank(values, q)
+                entry[suffix] = None if value is None else round(value, 9)
+            block[scope] = entry
+        return block
+
+    def latency_summary(self):
+        """``{"overall": ..., "during_migration": ..., "per_service": ...}``
+        with nearest-rank p50/p99/p999 and population counts."""
+        kinds = sorted({job.serving.name for job in self.jobs})
+        summary = self._summary_for()
+        summary["per_service"] = {
+            kind: self._summary_for(kind=kind) for kind in kinds
+        }
+        return summary
+
+    # -- canonical form ----------------------------------------------------------
+    def to_dict(self):
+        """Canonical plain-data view — the determinism-hash input."""
+        return {
+            "config": self.config.to_dict(),
+            "makespan_s": self.makespan_s,
+            "requests": dict(sorted(self.counts.items())),
+            "latency": self.latency_summary(),
+            "outcomes": dict(sorted(self.outcomes.items())),
+            "windows": {
+                service: [
+                    [round(opened, 9),
+                     None if closed is None else round(closed, 9)]
+                    for opened, closed in spans
+                ]
+                for service, spans in sorted(self.router.windows.items())
+            },
+            "bytes_total": self.bytes_total,
+            "faults": dict(sorted(self.faults.items())),
+            "events_dispatched": self.events_dispatched,
+            "verified": self.verified,
+            "jobs": {
+                job.name: {
+                    "service": job.serving.name,
+                    "host": (
+                        job.current_host.name if job.current_host else None
+                    ),
+                    "served": job.served,
+                    "migrations": job.migrations,
+                    "failed": job.failed,
+                }
+                for job in self.jobs
+            },
+        }
+
+    @property
+    def determinism_hash(self):
+        """SHA-256 over the canonical result — equal across replays."""
+        payload = json.dumps(self.to_dict(), sort_keys=True)
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def __repr__(self):
+        return (
+            f"<ServingResult {len(self.jobs)} services "
+            f"issued={self.counts['issued']} "
+            f"completed={self.counts['completed']} "
+            f"dropped={self.counts['dropped']} verified={self.verified}>"
+        )
+
+
+def run_serve(config, calibration=None, instrument=False, faults=None):
+    """Execute one serving run; returns a :class:`ServingResult`.
+
+    ``config`` is a :class:`~repro.cluster.stress.StressConfig` with a
+    non-empty ``services`` mix; its migration knobs (arrival, rate,
+    in-flight cap, strategy, transfer trio) drive the background moves
+    exactly as in ``repro stress``.
+    """
+    if not config.services:
+        raise ServeError(
+            "run_serve needs a serving mix: set StressConfig(services=...)"
+        )
+    specs = [serving_by_name(name) for name in config.services]
+    bed = Testbed(
+        seed=config.seed, calibration=calibration,
+        instrument=instrument, faults=faults,
+        sample_period=config.sample_period, slos=config.slo_objectives,
+    )
+    world = bed.world(host_names=config.host_names)
+    world.apply_options(config.transfer_options)
+    engine = world.engine
+    router = FlowRouter(
+        world,
+        retry_backoff_s=config.retry_backoff_s,
+        migration_tail_s=config.migration_tail_s,
+    )
+
+    jobs = []
+    for index in range(config.procs):
+        serving = specs[index % len(specs)]
+        base = workload_by_name(serving.base)
+        host = world.host(config.host_names[index % config.hosts])
+        built = build_process(
+            host, base, world.streams,
+            name=f"s{index:02d}-{serving.name}",
+        )
+        job = ServingJob(world, built, serving)
+        jobs.append(job)
+        router.register(job, host)
+        job.start(host)
+
+    scheduler = ClusterScheduler(
+        world,
+        inflight_cap=config.inflight_cap,
+        queue_limit=config.queue_limit,
+    )
+    jobs_by_name = {job.name: job for job in jobs}
+
+    def prepare_for(job):
+        def prepare():
+            # Freeze the flow the instant the move is admitted, so no
+            # request chases a process that is about to go quiescent.
+            router.freeze(job.name)
+            job.migrating = True
+            return job.request_pause()
+        return prepare
+
+    def follow(ticket):
+        """Re-bind the flow once the move reaches a terminal state."""
+        yield ticket.done
+        job = jobs_by_name[ticket.process_name]
+        job.migrating = False
+        if ticket.outcome == "completed":
+            job.resume_as(ticket.inserted, world.host(ticket.dest))
+            router.unfreeze(job.name, ticket.dest)
+            return
+        if job.failed:
+            return  # the job already failed the flow
+        if ticket.outcome == "aborted":
+            # Rolled back: the kernel reinserted the process at the
+            # source; keep serving there.
+            process = world.host(ticket.source).kernel.processes.get(
+                ticket.process_name
+            )
+            if process is not None:
+                job.process = process
+                job.start(world.host(ticket.source))
+                router.unfreeze(job.name, ticket.source)
+                return
+        router.service_dead(job.name, ticket.reason or ticket.outcome)
+
+    def migration_arrivals():
+        gaps = world.streams.stream("serve.arrivals")
+        picks = world.streams.stream("serve.picks")
+        names = config.host_names
+        for index in range(config.migrations):
+            gap = interarrival(
+                config.arrival, config.rate_per_s, config.burst_size,
+                gaps, index,
+            )
+            if gap > 0:
+                yield engine.timeout(gap)
+            # Prefer flows that are not already on the move (a second
+            # ticket for an in-flight job would only be rejected) and
+            # that still have a live server behind them.
+            candidates = [
+                job for job in jobs if not job.migrating and not job.failed
+            ] or jobs
+            job = candidates[picks.randrange(len(candidates))]
+            here = job.current_host.name
+            others = [name for name in names if name != here]
+            dest = others[picks.randrange(len(others))]
+            ticket = scheduler.submit(
+                job.name, dest, source=here,
+                strategy=config.strategy, prepare=prepare_for(job),
+            )
+            if ticket.outcome is None:
+                engine.process(follow(ticket), name=f"follow-{job.name}")
+
+    clients = []
+    client_id = 0
+    for job in jobs:
+        for _ in range(config.clients_per_service):
+            client = ClientGenerator(
+                world, router,
+                service=job.name, kind=job.serving.name,
+                name=f"c{client_id:02d}",
+                requests=config.requests_per_client,
+                arrival=config.request_arrival,
+                rate_per_s=config.request_rate_per_s * job.serving.rate_scale,
+                burst_size=config.request_burst,
+                deadline_s=config.deadline_s,
+                retry_budget=config.retry_budget,
+            )
+            clients.append(
+                engine.process(client.run(), name=f"client-{client.name}")
+            )
+            client_id += 1
+
+    driver = engine.process(migration_arrivals(), name="serve-arrivals")
+    engine.run(until=engine.all_of([driver] + clients))
+    engine.run(until=scheduler.drain())
+    router.close()
+    engine.run(until=router.settled())
+    for job in jobs:
+        job.shutdown()
+    engine.run(until=engine.all_of([job.done for job in jobs]))
+    makespan = engine.now
+    world.stop_telemetry()
+    engine.run()  # drain asynchronous residue (segment deaths etc.)
+    return ServingResult(config, world, scheduler, router, jobs, makespan)

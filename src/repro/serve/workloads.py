@@ -1,0 +1,201 @@
+"""Request-serving workload shapes layered on the workload registry.
+
+The paper's seven representatives replay fixed reference traces; a
+*serving* workload instead holds the same migrated address space but
+touches it request by request, so copy-on-reference cost lands inside
+request latency instead of batch runtime.  Each :class:`ServingSpec`
+binds a request *pattern* to one of the registry's base workloads:
+
+``kv``
+    A key/value cache over pm-mid's space: every request touches a few
+    pages picked Zipf-ishly (a small hot set absorbs most traffic, a
+    long cold tail keeps demand paging alive), with occasional writes.
+``matmul``
+    An "inference" server over chess's space: every request scans one
+    contiguous stripe of weight pages read-only and burns more CPU —
+    sequential faults, which is exactly where batched demand paging
+    (PR 5's prefetch windows) pays off.
+``stream``
+    A windowed stream operator over pm-start's space: a fixed-size
+    window slides one page per request, writing its head (operator
+    state) and reading the rest.
+
+Patterns draw from a per-job named RNG stream and keep their cursor in
+the job (not the process), so a migration never perturbs the request
+sequence — replays stay byte-identical.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ServingSpec:
+    """One serving workload: a request pattern over a base space."""
+
+    name: str
+    #: Base workload in :data:`repro.workloads.registry.WORKLOADS`
+    #: whose address space the server holds.
+    base: str
+    description: str
+    #: Page-selection pattern: ``hot-random``, ``scan`` or ``window``.
+    pattern: str
+    #: Pages referenced per request (the window size for ``window``).
+    pages_per_request: int
+    #: Probability that a request ends in a write (``hot-random``), or
+    #: 1.0 for patterns that always write their head page.
+    write_fraction: float
+    #: CPU seconds burned per request before its page references.
+    service_s: float
+    #: ``hot-random`` only: fraction of the space that is hot.
+    hot_fraction: float = 0.125
+    #: ``hot-random`` only: probability a reference lands in the hot set.
+    hot_bias: float = 0.9
+    #: Per-client request-rate multiplier.  Heavy kinds (matmul's
+    #: 16-page stripes) would saturate at the mix-wide default rate, so
+    #: their clients issue proportionally slower — keeping steady-state
+    #: utilisation sane so drops measure *migration* impact, not plain
+    #: overload.
+    rate_scale: float = 1.0
+
+
+#: The serving registry, keyed by name.
+SERVING = {
+    spec.name: spec
+    for spec in (
+        ServingSpec(
+            name="kv",
+            base="pm-mid",
+            description="key/value cache; skewed point reads, some writes",
+            pattern="hot-random",
+            pages_per_request=2,
+            write_fraction=0.25,
+            service_s=0.004,
+            hot_fraction=0.10,
+            hot_bias=0.9,
+        ),
+        ServingSpec(
+            name="matmul",
+            base="chess",
+            description="matmul inference; sequential weight-stripe scans",
+            pattern="scan",
+            pages_per_request=16,
+            write_fraction=0.0,
+            service_s=0.012,
+            rate_scale=0.15,
+        ),
+        ServingSpec(
+            name="stream",
+            base="pm-start",
+            description="windowed stream operator; sliding window, head writes",
+            pattern="window",
+            pages_per_request=8,
+            write_fraction=1.0,
+            service_s=0.006,
+        ),
+    )
+}
+
+
+class ServeError(ValueError):
+    """A serving configuration problem (unknown service, empty mix)."""
+
+
+def serving_by_name(name):
+    """The :class:`ServingSpec` called ``name`` (raises ServeError)."""
+    try:
+        return SERVING[name]
+    except KeyError:
+        raise ServeError(
+            f"unknown serving workload {name!r}; "
+            f"choose from {sorted(SERVING)}"
+        ) from None
+
+
+# -- request page patterns ---------------------------------------------------
+class HotRandomPattern:
+    """Skewed random point lookups with a fixed seeded hot set."""
+
+    def __init__(self, spec, pages, rng):
+        self.spec = spec
+        self.pages = pages
+        self.rng = rng
+        shuffled = list(pages)
+        rng.shuffle(shuffled)
+        hot = max(1, int(spec.hot_fraction * len(shuffled)))
+        self.hot = shuffled[:hot]
+
+    def next_request(self):
+        """The next request's page references: ``[(index, write), ...]``."""
+        rng = self.rng
+        spec = self.spec
+        refs = []
+        for _ in range(spec.pages_per_request):
+            pool = self.hot if rng.random() < spec.hot_bias else self.pages
+            refs.append((pool[rng.randrange(len(pool))], False))
+        if spec.write_fraction and rng.random() < spec.write_fraction:
+            index, _ = refs[-1]
+            refs[-1] = (index, True)
+        return refs
+
+
+class ScanPattern:
+    """Read-only contiguous stripes advancing through the space."""
+
+    def __init__(self, spec, pages, rng):
+        self.spec = spec
+        self.pages = pages
+        self.cursor = 0
+
+    def next_request(self):
+        """The next request's page references: ``[(index, write), ...]``."""
+        count = min(self.spec.pages_per_request, len(self.pages))
+        refs = []
+        for offset in range(count):
+            index = self.pages[(self.cursor + offset) % len(self.pages)]
+            refs.append((index, False))
+        self.cursor = (self.cursor + count) % len(self.pages)
+        return refs
+
+
+class WindowPattern:
+    """A window sliding one page per request; the head page is written."""
+
+    def __init__(self, spec, pages, rng):
+        self.spec = spec
+        self.pages = pages
+        self.cursor = 0
+
+    def next_request(self):
+        """The next request's page references: ``[(index, write), ...]``."""
+        count = min(self.spec.pages_per_request, len(self.pages))
+        refs = []
+        for offset in range(count):
+            index = self.pages[(self.cursor + offset) % len(self.pages)]
+            refs.append((index, offset == 0 and self.spec.write_fraction > 0))
+        self.cursor = (self.cursor + 1) % len(self.pages)
+        return refs
+
+
+_PATTERNS = {
+    "hot-random": HotRandomPattern,
+    "scan": ScanPattern,
+    "window": WindowPattern,
+}
+
+
+def make_pattern(spec, plan, rng):
+    """Instantiate ``spec``'s request pattern over a built layout.
+
+    ``plan`` is the builder's :class:`~repro.workloads.layout.LayoutPlan`;
+    the pattern addresses the base workload's *real* pages (they carry
+    verifiable contents), covering resident and paged-out alike so
+    post-migration requests genuinely demand-fault.
+    """
+    try:
+        factory = _PATTERNS[spec.pattern]
+    except KeyError:
+        raise ServeError(f"unknown request pattern {spec.pattern!r}") from None
+    pages = sorted(plan.real_indices)
+    if not pages:
+        raise ServeError(f"{spec.name}: base workload has no real pages")
+    return factory(spec, pages, rng)

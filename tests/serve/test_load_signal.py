@@ -1,0 +1,54 @@
+"""The serving-load signal on HostLoad: present, but not in the score."""
+
+from repro.cluster.stress import StressConfig
+from repro.loadbalance.metrics import HostLoad, snapshot_loads
+from repro.serve import run_serve
+from repro.testbed import Testbed
+
+
+class StubJob:
+    def __init__(self, host, requests_per_s=0.0, finished=False):
+        self.current_host = host
+        self.requests_per_s = requests_per_s
+        self.finished = finished
+
+
+def test_requests_per_s_never_changes_the_score():
+    """Policies keep deciding exactly as before PR 7: the serving rate
+    is an optional signal, not a score term."""
+    idle = HostLoad(
+        host_name="h", running_jobs=2, cpu_queue=1, backed_pages=512,
+    )
+    busy = HostLoad(
+        host_name="h", running_jobs=2, cpu_queue=1, backed_pages=512,
+        requests_per_s=500.0,
+    )
+    assert idle.score == busy.score
+
+
+def test_snapshot_aggregates_serving_rate_per_host():
+    world = Testbed(seed=9).world(host_names=("alpha", "beta"))
+    alpha, beta = world.host("alpha"), world.host("beta")
+    jobs = [
+        StubJob(alpha, requests_per_s=10.0),
+        StubJob(alpha, requests_per_s=2.5),
+        StubJob(beta),  # batch job: no serving signal
+        StubJob(alpha, requests_per_s=99.0, finished=True),  # ignored
+    ]
+    loads = snapshot_loads(world.hosts, jobs)
+    assert loads["alpha"].requests_per_s == 12.5
+    assert loads["beta"].requests_per_s == 0.0
+    assert loads["alpha"].running_jobs == 2
+
+
+def test_serving_jobs_expose_a_live_throughput_signal():
+    result = run_serve(
+        StressConfig(
+            hosts=2, procs=1, seed=3, migrations=1, arrival="uniform",
+            rate_per_s=1.0, services=("kv",),
+        )
+    )
+    (job,) = result.jobs
+    assert job.served > 0
+    # The run is over, so elapsed > 0 and the lifetime rate is real.
+    assert job.requests_per_s > 0

@@ -1,0 +1,201 @@
+"""FlowRouter behavior: freezing, redirecting, deadlines, conservation."""
+
+from repro.serve.router import FlowRouter, Request
+from repro.testbed import Testbed
+
+
+class StubJob:
+    """A server that just records deliveries."""
+
+    def __init__(self, name):
+        self.name = name
+        self.router = None
+        self.delivered = []
+
+    def deliver(self, request):
+        self.delivered.append(request)
+
+
+def make_world():
+    return Testbed(seed=5).world(host_names=("alpha", "beta"))
+
+
+def make_router(world, **kwargs):
+    router = FlowRouter(world, **kwargs)
+    job = StubJob("svc")
+    router.register(job, world.host("alpha"))
+    return router, job
+
+
+def submit(router, engine, rid="r0", deadline_s=0.0, retry_budget=0):
+    request = Request(
+        service="svc", kind="kv", rid=rid, issued_at=engine.now,
+        deadline_s=deadline_s, retry_budget=retry_budget,
+    )
+    router.submit(request)
+    return request
+
+
+def test_submit_routes_to_the_bound_job():
+    world = make_world()
+    router, job = make_router(world)
+    request = submit(router, world.engine)
+    assert job.delivered == [request]
+    assert request.attempts == 1
+    assert router.counts["issued"] == 1
+    assert router.outstanding == 1
+
+
+def test_frozen_flow_buffers_then_flushes_in_order():
+    world = make_world()
+    router, job = make_router(world)
+    router.freeze("svc")
+    first = submit(router, world.engine, rid="a")
+    second = submit(router, world.engine, rid="b")
+    assert job.delivered == []
+    assert router.counts["buffered"] == 2
+    # Re-bind to the same host: flushed, nothing redirected.
+    router.unfreeze("svc", "alpha")
+    assert job.delivered == [first, second]
+    assert router.counts["redirected"] == 0
+    assert not first.redirected
+
+
+def test_unfreeze_to_a_new_host_counts_redirects():
+    world = make_world()
+    router, job = make_router(world)
+    router.freeze("svc")
+    request = submit(router, world.engine)
+    router.unfreeze("svc", "beta")
+    assert router.flows["svc"] == "beta"
+    assert request.redirected
+    assert router.counts["redirected"] == 1
+    assert job.delivered == [request]
+
+
+def test_freeze_records_a_window_and_unfreeze_closes_it():
+    world = make_world()
+    router, _job = make_router(world)
+    router.freeze("svc")
+    assert router.windows["svc"][-1][1] is None
+    router.unfreeze("svc", "beta")
+    opened, closed = router.windows["svc"][-1]
+    assert closed is not None and closed >= opened
+
+
+def test_dead_service_drops_buffered_and_future_requests():
+    world = make_world()
+    router, job = make_router(world)
+    router.freeze("svc")
+    buffered = submit(router, world.engine, rid="buffered")
+    router.service_dead("svc", "crash")
+    late = submit(router, world.engine, rid="late")
+    assert buffered.outcome == "dropped" and buffered.reason == "service-dead"
+    assert late.outcome == "dropped" and late.reason == "service-dead"
+    assert job.delivered == []
+    assert router.counts["issued"] == router.counts["dropped"] == 2
+
+
+def test_requeue_preserves_flow_order_at_the_buffer_front():
+    world = make_world()
+    router, job = make_router(world)
+    router.freeze("svc")
+    early = submit(router, world.engine, rid="early")
+    late = submit(router, world.engine, rid="late")
+    assert router._buffers["svc"].popleft() is early
+    assert router._buffers["svc"].popleft() is late
+    # The server hands back what it had in flight; it must come out
+    # before anything that arrived later.
+    router.requeue("svc", [early, late])
+    router.unfreeze("svc", "alpha")
+    assert job.delivered == [early, late]
+
+
+def test_begin_service_without_deadline_always_serves():
+    world = make_world()
+    router, _job = make_router(world)
+    request = submit(router, world.engine)
+    assert router.begin_service(request)
+
+
+def test_expired_attempt_without_budget_drops():
+    world = make_world()
+    engine = world.engine
+    router, _job = make_router(world)
+    request = submit(router, engine, deadline_s=0.5)
+    engine.run(until=engine.timeout(1.0))
+    assert not router.begin_service(request)
+    assert request.outcome == "dropped" and request.reason == "deadline"
+    assert router.counts["expired_attempts"] == 1
+    assert router.counts["dropped"] == 1
+
+
+def test_expired_attempt_with_budget_retries_after_backoff():
+    world = make_world()
+    engine = world.engine
+    router, job = make_router(world, retry_backoff_s=0.25)
+    request = submit(router, engine, deadline_s=0.5, retry_budget=1)
+    engine.run(until=engine.timeout(1.0))
+    assert not router.begin_service(request)
+    assert request.retried and request.retries_left == 0
+    before = engine.now
+    engine.run()  # the retry process re-dispatches after the backoff
+    assert job.delivered[-1] is request
+    assert request.attempt_started_at == before + 0.25
+    # The fresh attempt's clock restarted, so it serves now.
+    assert router.begin_service(request)
+    router.complete(request)
+    assert router.counts["retried"] == 1
+    assert router.counts["completed"] == 1
+    assert (
+        router.counts["issued"]
+        == router.counts["completed"] + router.counts["dropped"]
+    )
+
+
+def test_completion_records_latency_and_during_flag():
+    world = make_world()
+    engine = world.engine
+    router, _job = make_router(world)
+    request = submit(router, engine)
+    engine.run(until=engine.timeout(2.0))
+    router.complete(request)
+    (record,) = router.records
+    assert record["outcome"] == "completed"
+    assert record["latency_s"] == 2.0
+    assert record["during_migration"] is False
+
+
+def test_during_migration_includes_the_copy_on_reference_tail():
+    world = make_world()
+    engine = world.engine
+    router, _job = make_router(world, migration_tail_s=10.0)
+    engine.run(until=engine.timeout(5.0))
+    router.freeze("svc")
+    engine.run(until=engine.timeout(1.0))
+    router.unfreeze("svc", "beta")  # window [5, 6], tail to 16
+    assert not router.during_migration("svc", 0.0, 4.9)
+    assert router.during_migration("svc", 4.0, 5.5)   # spans the freeze
+    assert router.during_migration("svc", 5.2, 5.8)   # inside
+    assert router.during_migration("svc", 15.0, 20.0)  # starts in the tail
+    assert not router.during_migration("svc", 16.1, 17.0)  # past the tail
+    assert not router.during_migration("other", 5.0, 6.0)
+
+
+def test_open_window_never_stops_matching():
+    world = make_world()
+    router, _job = make_router(world)
+    router.freeze("svc")
+    assert router.during_migration("svc", 100.0, 200.0)
+
+
+def test_settled_fires_once_closed_and_drained():
+    world = make_world()
+    engine = world.engine
+    router, _job = make_router(world)
+    request = submit(router, engine)
+    router.close()
+    settled = router.settled()
+    assert not settled.triggered  # one request still outstanding
+    router.complete(request)
+    assert settled.triggered

@@ -1,0 +1,186 @@
+"""End-to-end serving runs: verification, determinism, conservation.
+
+Mirrors the stress-harness conventions from
+``tests/integration/test_concurrency.py``: replay tests compare the
+canonical hash *and* the full JSONL trace byte for byte, and the
+config-hash test pins that the serving knobs serialise only when a
+service mix is configured (so seed-era stress hashes stay valid).
+"""
+
+import pytest
+
+from repro.cluster.stress import StressConfig
+from repro.faults import Crash, FaultPlan
+from repro.obs import jsonl_lines
+from repro.serve import ServeError, run_serve
+
+
+def _trace_blob(label, obs):
+    """The full JSONL export as one byte string (spans, metrics, faults)."""
+    return "\n".join(jsonl_lines([(label, obs)])).encode("utf-8")
+
+
+def _config(**overrides):
+    base = dict(
+        hosts=3, procs=3, seed=11, migrations=3,
+        arrival="uniform", rate_per_s=1.0, inflight_cap=2,
+        services=("kv", "matmul", "stream"),
+    )
+    base.update(overrides)
+    return StressConfig(**base)
+
+
+def test_run_serve_requires_a_service_mix():
+    with pytest.raises(ServeError):
+        run_serve(StressConfig(hosts=2, procs=2, seed=1))
+
+
+def test_serve_verifies_and_measures_during_migration_latency():
+    result = run_serve(_config())
+    assert result.verified
+    assert result.completed_migrations == 3
+    counts = result.counts
+    assert counts["issued"] == 360  # 3 procs x 2 clients x 60 requests
+    assert counts["issued"] == counts["completed"] + counts["dropped"]
+    assert counts["buffered"] > 0
+    # Every migrated flow recorded a closed freeze window.
+    assert result.router.windows
+    for spans in result.router.windows.values():
+        for opened, closed in spans:
+            assert closed is not None and closed > opened
+    summary = result.latency_summary()
+    assert summary["during_migration"]["count"] > 0
+    assert summary["during_migration"]["p99"] is not None
+    assert summary["during_migration"]["p999"] is not None
+    assert sorted(summary["per_service"]) == ["kv", "matmul", "stream"]
+    # Migration slows requests down: the during population's median
+    # cannot beat the overall median.
+    assert (
+        summary["during_migration"]["p50"] >= summary["overall"]["p50"]
+    )
+
+
+def test_serve_jobs_actually_migrate_and_redirect():
+    result = run_serve(_config())
+    assert sum(job.migrations for job in result.jobs) == 3
+    assert result.counts["redirected"] > 0
+    for job in result.jobs:
+        assert job.served > 0
+        assert not job.failed
+
+
+def test_serve_replays_byte_identically():
+    def trial():
+        result = run_serve(
+            _config(procs=2, hosts=2, migrations=2,
+                    services=("kv", "stream")),
+            instrument=True,
+        )
+        return result.determinism_hash, _trace_blob("serve", result.obs)
+
+    first_hash, first_blob = trial()
+    second_hash, second_blob = trial()
+    assert first_hash == second_hash
+    assert first_blob == second_blob
+
+
+def test_sampled_serve_replays_byte_identically():
+    """Telemetry sampling (router columns + latency ribbons included)
+    must not disturb replay."""
+
+    def trial():
+        result = run_serve(
+            _config(procs=2, hosts=2, migrations=2,
+                    services=("kv", "stream"), sample_period=0.5),
+            instrument=True,
+        )
+        return result.determinism_hash, _trace_blob("serve", result.obs)
+
+    first_hash, first_blob = trial()
+    second_hash, second_blob = trial()
+    assert first_hash == second_hash
+    assert first_blob == second_blob
+    assert b'"telemetry"' in first_blob
+    assert b"serve.issued" in first_blob
+    assert b"request.latency" in first_blob
+
+
+def test_serving_knobs_serialise_only_with_a_service_mix():
+    """Plain stress configs hash exactly as before PR 7."""
+    plain = StressConfig(hosts=4, procs=6, seed=31, arrival="poisson")
+    assert "serving" not in plain.to_dict()
+    serving = _config(services=("kv",))
+    block = serving.to_dict()["serving"]
+    assert block["services"] == ["kv"]
+    for knob in (
+        "clients_per_service", "requests_per_client", "request_arrival",
+        "request_rate_per_s", "request_burst", "deadline_s",
+        "retry_budget", "retry_backoff_s", "migration_tail_s",
+    ):
+        assert knob in block
+
+
+def test_request_conservation_across_seeds_and_arrivals():
+    """issued == completed + dropped, regardless of seed, arrival
+    pattern, or how hard the deadline bites."""
+    for seed in (3, 11):
+        for request_arrival in ("uniform", "burst"):
+            result = run_serve(
+                _config(
+                    seed=seed, procs=2, hosts=2, migrations=2,
+                    services=("kv", "stream"),
+                    request_arrival=request_arrival,
+                    requests_per_client=30,
+                    deadline_s=0.75, retry_budget=1,
+                )
+            )
+            counts = result.counts
+            assert (
+                counts["issued"] == counts["completed"] + counts["dropped"]
+            ), (seed, request_arrival)
+            assert len(result.records) == counts["issued"]
+            for record in result.records:
+                assert record["outcome"] in ("completed", "dropped")
+                assert record["attempts"] >= 0
+                if record["outcome"] == "completed":
+                    assert record["latency_s"] >= 0
+
+
+def test_source_crash_fails_the_flow_but_conserves_requests():
+    """A crash severing residual dependencies kills the server; the
+    router fails the flow and every outstanding request still reaches a
+    terminal state."""
+    plan = FaultPlan(crashes=[Crash(host="node00", at=8.0)])
+    result = run_serve(
+        _config(
+            procs=1, hosts=2, migrations=1, services=("kv",),
+            requests_per_client=240, deadline_s=0.0, retry_budget=0,
+        ),
+        faults=plan,
+    )
+    (job,) = result.jobs
+    assert job.migrations == 1
+    assert job.failed
+    assert result.router.dead  # the flow was declared dead
+    counts = result.counts
+    assert counts["dropped"] > 0
+    assert counts["completed"] > 0  # it served before the crash
+    assert counts["issued"] == counts["completed"] + counts["dropped"]
+    dropped = [r for r in result.records if r["outcome"] == "dropped"]
+    assert dropped and all(r["reason"] == "service-dead" for r in dropped)
+
+
+def test_canonical_result_round_trips_to_json():
+    import json
+
+    result = run_serve(
+        _config(procs=2, hosts=2, migrations=2, services=("kv", "stream"))
+    )
+    payload = json.dumps(result.to_dict(), sort_keys=True)
+    data = json.loads(payload)
+    assert data["verified"] is True
+    assert data["requests"]["issued"] == result.counts["issued"]
+    assert set(data["latency"]) == {
+        "overall", "during_migration", "per_service",
+    }
+    assert len(result.determinism_hash) == 64

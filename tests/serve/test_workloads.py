@@ -1,0 +1,119 @@
+"""The serving registry and its request page patterns."""
+
+import random
+from types import SimpleNamespace
+
+import pytest
+
+from repro.serve.workloads import (
+    SERVING,
+    ServeError,
+    make_pattern,
+    serving_by_name,
+)
+from repro.workloads.registry import WORKLOADS
+
+
+def _plan(pages):
+    return SimpleNamespace(real_indices=list(pages))
+
+
+def test_registry_covers_three_kinds_over_real_bases():
+    assert sorted(SERVING) == ["kv", "matmul", "stream"]
+    for spec in SERVING.values():
+        assert spec.base in WORKLOADS
+        assert spec.pages_per_request > 0
+        assert spec.service_s > 0
+        assert 0 < spec.rate_scale <= 1.0
+
+
+def test_serving_by_name_rejects_unknown():
+    assert serving_by_name("kv").base == "pm-mid"
+    with pytest.raises(ServeError):
+        serving_by_name("ftp")
+
+
+def test_hot_random_pattern_is_seed_deterministic():
+    spec = SERVING["kv"]
+    plan = _plan(range(100))
+    first = make_pattern(spec, plan, random.Random(42))
+    second = make_pattern(spec, plan, random.Random(42))
+    for _ in range(50):
+        assert first.next_request() == second.next_request()
+
+
+def test_hot_random_pattern_skews_toward_its_hot_set():
+    spec = SERVING["kv"]
+    pattern = make_pattern(spec, _plan(range(1000)), random.Random(7))
+    hot = set(pattern.hot)
+    assert len(hot) == int(spec.hot_fraction * 1000)
+    refs = [
+        index
+        for _ in range(500)
+        for index, _write in pattern.next_request()
+    ]
+    hot_share = sum(1 for index in refs if index in hot) / len(refs)
+    # hot_bias=0.9 plus chance hits from the full pool.
+    assert hot_share > 0.8
+
+
+def test_hot_random_writes_only_the_final_reference():
+    spec = SERVING["kv"]
+    pattern = make_pattern(spec, _plan(range(64)), random.Random(1))
+    saw_write = False
+    for _ in range(200):
+        refs = pattern.next_request()
+        assert len(refs) == spec.pages_per_request
+        assert not any(write for _idx, write in refs[:-1])
+        saw_write = saw_write or refs[-1][1]
+    assert saw_write  # write_fraction=0.25 must fire in 200 draws
+
+
+def test_scan_pattern_walks_contiguous_stripes_and_wraps():
+    spec = SERVING["matmul"]
+    pages = list(range(40))
+    pattern = make_pattern(spec, _plan(pages), random.Random(0))
+    first = [index for index, _ in pattern.next_request()]
+    second = [index for index, _ in pattern.next_request()]
+    third = [index for index, _ in pattern.next_request()]
+    assert first == pages[0:16]
+    assert second == pages[16:32]
+    assert third == pages[32:40] + pages[0:8]  # wrapped
+    assert not any(
+        write for refs in (first, second, third) for write in []
+    )
+
+
+def test_scan_pattern_is_read_only():
+    spec = SERVING["matmul"]
+    pattern = make_pattern(spec, _plan(range(40)), random.Random(0))
+    for _ in range(10):
+        assert not any(write for _idx, write in pattern.next_request())
+
+
+def test_window_pattern_slides_one_page_and_writes_its_head():
+    spec = SERVING["stream"]
+    pages = list(range(20))
+    pattern = make_pattern(spec, _plan(pages), random.Random(0))
+    first = pattern.next_request()
+    second = pattern.next_request()
+    assert [index for index, _ in first] == pages[0:8]
+    assert [index for index, _ in second] == pages[1:9]
+    assert first[0][1] and second[0][1]  # head write
+    assert not any(write for _idx, write in first[1:])
+
+
+def test_pattern_addresses_the_plans_real_pages():
+    # Real indices are sparse and unsorted in a built plan; the pattern
+    # must stay inside them.
+    plan = _plan([5, 2, 99, 40, 7, 13, 61, 88, 21, 34])
+    for spec in SERVING.values():
+        pattern = make_pattern(spec, plan, random.Random(3))
+        for _ in range(20):
+            for index, _write in pattern.next_request():
+                assert index in set(plan.real_indices)
+
+
+def test_make_pattern_rejects_empty_plans():
+    with pytest.raises(ServeError):
+        make_pattern(SERVING["kv"], _plan([]), random.Random(0))

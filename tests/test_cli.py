@@ -344,3 +344,78 @@ def test_stress_sampled_summary_mentions_telemetry(tmp_path):
          "--sample-period", "0.5"]
     )
     assert code == 0
+
+
+def test_serve_command_reports_during_migration_latency():
+    code, text = run_cli(
+        ["serve", "--services", "kv", "--procs", "1", "--hosts", "2",
+         "--clients", "1", "--requests", "30", "--migrations", "1",
+         "--seed", "3"]
+    )
+    assert code == 0
+    assert "during migration" in text
+    assert "requests" in text and "dropped" in text
+    assert "determinism hash" in text
+    assert "verified          True" in text
+
+
+def test_serve_rejects_unknown_service():
+    with pytest.raises(SystemExit):
+        run_cli(["serve", "--services", "ftp"])
+
+
+def test_serve_json_writes_the_canonical_result(tmp_path):
+    import json
+
+    artifact = tmp_path / "serve.json"
+    code, text = run_cli(
+        ["serve", "--services", "kv", "--procs", "1", "--hosts", "2",
+         "--clients", "1", "--requests", "30", "--migrations", "1",
+         "--seed", "3", "--json", str(artifact)]
+    )
+    assert code == 0
+    payload = json.loads(artifact.read_text(encoding="utf-8"))
+    assert payload["verified"] is True
+    assert payload["requests"]["issued"] == 30
+    assert "during_migration" in payload["latency"]
+
+
+def test_health_reports_serving_counts_from_a_serve_trace(tmp_path):
+    trace = tmp_path / "serve.json"
+    code, _text = run_cli(
+        ["serve", "--services", "kv", "--procs", "1", "--hosts", "2",
+         "--clients", "1", "--requests", "30", "--migrations", "1",
+         "--seed", "3", "--sample-period", "0.5", "--trace", str(trace)]
+    )
+    assert code == 0
+    code, text = run_cli(["health", str(trace)])
+    assert code == 0
+    assert "serving" in text
+    assert "request.latency" in text
+
+    html = tmp_path / "health.html"
+    code, text = run_cli(["health", str(trace), "--html", str(html)])
+    assert code == 0
+    page = html.read_text(encoding="utf-8")
+    assert "Serving outcomes" in page
+    assert "Request latency" in page
+
+
+def test_health_stays_clean_when_a_trace_has_no_serving_data(tmp_path):
+    trace = tmp_path / "stress.json"
+    code, _text = run_cli(
+        ["stress", "--hosts", "3", "--procs", "4", "--seed", "5",
+         "--sample-period", "0.5", "--trace", str(trace)]
+    )
+    assert code == 0
+    code, text = run_cli(["health", str(trace)])
+    assert code == 0
+    assert "serving" not in text
+    assert "request.latency" not in text
+
+    html = tmp_path / "health.html"
+    code, _text = run_cli(["health", str(trace), "--html", str(html)])
+    assert code == 0
+    page = html.read_text(encoding="utf-8")
+    assert "Serving outcomes" not in page
+    assert "Request latency" not in page
