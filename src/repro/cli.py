@@ -11,6 +11,8 @@
     python -m repro report EXPERIMENTS.md
     python -m repro analyze trace.json
     python -m repro health trace.json --html health.html
+    python -m repro profile stress --hosts 8 --procs 16
+    python -m repro diff before.json after.json
     python -m repro workloads
 """
 
@@ -28,6 +30,16 @@ from repro.workloads.registry import WORKLOADS
 
 def _add_common(parser, trace=False, faults=False):
     parser.add_argument("--seed", type=int, default=1987)
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "run under the host-time engine profiler and print the "
+            "cost-center table afterwards (zero overhead when off; "
+            "simulated results are byte-identical either way — see "
+            "`repro profile` for export options)"
+        ),
+    )
     if trace:
         parser.add_argument(
             "--trace",
@@ -198,6 +210,72 @@ def _write_trace(path, runs, out):
     return 0
 
 
+def _host_meta(obs_list):
+    """Summed ``{events_dispatched, wall_s}`` across runs' obs objects,
+    or None when none of them drove an engine."""
+    metas = []
+    for obs in obs_list:
+        getter = getattr(obs, "host_meta", None)
+        meta = getter() if getter is not None else None
+        if meta is not None:
+            metas.append(meta)
+    if not metas:
+        return None
+    return {
+        "events_dispatched": sum(m["events_dispatched"] for m in metas),
+        "wall_s": sum(m["wall_s"] for m in metas),
+    }
+
+
+def _report_run_meta(out, obs_list, fallback_events=None):
+    """Print the unified run-metadata block every trial command shares:
+    events dispatched plus host wall-clock (and events/s).  Returns the
+    metadata dict so ``--json`` payloads can embed it.
+
+    The ``wall clock`` line is host-volatile by nature; determinism
+    checks compare command output with that line filtered out.
+    """
+    meta = _host_meta(obs_list)
+    if meta is None:
+        if fallback_events is not None:
+            out(f"events dispatched {fallback_events:,}")
+        return None
+    out(f"events dispatched {meta['events_dispatched']:,}")
+    rate = (
+        meta["events_dispatched"] / meta["wall_s"]
+        if meta["wall_s"] > 0 else 0.0
+    )
+    out(f"wall clock        {meta['wall_s']:.3f}s host  "
+        f"({rate:,.0f} events/s)")
+    return meta
+
+
+def _write_json(path, payload, out):
+    """Dump one command's ``--json`` payload; clean error on a bad path."""
+    import json as json_module
+
+    try:
+        with open(path, "w", encoding="utf-8") as handle:
+            json_module.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    except OSError as error:
+        out(f"cannot write {path!r}: {error}")
+        return 1
+    out(f"wrote {path}")
+    return 0
+
+
+def _require_schema(runs, path, out):
+    """Reject pre-schema traces for commands that need the stamp."""
+    from repro.obs import TRACE_SCHEMA
+
+    if runs and runs[0].trace_schema is None:
+        out(f"{path} has no trace_schema stamp (exported before schema "
+            f"{TRACE_SCHEMA}) — re-export it with this build")
+        return 2
+    return 0
+
+
 def build_parser():
     """Construct the argparse command tree."""
     parser = argparse.ArgumentParser(
@@ -209,11 +287,21 @@ def build_parser():
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
+    def _add_json(parser):
+        parser.add_argument(
+            "--json", metavar="FILE", default=None,
+            help=(
+                "also write the trial report (with the unified "
+                "events_dispatched/wall_s host block) as JSON"
+            ),
+        )
+
     migrate = commands.add_parser("migrate", help="run one migration trial")
     migrate.add_argument("workload", choices=sorted(WORKLOADS))
     migrate.add_argument(
         "--strategy", choices=Strategy.names(), default=PURE_IOU
     )
+    _add_json(migrate)
     _add_transfer(migrate)
     _add_telemetry(migrate)
     _add_common(migrate, trace=True, faults=True)
@@ -222,6 +310,7 @@ def build_parser():
         "sweep", help="strategy × prefetch sweep for one workload"
     )
     sweep.add_argument("workload", choices=sorted(WORKLOADS))
+    _add_json(sweep)
     _add_transfer(sweep, prefetch=False)
     _add_common(sweep, trace=True, faults=True)
 
@@ -236,6 +325,7 @@ def build_parser():
         help="trace fraction to execute at each intermediate host",
     )
     chain.add_argument("--strategy", choices=Strategy.names(), default=PURE_IOU)
+    _add_json(chain)
     _add_transfer(chain)
     _add_common(chain, trace=True, faults=True)
 
@@ -244,6 +334,7 @@ def build_parser():
     )
     precopy.add_argument("workload", choices=sorted(WORKLOADS))
     precopy.add_argument("--dirty-rate", type=float, default=None)
+    _add_json(precopy)
     _add_transfer(precopy)
     _add_common(precopy, trace=True, faults=True)
 
@@ -264,6 +355,7 @@ def build_parser():
             "cluster scheduler (default: serialize moves)"
         ),
     )
+    _add_json(balance)
     _add_transfer(balance)
     _add_telemetry(balance)
     _add_common(balance, trace=True, faults=True)
@@ -474,6 +566,49 @@ def build_parser():
         help="also write the machine-readable health view as JSON",
     )
 
+    profile = commands.add_parser(
+        "profile",
+        help=(
+            "run any repro subcommand under the host-time engine "
+            "profiler: wall-clock self-time per event type / handler / "
+            "subsystem, queue costs, allocation counts"
+        ),
+    )
+    profile.add_argument(
+        "--top", type=int, default=15, metavar="N",
+        help="cost centers to show in the text table",
+    )
+    profile.add_argument(
+        "--json", metavar="FILE", default=None,
+        help="also write the full profile report as JSON",
+    )
+    profile.add_argument(
+        "--flamegraph", metavar="FILE", default=None,
+        help=(
+            "write a speedscope-format flamegraph (open at "
+            "https://www.speedscope.app)"
+        ),
+    )
+    profile.add_argument(
+        "subcommand", nargs=argparse.REMAINDER, metavar="COMMAND ...",
+        help="the repro command line to run under the profiler",
+    )
+
+    diff = commands.add_parser(
+        "diff",
+        help=(
+            "compare two exported traces: migrations aligned by trace "
+            "id / signature, per-phase sim-time deltas (summing exactly "
+            "to the root delta), bytes/fault/events-per-second deltas"
+        ),
+    )
+    diff.add_argument("trace_a", help="baseline trace (A)")
+    diff.add_argument("trace_b", help="candidate trace (B)")
+    diff.add_argument(
+        "--json", metavar="FILE", default=None,
+        help="also write the diff report as JSON",
+    )
+
     commands.add_parser("workloads", help="list the seven representatives")
     return parser
 
@@ -518,7 +653,36 @@ def cmd_migrate(args, out):
         out(f"prefetch hits     {result.prefetch_hit_ratio:.0%}")
     if plan is not None:
         _print_fault_stats(result, out)
+    meta = _report_run_meta(out, [result.obs])
     out(f"verified          {result.verified}")
+    if args.json:
+        payload = {
+            "command": "migrate",
+            "workload": result.spec.name,
+            "strategy": result.strategy,
+            "options": {
+                "prefetch": result.prefetch,
+                "batch": result.batch,
+                "pipeline": result.pipeline,
+            },
+            "outcome": result.outcome,
+            "bytes_total": result.bytes_total,
+            "pages_transferred": result.pages_transferred,
+            "verified": result.verified,
+        }
+        if result.outcome == "completed":
+            payload.update({
+                "excise_s": result.excise_s,
+                "core_transfer_s": result.core_transfer_s,
+                "transfer_s": result.transfer_s,
+                "insert_s": result.insert_s,
+                "migration_s": result.migration_s,
+                "exec_s": result.exec_s,
+            })
+        if meta is not None:
+            payload["host"] = meta
+        if _write_json(args.json, payload, out):
+            return 1
     if args.trace:
         if _write_trace(
             args.trace,
@@ -548,6 +712,7 @@ def cmd_sweep(args, out):
     base = copy.transfer_plus_exec_s
     out(f"{args.workload}: pure-copy transfer+exec = {base:.1f}s")
     out(f"{'trial':>10}  {'transfer':>8}  {'exec':>8}  {'speedup':>8}")
+    trials = []
     for strategy in (PURE_IOU, RESIDENT_SET):
         for prefetch in (0, 1, 3, 7, 15):
             result = bed.migrate(
@@ -558,12 +723,35 @@ def cmd_sweep(args, out):
             traced.append((f"{args.workload}-{tag}-pf{prefetch}", result.obs))
             if result.outcome != "completed":
                 out(f"{tag + '-pf' + str(prefetch):>10}  {result.outcome:>8}")
+                trials.append({
+                    "trial": f"{tag}-pf{prefetch}",
+                    "outcome": result.outcome,
+                })
                 continue
             speedup = 100 * (base - result.transfer_plus_exec_s) / base
             out(
                 f"{tag + '-pf' + str(prefetch):>10}  {result.transfer_s:>7.2f}s"
                 f"  {result.exec_s:>7.2f}s  {speedup:>7.1f}%"
             )
+            trials.append({
+                "trial": f"{tag}-pf{prefetch}",
+                "outcome": result.outcome,
+                "transfer_s": result.transfer_s,
+                "exec_s": result.exec_s,
+                "speedup_pct": speedup,
+            })
+    meta = _report_run_meta(out, [obs for _, obs in traced])
+    if args.json:
+        payload = {
+            "command": "sweep",
+            "workload": args.workload,
+            "baseline_transfer_plus_exec_s": base,
+            "trials": trials,
+        }
+        if meta is not None:
+            payload["host"] = meta
+        if _write_json(args.json, payload, out):
+            return 1
     if args.trace:
         if _write_trace(args.trace, traced, out):
             return 1
@@ -596,7 +784,24 @@ def cmd_chain(args, out):
     out(f"bytes on wire     {result.bytes_total:,}")
     served = ", ".join(f"{h}={n}" for h, n in result.pages_served.items())
     out(f"pages served by   {served}")
+    meta = _report_run_meta(out, [result.obs])
     out(f"verified          {result.verified}")
+    if args.json:
+        payload = {
+            "command": "chain",
+            "workload": result.spec.name,
+            "strategy": result.strategy,
+            "path": list(result.path),
+            "hop_times_s": list(result.hop_times_s),
+            "end_to_end_s": result.end_to_end_s,
+            "bytes_total": result.bytes_total,
+            "pages_served": dict(result.pages_served),
+            "verified": result.verified,
+        }
+        if meta is not None:
+            payload["host"] = meta
+        if _write_json(args.json, payload, out):
+            return 1
     if args.trace:
         if _write_trace(
             args.trace,
@@ -626,7 +831,25 @@ def cmd_precopy(args, out):
     out(f"bytes on wire     {result.bytes_total:,}")
     out(f"pages shipped     {result.pages_shipped} "
         f"(address space holds {result.spec.real_pages})")
+    meta = _report_run_meta(out, [result.obs])
     out(f"verified          {result.verified}")
+    if args.json:
+        payload = {
+            "command": "precopy",
+            "workload": result.spec.name,
+            "rounds": [
+                {"pages": round_.pages, "seconds": round_.seconds}
+                for round_ in result.rounds
+            ],
+            "downtime_s": result.downtime_s,
+            "bytes_total": result.bytes_total,
+            "pages_shipped": result.pages_shipped,
+            "verified": result.verified,
+        }
+        if meta is not None:
+            payload["host"] = meta
+        if _write_json(args.json, payload, out):
+            return 1
     if args.trace:
         if _write_trace(
             args.trace, [(f"precopy-{result.spec.name}", result.obs)], out
@@ -687,6 +910,26 @@ def cmd_balance(args, out):
         out(f"scheduler: cap {scheduler.inflight_cap}/host, "
             f"peak in-flight {scheduler.peak_inflight}, "
             f"peak queue {scheduler.peak_queue}  [{counts}]")
+    meta = _report_run_meta(out, [result.obs])
+    if args.json:
+        payload = {
+            "command": "balance",
+            "policy": result.policy_name,
+            "makespan_s": result.makespan_s,
+            "migrations": [str(decision) for decision in result.migrations],
+            "verified": result.verified,
+        }
+        if result.scheduler is not None:
+            payload["scheduler"] = {
+                "inflight_cap": result.scheduler.inflight_cap,
+                "peak_inflight": result.scheduler.peak_inflight,
+                "peak_queue": result.scheduler.peak_queue,
+                "outcomes": dict(result.scheduler.outcome_counts()),
+            }
+        if meta is not None:
+            payload["host"] = meta
+        if _write_json(args.json, payload, out):
+            return 1
     if args.trace:
         if _write_trace(
             args.trace, [(f"balance-{result.policy_name}", result.obs)], out
@@ -697,8 +940,6 @@ def cmd_balance(args, out):
 
 def cmd_stress(args, out):
     """Run the deterministic cluster stress harness and print its report."""
-    import json as json_module
-
     from repro.cluster import StressConfig, run_stress
 
     plan, code = _load_faults(args, out)
@@ -751,20 +992,20 @@ def cmd_stress(args, out):
         f"host peak {result.peak_host_inflight}), "
         f"queue peak {result.peak_queue}")
     out(f"bytes on wire     {result.bytes_total:,}")
-    out(f"events dispatched {result.events_dispatched:,}")
+    meta = _report_run_meta(
+        out, [result.obs], fallback_events=result.events_dispatched
+    )
     out(f"verified          {result.verified}")
     out(f"determinism hash  {result.determinism_hash}")
     if args.json:
-        try:
-            with open(args.json, "w", encoding="utf-8") as handle:
-                json_module.dump(
-                    result.to_dict(), handle, indent=2, sort_keys=True
-                )
-                handle.write("\n")
-        except OSError as error:
-            out(f"cannot write {args.json!r}: {error}")
+        # The canonical result dict is the determinism-hash input and
+        # must stay host-independent; the volatile host block rides
+        # alongside it (determinism checks drop the "host" key).
+        payload = result.to_dict()
+        if meta is not None:
+            payload["host"] = meta
+        if _write_json(args.json, payload, out):
             return 1
-        out(f"wrote {args.json}")
     if args.trace:
         label = (
             f"stress-{config.hosts}x{config.procs}-"
@@ -777,8 +1018,6 @@ def cmd_stress(args, out):
 
 def cmd_serve(args, out):
     """Run the live request-serving harness and print its report."""
-    import json as json_module
-
     from repro.cluster import StressConfig
     from repro.serve import ServeError, run_serve
 
@@ -855,20 +1094,17 @@ def cmd_serve(args, out):
     out(f"migrations        {migrations}  "
         f"(makespan {result.makespan_s:.1f}s)")
     out(f"bytes on wire     {result.bytes_total:,}")
-    out(f"events dispatched {result.events_dispatched:,}")
+    meta = _report_run_meta(
+        out, [result.obs], fallback_events=result.events_dispatched
+    )
     out(f"verified          {result.verified}")
     out(f"determinism hash  {result.determinism_hash}")
     if args.json:
-        try:
-            with open(args.json, "w", encoding="utf-8") as handle:
-                json_module.dump(
-                    result.to_dict(), handle, indent=2, sort_keys=True
-                )
-                handle.write("\n")
-        except OSError as error:
-            out(f"cannot write {args.json!r}: {error}")
+        payload = result.to_dict()
+        if meta is not None:
+            payload["host"] = meta
+        if _write_json(args.json, payload, out):
             return 1
-        out(f"wrote {args.json}")
     if args.trace:
         label = (
             f"serve-{'-'.join(config.services)}-"
@@ -887,8 +1123,6 @@ def cmd_faults(args, out):
     without the residual-dependency flusher, demonstrating the
     kill-vs-survive contrast of the copy-on-reference caveat.
     """
-    import json as json_module
-
     from repro.faults import Crash, FaultPlan, FlushConfig, LossRule
 
     flush = FlushConfig(
@@ -946,14 +1180,8 @@ def cmd_faults(args, out):
             "seed": args.seed,
             "trials": trials,
         }
-        try:
-            with open(args.json, "w", encoding="utf-8") as handle:
-                json_module.dump(payload, handle, indent=2, sort_keys=True)
-                handle.write("\n")
-        except OSError as error:
-            out(f"cannot write {args.json!r}: {error}")
+        if _write_json(args.json, payload, out):
             return 1
-        out(f"wrote {args.json}")
     if args.trace:
         if _write_trace(args.trace, traced, out):
             return 1
@@ -1025,10 +1253,8 @@ def cmd_analyze(args, out):
     partitions the root ``migrate`` span, so phases sum to its
     duration), plus post-insertion compute/fault attribution and
     fault-lifecycle percentiles when the trace carries them.  Exit 2 on
-    an unreadable file, 1 if no run holds a migration.
+    an unreadable or unstamped file, 1 if no run holds a migration.
     """
-    import json as json_module
-
     from repro.obs import analyze_run, load_chrome, render_analysis
 
     try:
@@ -1036,21 +1262,16 @@ def cmd_analyze(args, out):
     except (OSError, ValueError) as error:
         out(f"cannot read trace {args.tracefile!r}: {error}")
         return 2
+    code = _require_schema(runs, args.tracefile, out)
+    if code:
+        return code
     reports = [analyze_run(run) for run in runs]
     for report in reports:
         out(render_analysis(report))
         out("")
     if args.json:
-        try:
-            with open(args.json, "w", encoding="utf-8") as handle:
-                json_module.dump(
-                    {"runs": reports}, handle, indent=2, sort_keys=True
-                )
-                handle.write("\n")
-        except OSError as error:
-            out(f"cannot write {args.json!r}: {error}")
+        if _write_json(args.json, {"runs": reports}, out):
             return 1
-        out(f"wrote {args.json}")
     if not any(report["migrations"] for report in reports):
         out(f"{args.tracefile} holds no migrate spans to analyze")
         return 1
@@ -1062,10 +1283,9 @@ def cmd_health(args, out):
 
     ``--html`` writes the self-contained dashboard; ``--json`` the
     machine-readable view; with neither, a short text summary prints.
-    Exit 2 on an unreadable file, 1 when no run carries telemetry.
+    Exit 2 on an unreadable or unstamped file, 1 when no run carries
+    telemetry.
     """
-    import json as json_module
-
     from repro.obs import load_chrome
     from repro.obs.health import health_json, summarize, write_health
 
@@ -1074,6 +1294,9 @@ def cmd_health(args, out):
     except (OSError, ValueError) as error:
         out(f"cannot read trace {args.tracefile!r}: {error}")
         return 2
+    code = _require_schema(runs, args.tracefile, out)
+    if code:
+        return code
     sampled = [
         run for run in runs
         if run.telemetry and run.telemetry.get("times")
@@ -1092,14 +1315,8 @@ def cmd_health(args, out):
             f"({len(sampled)} run(s))")
     if args.json:
         payload = {"runs": [health_json(run) for run in sampled]}
-        try:
-            with open(args.json, "w", encoding="utf-8") as handle:
-                json_module.dump(payload, handle, indent=2, sort_keys=True)
-                handle.write("\n")
-        except OSError as error:
-            out(f"cannot write {args.json!r}: {error}")
+        if _write_json(args.json, payload, out):
             return 1
-        out(f"wrote {args.json}")
     if not args.html and not args.json:
         for run in sampled:
             summary = summarize(run.telemetry)
@@ -1134,6 +1351,89 @@ def cmd_health(args, out):
     return 0
 
 
+def cmd_profile(args, out):
+    """Run any repro subcommand under the host-time engine profiler.
+
+    The wrapped command runs unchanged (its simulated outputs are
+    byte-identical to an unprofiled run), then the profiler's
+    cost-center table prints: wall-clock self-time per event type /
+    handler / subsystem, event-queue costs, peak queue depth, and
+    allocation counts, with ≥95% of measured engine wall time
+    attributed to named centers.  Exits with the wrapped command's
+    code (2 on usage errors here).
+    """
+    from time import perf_counter
+
+    from repro.obs import (
+        EngineProfiler,
+        profiled,
+        render_profile,
+        write_speedscope,
+    )
+
+    argv = list(args.subcommand)
+    if argv and argv[0] == "--":
+        argv = argv[1:]
+    if not argv:
+        out("usage: repro profile [--top N] [--json FILE] "
+            "[--flamegraph FILE] COMMAND [ARG ...]")
+        return 2
+    if argv[0] == "profile":
+        out("cannot nest `repro profile` inside itself")
+        return 2
+    profiler = EngineProfiler()
+    started = perf_counter()
+    with profiled(profiler):
+        code = main(argv, out=out)
+    command_wall_s = perf_counter() - started
+    report = profiler.report(
+        command=argv, command_wall_s=command_wall_s, exit_code=code
+    )
+    out("")
+    out(f"profile of `repro {' '.join(argv)}` "
+        f"(command wall {command_wall_s:.3f}s, exit {code})")
+    out(render_profile(report, top=args.top))
+    if args.flamegraph:
+        try:
+            write_speedscope(
+                args.flamegraph, report,
+                name=f"repro {' '.join(argv)}",
+            )
+        except OSError as error:
+            out(f"cannot write {args.flamegraph!r}: {error}")
+            return 1
+        out(f"flamegraph written to {args.flamegraph} "
+            "(open at https://www.speedscope.app)")
+    if args.json:
+        if _write_json(args.json, report, out):
+            return 1
+    return code
+
+
+def cmd_diff(args, out):
+    """Compare two exported traces (regression forensics).
+
+    Aligns migrations by trace id / signature / route, then reports
+    per-phase sim-time deltas (each summing exactly to its migration's
+    root delta), bytes-on-wire and fault-count deltas, and host
+    events-per-second deltas.  Exit codes follow POSIX diff: 0 when no
+    simulated differences, 1 when the traces differ, 2 when they
+    cannot be diffed.
+    """
+    from repro.obs import TraceDiffError, diff_traces, render_diff
+
+    try:
+        report = diff_traces(args.trace_a, args.trace_b)
+    except TraceDiffError as error:
+        out(f"cannot diff: {error}")
+        return 2
+    out(render_diff(report))
+    if args.json:
+        if _write_json(args.json, report, out):
+            return 2
+    return 0 if report["zero"] else 1
+
+
 def cmd_workloads(args, out):
     """List the seven representative workloads."""
     out(f"{'name':>10}  {'real':>12}  {'total':>14}  {'RS':>9}  description")
@@ -1161,13 +1461,30 @@ _COMMANDS = {
     "inspect": cmd_inspect,
     "analyze": cmd_analyze,
     "health": cmd_health,
+    "profile": cmd_profile,
+    "diff": cmd_diff,
     "workloads": cmd_workloads,
 }
 
 
 def main(argv=None, out=print):
-    """CLI entry point; returns a process exit code."""
+    """CLI entry point; returns a process exit code.
+
+    ``--profile`` on any trial command wraps just that command's
+    execution in the engine profiler and prints the cost-center table
+    afterwards; the command's own output and exit code are unchanged
+    (``repro profile`` adds export options on top of this).
+    """
     args = build_parser().parse_args(argv)
+    if getattr(args, "profile", False):
+        from repro.obs import EngineProfiler, profiled, render_profile
+
+        profiler = EngineProfiler()
+        with profiled(profiler):
+            code = _COMMANDS[args.command](args, out)
+        out("")
+        out(render_profile(profiler.report()))
+        return code
     return _COMMANDS[args.command](args, out)
 
 

@@ -27,8 +27,11 @@ from repro.obs.critpath import (
     phase_breakdown,
     render_analysis,
 )
+from repro.obs.diff import TraceDiffError, diff_traces, render_diff
 from repro.obs.export import (
+    TRACE_SCHEMA,
     build_chrome,
+    check_schema,
     jsonl_lines,
     load_chrome,
     render_summary,
@@ -36,6 +39,13 @@ from repro.obs.export import (
     write_jsonl,
 )
 from repro.obs.lifecycle import FaultRecord, LifecycleProfiler
+from repro.obs.prof import (
+    EngineProfiler,
+    build_speedscope,
+    profiled,
+    render_profile,
+    write_speedscope,
+)
 from repro.obs.registry import (
     DEFAULT_LATENCY_BUCKETS,
     Histogram,
@@ -49,6 +59,7 @@ from repro.obs.telemetry import DEFAULT_SAMPLE_PERIOD, Telemetry
 __all__ = [
     "DEFAULT_LATENCY_BUCKETS",
     "DEFAULT_SAMPLE_PERIOD",
+    "EngineProfiler",
     "FaultRecord",
     "Histogram",
     "Instrumentation",
@@ -59,22 +70,31 @@ __all__ = [
     "SLOEngine",
     "SLOError",
     "Span",
+    "TRACE_SCHEMA",
     "Telemetry",
     "TraceContext",
+    "TraceDiffError",
     "Tracer",
     "WindowedHistogram",
     "analyze_run",
     "build_chrome",
+    "build_speedscope",
+    "check_schema",
     "critical_path",
+    "diff_traces",
     "jsonl_lines",
     "load_chrome",
     "load_slos",
     "parse_slos",
     "phase_breakdown",
+    "profiled",
     "render_analysis",
+    "render_diff",
+    "render_profile",
     "render_summary",
     "write_chrome",
     "write_jsonl",
+    "write_speedscope",
 ]
 
 
@@ -238,6 +258,21 @@ class Instrumentation:
             key = self._fault_keys[kind] = "faults." + kind
         counters = phase.counters
         counters[key] = counters.get(key, 0) + 1
+
+    def host_meta(self):
+        """Host-side run metadata: events dispatched and wall-clock
+        seconds spent in dispatch, summed over every engine this world
+        ran.  ``None`` when no engine was ever attached (hand-scripted
+        obs, foreign traces) so such exports stay byte-stable."""
+        engines = self._engines
+        if not engines and self._engine is not None:
+            engines = [self._engine]
+        if not engines:
+            return None
+        return {
+            "events_dispatched": sum(e.dispatched for e in engines),
+            "wall_s": sum(e.wall_s for e in engines),
+        }
 
     # -- export -----------------------------------------------------------------
     def finalize(self):

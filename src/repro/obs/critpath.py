@@ -143,6 +143,8 @@ def analyze_run(run):
             migrations.append({
                 "process": _arg(root, "process"),
                 "strategy": _arg(root, "strategy"),
+                "source": _arg(root, "source"),
+                "dest": _arg(root, "dest"),
                 "trace_id": getattr(root, "trace_id", None)
                 or _arg(root, "trace_id"),
                 "start": root.start,

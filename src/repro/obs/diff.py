@@ -1,0 +1,409 @@
+"""Cross-run trace diffing: what changed between two runs, and why?
+
+``repro diff TRACE_A.json TRACE_B.json`` turns two exported traces into
+a regression-forensics report: migrations are aligned across the traces
+(by causal trace id first, then by (process, source, dest, strategy)
+signature, then by plain (process, source, dest) route so cross-strategy
+experiments still pair up), and each aligned pair is decomposed with the
+same exact critical-path phase attribution ``repro analyze`` uses — so
+the per-phase sim-time deltas *sum exactly* to the migration-root delta,
+by construction.  Bytes-on-wire and fault counts are summed per causal
+trace id, and host metadata (events dispatched, wall seconds) yields the
+events-per-second delta.
+
+A diff of a trace against itself reports all-zero deltas — the CI smoke
+step pins that.  Incompatible inputs (not a trace, unstamped pre-schema
+exports, no migrations, nothing aligns) fail with a clean one-line
+:class:`TraceDiffError`.
+"""
+
+from collections import Counter
+
+from repro.obs.critpath import _PHASE_ORDER, analyze_run
+from repro.obs.export import load_chrome
+
+
+class TraceDiffError(ValueError):
+    """Two traces cannot be meaningfully diffed (one-line message)."""
+
+
+def _load(path, which):
+    try:
+        runs = load_chrome(path)
+    except OSError as exc:
+        raise TraceDiffError(f"cannot read trace {which}: {exc}") from exc
+    except ValueError as exc:
+        raise TraceDiffError(f"trace {which} ({path}): {exc}") from exc
+    if not runs:
+        raise TraceDiffError(f"trace {which} ({path}) contains no runs")
+    if runs[0].trace_schema is None:
+        raise TraceDiffError(
+            f"trace {which} ({path}) has no trace_schema stamp (exported "
+            "before schema 2) — re-export it with this build to diff"
+        )
+    return runs
+
+
+def _migrations(runs):
+    """Every migration analysis dict across all runs, in trace order,
+    annotated with its run label and position (causal trace ids are
+    per-engine serials, so they repeat across the runs of a multi-run
+    trace — the run index disambiguates)."""
+    out = []
+    for index, run in enumerate(runs):
+        for migration in analyze_run(run)["migrations"]:
+            migration["run"] = run.label
+            migration["run_index"] = index
+            out.append(migration)
+    return out
+
+
+def _wire_totals(runs):
+    """(per-trace-id, per-process, global) bytes-on-wire and faults.
+
+    Each wire fragment and each resolved fault is credited to exactly
+    one phase span by the instrumentation layer, so summing the plain
+    ``bytes`` counter and the ``faults.*`` counters over every span
+    counts each exactly once.  Spans stamped with a causal trace id
+    (the migration protocol itself) bucket under ``(run, trace_id)``;
+    post-insertion spans (``exec`` and its residual-fault traffic)
+    carry no trace id but name their process, so they bucket under
+    ``(run, process)`` — together the two buckets give a migration its
+    full wire/fault footprint.
+    """
+    per_trace = {}
+    per_process = {}
+    total = {"bytes": 0, "faults": 0}
+    for index, run in enumerate(runs):
+        for root in run.roots:
+            for span in root.walk():
+                args = getattr(span, "args", None)
+                if args is None:
+                    args = getattr(span, "attrs", {})
+                nbytes = args.get("bytes", 0)
+                nfaults = sum(
+                    value for key, value in args.items()
+                    if key.startswith("faults.")
+                )
+                if not nbytes and not nfaults:
+                    continue
+                total["bytes"] += nbytes
+                total["faults"] += nfaults
+                if span.trace_id is not None:
+                    key = (index, span.trace_id)
+                    bucket = per_trace
+                elif args.get("process"):
+                    key = (index, args["process"])
+                    bucket = per_process
+                else:
+                    continue
+                entry = bucket.setdefault(key, {"bytes": 0, "faults": 0})
+                entry["bytes"] += nbytes
+                entry["faults"] += nfaults
+    return per_trace, per_process, total
+
+
+def _host_totals(runs):
+    """Summed ``{events_dispatched, wall_s}`` across runs, or None when
+    no run carried host metadata (hand-scripted exports)."""
+    blocks = [run.host for run in runs if run.host]
+    if not blocks:
+        return None
+    return {
+        "events_dispatched": sum(b["events_dispatched"] for b in blocks),
+        "wall_s": sum(b["wall_s"] for b in blocks),
+    }
+
+
+def _signature(migration):
+    return (
+        migration.get("process"),
+        migration.get("source"),
+        migration.get("dest"),
+        migration.get("strategy"),
+    )
+
+
+def _align(migrations_a, migrations_b):
+    """Pair migrations across two traces: trace id, then signature,
+    then route.  Returns (pairs, leftover_a, leftover_b) with pairs as
+    (migration_a, migration_b, matched_by)."""
+    pairs = []
+    unmatched_a = list(migrations_a)
+    unmatched_b = list(migrations_b)
+
+    def take(key_fn, matched_by):
+        by_key = {}
+        for migration in unmatched_b:
+            key = key_fn(migration)
+            if key is not None:
+                by_key.setdefault(key, []).append(migration)
+        still = []
+        for migration in unmatched_a:
+            key = key_fn(migration)
+            candidates = by_key.get(key) if key is not None else None
+            if candidates:
+                partner = candidates.pop(0)
+                unmatched_b.remove(partner)
+                pairs.append((migration, partner, matched_by))
+            else:
+                still.append(migration)
+        unmatched_a[:] = still
+
+    # Causal trace ids are deterministic per-engine serials, so the
+    # same scenario re-run under different knobs issues the same ids;
+    # keying by run position and requiring the process to agree guards
+    # against unrelated runs that merely share serial numbers.
+    take(
+        lambda m: (m["run_index"], m["trace_id"], m["process"])
+        if m.get("trace_id") else None,
+        "trace_id",
+    )
+    take(lambda m: _signature(m), "signature")
+    take(
+        lambda m: (m.get("process"), m.get("source"), m.get("dest")),
+        "route",
+    )
+    return pairs, unmatched_a, unmatched_b
+
+
+def _describe(migration):
+    text = (
+        f"{migration.get('process') or '?'} "
+        f"{migration.get('source') or '?'}→{migration.get('dest') or '?'} "
+        f"({migration.get('strategy') or '?'})"
+    )
+    if migration.get("trace_id"):
+        text += f" trace={migration['trace_id']}"
+    return text
+
+
+def diff_traces(path_a, path_b):
+    """The full diff report for two exported traces (``--json`` payload).
+
+    Raises :class:`TraceDiffError` with a one-line message when the
+    traces are unreadable, unstamped, or share no migrations.
+    """
+    runs_a = _load(path_a, "A")
+    runs_b = _load(path_b, "B")
+    migrations_a = _migrations(runs_a)
+    migrations_b = _migrations(runs_b)
+    if not migrations_a:
+        raise TraceDiffError(
+            f"trace A ({path_a}) contains no migrations to diff"
+        )
+    if not migrations_b:
+        raise TraceDiffError(
+            f"trace B ({path_b}) contains no migrations to diff"
+        )
+    pairs, unmatched_a, unmatched_b = _align(migrations_a, migrations_b)
+    if not pairs:
+        raise TraceDiffError(
+            "no migrations align between the traces (different "
+            "scenarios?) — nothing to diff"
+        )
+
+    wire_a, proc_a, total_wire_a = _wire_totals(runs_a)
+    wire_b, proc_b, total_wire_b = _wire_totals(runs_b)
+    # Post-insertion traffic buckets by (run, process); it can only be
+    # attributed to a migration unambiguously when that process
+    # migrated once in that run (a chain's hops would otherwise each
+    # absorb the whole residual footprint).
+    def _proc_counts(migrations):
+        return Counter(
+            (m["run_index"], m.get("process")) for m in migrations
+        )
+
+    counts_a = _proc_counts(migrations_a)
+    counts_b = _proc_counts(migrations_b)
+    empty = {"bytes": 0, "faults": 0}
+
+    def _footprint(migration, wire, proc, counts):
+        key = (migration["run_index"], migration.get("trace_id"))
+        entry = dict(wire.get(key, empty))
+        proc_key = (migration["run_index"], migration.get("process"))
+        if counts[proc_key] == 1:
+            residual = proc.get(proc_key)
+            if residual:
+                entry["bytes"] += residual["bytes"]
+                entry["faults"] += residual["faults"]
+        return entry
+
+    rows = []
+    for migration_a, migration_b, matched_by in pairs:
+        phases = {}
+        for phase in sorted(
+            set(migration_a["phases"]) | set(migration_b["phases"]),
+            key=lambda name: (
+                _PHASE_ORDER.index(name)
+                if name in _PHASE_ORDER else len(_PHASE_ORDER),
+                name,
+            ),
+        ):
+            seconds_a = migration_a["phases"].get(phase, 0.0)
+            seconds_b = migration_b["phases"].get(phase, 0.0)
+            phases[phase] = {
+                "a_s": seconds_a,
+                "b_s": seconds_b,
+                "delta_s": seconds_b - seconds_a,
+            }
+        # The phases partition each root span exactly, so the root
+        # delta is *defined* as the sum of phase deltas — the invariant
+        # the acceptance test asserts — and matches the raw duration
+        # difference to float precision.
+        duration_delta = sum(row["delta_s"] for row in phases.values())
+        footprint_a = _footprint(migration_a, wire_a, proc_a, counts_a)
+        footprint_b = _footprint(migration_b, wire_b, proc_b, counts_b)
+        bytes_a, faults_a = footprint_a["bytes"], footprint_a["faults"]
+        bytes_b, faults_b = footprint_b["bytes"], footprint_b["faults"]
+        rows.append({
+            "process": migration_a.get("process"),
+            "source": migration_a.get("source"),
+            "dest": migration_a.get("dest"),
+            "strategy_a": migration_a.get("strategy"),
+            "strategy_b": migration_b.get("strategy"),
+            "trace_id_a": migration_a.get("trace_id"),
+            "trace_id_b": migration_b.get("trace_id"),
+            "matched_by": matched_by,
+            "duration_a_s": migration_a["duration_s"],
+            "duration_b_s": migration_b["duration_s"],
+            "duration_delta_s": duration_delta,
+            "phases": phases,
+            "bytes_a": bytes_a,
+            "bytes_b": bytes_b,
+            "bytes_delta": bytes_b - bytes_a,
+            "faults_a": faults_a,
+            "faults_b": faults_b,
+            "faults_delta": faults_b - faults_a,
+        })
+
+    host_a = _host_totals(runs_a)
+    host_b = _host_totals(runs_b)
+    host = None
+    if host_a is not None and host_b is not None:
+        eps_a = (
+            host_a["events_dispatched"] / host_a["wall_s"]
+            if host_a["wall_s"] > 0 else 0.0
+        )
+        eps_b = (
+            host_b["events_dispatched"] / host_b["wall_s"]
+            if host_b["wall_s"] > 0 else 0.0
+        )
+        host = {
+            "events_a": host_a["events_dispatched"],
+            "events_b": host_b["events_dispatched"],
+            "events_delta": (
+                host_b["events_dispatched"] - host_a["events_dispatched"]
+            ),
+            "wall_a_s": host_a["wall_s"],
+            "wall_b_s": host_b["wall_s"],
+            "wall_delta_s": host_b["wall_s"] - host_a["wall_s"],
+            "events_per_s_a": eps_a,
+            "events_per_s_b": eps_b,
+            "events_per_s_delta": eps_b - eps_a,
+        }
+
+    # Host wall time is volatile (machine load, Python version) and
+    # deliberately excluded from the zero check; everything simulated
+    # must match exactly for a self-diff to count as zero.
+    zero = (
+        not unmatched_a
+        and not unmatched_b
+        and all(
+            row["duration_delta_s"] == 0.0
+            and row["bytes_delta"] == 0
+            and row["faults_delta"] == 0
+            and all(p["delta_s"] == 0.0 for p in row["phases"].values())
+            for row in rows
+        )
+        and total_wire_a == total_wire_b
+        and (host is None or host["events_delta"] == 0)
+    )
+    return {
+        "a": {
+            "path": str(path_a),
+            "runs": len(runs_a),
+            "migrations": len(migrations_a),
+            "bytes": total_wire_a["bytes"],
+            "faults": total_wire_a["faults"],
+            "host": host_a,
+        },
+        "b": {
+            "path": str(path_b),
+            "runs": len(runs_b),
+            "migrations": len(migrations_b),
+            "bytes": total_wire_b["bytes"],
+            "faults": total_wire_b["faults"],
+            "host": host_b,
+        },
+        "host": host,
+        "migrations": rows,
+        "unmatched_a": [_describe(m) for m in unmatched_a],
+        "unmatched_b": [_describe(m) for m in unmatched_b],
+        "zero": zero,
+    }
+
+
+# -- rendering -------------------------------------------------------------------
+def _delta_s(value):
+    return f"{value:+.3f}s"
+
+
+def render_diff(report):
+    """Human-readable text for one :func:`diff_traces` report."""
+    lines = [
+        f"diff: {report['a']['path']}  →  {report['b']['path']}",
+        f"  A: {report['a']['migrations']} migration(s) over "
+        f"{report['a']['runs']} run(s), {report['a']['bytes']:,} bytes "
+        f"on wire, {report['a']['faults']} fault(s)",
+        f"  B: {report['b']['migrations']} migration(s) over "
+        f"{report['b']['runs']} run(s), {report['b']['bytes']:,} bytes "
+        f"on wire, {report['b']['faults']} fault(s)",
+    ]
+    host = report.get("host")
+    if host:
+        lines.append(
+            f"  host: {host['events_a']:,} → {host['events_b']:,} events "
+            f"({host['events_delta']:+,}), wall "
+            f"{host['wall_a_s']:.3f}s → {host['wall_b_s']:.3f}s, "
+            f"{host['events_per_s_a']:,.0f} → "
+            f"{host['events_per_s_b']:,.0f} events/s"
+        )
+    for row in report["migrations"]:
+        strategies = row["strategy_a"] or "?"
+        if row["strategy_b"] != row["strategy_a"]:
+            strategies += f" → {row['strategy_b'] or '?'}"
+        lines.append(
+            f"  migration {row['process'] or '?'} "
+            f"{row['source'] or '?'}→{row['dest'] or '?'} "
+            f"({strategies}, matched by {row['matched_by']})"
+        )
+        lines.append(
+            f"    duration {row['duration_a_s']:.3f}s → "
+            f"{row['duration_b_s']:.3f}s  "
+            f"(Δ {_delta_s(row['duration_delta_s'])})"
+        )
+        for phase, entry in row["phases"].items():
+            lines.append(
+                f"    {phase:<16} {entry['a_s']:>9.3f}s → "
+                f"{entry['b_s']:>9.3f}s  Δ {_delta_s(entry['delta_s'])}"
+            )
+        lines.append(
+            f"    bytes on wire    {row['bytes_a']:>9,} → "
+            f"{row['bytes_b']:>9,}  Δ {row['bytes_delta']:+,}"
+        )
+        lines.append(
+            f"    faults           {row['faults_a']:>9,} → "
+            f"{row['faults_b']:>9,}  Δ {row['faults_delta']:+,}"
+        )
+    if report["unmatched_a"]:
+        lines.append("  only in A:")
+        lines.extend(f"    {text}" for text in report["unmatched_a"])
+    if report["unmatched_b"]:
+        lines.append("  only in B:")
+        lines.extend(f"    {text}" for text in report["unmatched_b"])
+    lines.append(
+        "  result: no simulated differences" if report["zero"]
+        else "  result: traces differ"
+    )
+    return "\n".join(lines)

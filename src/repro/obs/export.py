@@ -17,6 +17,35 @@ run gets its own Chrome ``pid``.
 """
 
 import json
+import os
+
+#: Version stamped into every exported Chrome trace (``repro.trace_schema``).
+#: Bumped when the trace layout changes in ways loaders must know about.
+#: Schema 2 (PR 8) added the stamp itself plus per-run ``host`` metadata
+#: (wall seconds, events dispatched); loaders tolerate *unstamped* legacy
+#: and foreign traces but reject stamps they don't understand, and
+#: ``repro diff`` requires the stamp outright (it needs host metadata).
+TRACE_SCHEMA = 2
+
+
+def check_schema(data, context="trace"):
+    """Validate a parsed trace's ``repro.trace_schema`` stamp.
+
+    Returns the stamp (or None for unstamped legacy/foreign traces);
+    raises :class:`ValueError` with a clean one-line message when the
+    stamp exists but this build cannot read it.
+    """
+    meta = data.get("repro") if isinstance(data, dict) else None
+    schema = meta.get("trace_schema") if isinstance(meta, dict) else None
+    if schema is None:
+        return None
+    if not isinstance(schema, int) or not 1 <= schema <= TRACE_SCHEMA:
+        raise ValueError(
+            f"unsupported trace_schema {schema!r} in {context}: this "
+            f"build reads schema 1..{TRACE_SCHEMA} — re-export the "
+            "trace with a matching repro version"
+        )
+    return schema
 
 
 # -- building --------------------------------------------------------------------
@@ -76,6 +105,15 @@ def build_chrome(runs):
                     )
                 events.append(_span_event(span, pid, tid))
         meta = {"pid": pid, "label": label, "metrics": obs.registry.snapshot()}
+        # Host-side run metadata (events dispatched, wall seconds) —
+        # only when the obs actually drove an engine, so hand-scripted
+        # exports stay byte-stable.  Wall time is volatile host state:
+        # it lives here in the header, never in the JSONL determinism
+        # stream.
+        host_meta = getattr(obs, "host_meta", None)
+        host = host_meta() if host_meta is not None else None
+        if host is not None:
+            meta["host"] = host
         # Fault-lifecycle records ride along, but only when present, so
         # traces from lifecycle-free runs stay byte-identical.
         lifecycle = getattr(obs, "lifecycle", None)
@@ -89,7 +127,7 @@ def build_chrome(runs):
     return {
         "traceEvents": events,
         "displayTimeUnit": "ms",
-        "repro": {"runs": run_meta},
+        "repro": {"runs": run_meta, "trace_schema": TRACE_SCHEMA},
     }
 
 
@@ -191,7 +229,7 @@ class RunView:
     """One run (pid) of a saved trace: span roots, metrics, fault records."""
 
     def __init__(self, pid, label, roots, metrics, faults=(),
-                 telemetry=None):
+                 telemetry=None, host=None, trace_schema=None):
         self.pid = pid
         self.label = label
         self.roots = roots
@@ -200,6 +238,11 @@ class RunView:
         self.faults = list(faults)
         #: Continuous-telemetry payload (dict), when the run sampled.
         self.telemetry = telemetry
+        #: Host-side run metadata ``{events_dispatched, wall_s}``, when
+        #: the trace recorded it (schema ≥ 2 with an engine attached).
+        self.host = host
+        #: The trace's ``repro.trace_schema`` stamp (None = legacy).
+        self.trace_schema = trace_schema
 
     def __repr__(self):
         return f"<RunView {self.label!r} roots={len(self.roots)}>"
@@ -210,7 +253,7 @@ def load_chrome(source):
 
     ``source`` is a path or an already-parsed trace object.
     """
-    if isinstance(source, (str, bytes)):
+    if isinstance(source, (str, bytes, os.PathLike)):
         with open(source, "r", encoding="utf-8") as handle:
             data = json.load(handle)
     else:
@@ -222,6 +265,7 @@ def load_chrome(source):
             "not a Chrome trace: expected a JSON object with a "
             f"'traceEvents' key, got {type(data).__name__}"
         )
+    schema = check_schema(data)
     labels = {}
     thread_names = {}
     spans_by_pid = {}
@@ -261,6 +305,10 @@ def load_chrome(source):
         run["pid"]: run.get("telemetry")
         for run in data.get("repro", {}).get("runs", ())
     }
+    host_by_pid = {
+        run["pid"]: run.get("host")
+        for run in data.get("repro", {}).get("runs", ())
+    }
     runs = []
     for pid in sorted(spans_by_pid):
         by_id = {
@@ -281,7 +329,9 @@ def load_chrome(source):
             RunView(pid, labels.get(pid, f"run-{pid}"), roots,
                     metrics_by_pid.get(pid, {}),
                     faults=faults_by_pid.get(pid, ()),
-                    telemetry=telemetry_by_pid.get(pid))
+                    telemetry=telemetry_by_pid.get(pid),
+                    host=host_by_pid.get(pid),
+                    trace_schema=schema)
         )
     # Runs that recorded metrics but no spans still deserve a view.
     for pid in sorted(metrics_by_pid):
@@ -290,7 +340,9 @@ def load_chrome(source):
                 RunView(pid, labels.get(pid, f"run-{pid}"), [],
                         metrics_by_pid[pid],
                         faults=faults_by_pid.get(pid, ()),
-                        telemetry=telemetry_by_pid.get(pid))
+                        telemetry=telemetry_by_pid.get(pid),
+                        host=host_by_pid.get(pid),
+                        trace_schema=schema)
             )
     runs.sort(key=lambda run: run.pid)
     return runs

@@ -2,6 +2,7 @@
 
 import heapq
 from itertools import count
+from time import perf_counter
 
 from repro.sim.errors import EmptySchedule, SimulationError
 from repro.sim.events import AllOf, AnyOf, Event, Timeout
@@ -15,6 +16,13 @@ URGENT = 0
 #: NORMAL event already due at that instant — the batching window used
 #: to coalesce same-instant imaginary faults into one request.
 DEFERRED = 2
+
+#: When set (see :func:`repro.obs.prof.profiled`), every Engine built
+#: afterwards dispatches through this profiler's instrumented loop
+#: instead of the inlined fast paths below.  ``None`` — the default —
+#: keeps the hot path entirely untouched: the only residue is one
+#: attribute read per :meth:`Engine.run` call.
+PROFILER = None
 
 
 class Engine:
@@ -48,6 +56,14 @@ class Engine:
         self._observers = []
         #: Events processed so far (cheap dispatch count for obs).
         self.dispatched = 0
+        #: Host wall-clock seconds spent inside :meth:`run` dispatch
+        #: loops — two ``perf_counter`` reads per ``run()`` call, never
+        #: per event.  Simulated outputs ignore it; the observability
+        #: layer reports it (events/s, ``repro diff`` wall deltas).
+        self.wall_s = 0.0
+        #: The engine profiler dispatch hook (module default at build
+        #: time; see :data:`PROFILER`).  ``None`` = fast path.
+        self.profiler = PROFILER
         # kind -> last issued id (see :meth:`serial`).
         self._serials = {}
         #: When set to a list, :meth:`step` appends each processed
@@ -195,7 +211,17 @@ class Engine:
         attribute traffic are the single largest simulator overhead.
         The pop-assign-dispatch sequence is kept identical to
         :meth:`step`, so event order never changes.
+
+        When a profiler is attached (``repro profile``) the dispatch
+        loop is delegated to :meth:`EngineProfiler.run_engine
+        <repro.obs.prof.EngineProfiler.run_engine>`, which replays the
+        exact same pop-assign-dispatch sequence with per-event
+        wall-clock attribution — event order, and therefore every
+        simulated output, is identical either way.
         """
+        if self.profiler is not None:
+            return self.profiler.run_engine(self, until)
+        entered = perf_counter()
         queue = self._queue
         pop = heapq.heappop
         log = self.kind_log
@@ -254,3 +280,4 @@ class Engine:
             return None
         finally:
             self.dispatched += dispatched
+            self.wall_s += perf_counter() - entered

@@ -1,0 +1,163 @@
+"""Cross-run trace diffing: alignment, exact phase deltas, zero self-diff."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.diff import TraceDiffError, diff_traces, render_diff
+
+
+def _cli(argv):
+    lines = []
+    code = main(argv, out=lines.append)
+    return code, "\n".join(lines)
+
+
+@pytest.fixture(scope="module")
+def traces(tmp_path_factory):
+    """Two traces of the same scenario under different TransferOptions."""
+    root = tmp_path_factory.mktemp("diff-traces")
+    path_a = root / "iou.json"
+    path_b = root / "adaptive.json"
+    code, _ = _cli([
+        "migrate", "pm-mid", "--strategy", "pure-iou",
+        "--trace", str(path_a),
+    ])
+    assert code == 0
+    code, _ = _cli([
+        "migrate", "pm-mid", "--strategy", "adaptive",
+        "--batch", "8", "--pipeline", "4", "--trace", str(path_b),
+    ])
+    assert code == 0
+    return path_a, path_b
+
+
+class TestSelfDiff:
+    def test_self_diff_is_all_zero(self, traces):
+        path_a, _ = traces
+        report = diff_traces(path_a, path_a)
+        assert report["zero"] is True
+        row = report["migrations"][0]
+        assert row["duration_delta_s"] == 0.0
+        assert row["bytes_delta"] == 0
+        assert row["faults_delta"] == 0
+        assert all(
+            p["delta_s"] == 0.0 for p in row["phases"].values()
+        )
+        assert report["unmatched_a"] == []
+        assert report["unmatched_b"] == []
+        assert "no simulated differences" in render_diff(report)
+
+
+class TestCrossOptionsDiff:
+    def test_reports_per_phase_deltas(self, traces):
+        report = diff_traces(*traces)
+        assert report["zero"] is False
+        assert len(report["migrations"]) == 1
+        row = report["migrations"][0]
+        assert row["strategy_a"] == "pure-iou"
+        assert row["strategy_b"] == "adaptive"
+        assert row["phases"]  # non-empty phase decomposition
+        assert any(
+            p["delta_s"] != 0.0 for p in row["phases"].values()
+        )
+
+    def test_phase_deltas_sum_exactly_to_root_delta(self, traces):
+        report = diff_traces(*traces)
+        for row in report["migrations"]:
+            total = sum(p["delta_s"] for p in row["phases"].values())
+            assert total == row["duration_delta_s"]
+
+    def test_root_delta_matches_raw_duration_difference(self, traces):
+        report = diff_traces(*traces)
+        row = report["migrations"][0]
+        assert row["duration_delta_s"] == pytest.approx(
+            row["duration_b_s"] - row["duration_a_s"], abs=1e-9
+        )
+
+    def test_wire_and_fault_deltas(self, traces):
+        report = diff_traces(*traces)
+        row = report["migrations"][0]
+        assert row["bytes_a"] > 0 and row["bytes_b"] > 0
+        assert row["bytes_delta"] == row["bytes_b"] - row["bytes_a"]
+        assert row["faults_delta"] == row["faults_b"] - row["faults_a"]
+        # Batched pipelining ships more eagerly: fewer residual faults.
+        assert row["faults_b"] < row["faults_a"]
+
+    def test_alignment_falls_back_to_route_across_strategies(self, traces):
+        report = diff_traces(*traces)
+        row = report["migrations"][0]
+        # Different strategies can't pair by signature; the (process,
+        # source, dest) route still aligns them.
+        assert row["matched_by"] in ("trace_id", "route")
+
+    def test_render_mentions_strategies_and_result(self, traces):
+        text = render_diff(diff_traces(*traces))
+        assert "pure-iou → adaptive" in text
+        assert "result: traces differ" in text
+        assert "bytes on wire" in text
+
+
+class TestMultiRunDiff:
+    def test_sweep_traces_align_every_trial(self, tmp_path):
+        path = tmp_path / "sweep.json"
+        code, _ = _cli(["sweep", "minprog", "--trace", str(path)])
+        assert code == 0
+        report = diff_traces(path, path)
+        assert report["zero"] is True
+        assert report["a"]["runs"] > 1
+        assert len(report["migrations"]) == report["a"]["migrations"]
+        assert not report["unmatched_a"] and not report["unmatched_b"]
+
+
+class TestErrors:
+    def test_missing_file_is_one_line_error(self, tmp_path):
+        with pytest.raises(TraceDiffError) as err:
+            diff_traces(tmp_path / "nope.json", tmp_path / "nope.json")
+        assert "\n" not in str(err.value)
+        assert "cannot read trace A" in str(err.value)
+
+    def test_malformed_json_is_one_line_error(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text("{not json")
+        with pytest.raises(TraceDiffError) as err:
+            diff_traces(path, path)
+        assert "trace A" in str(err.value)
+
+    def test_unstamped_trace_is_rejected(self, tmp_path, traces):
+        path_a, _ = traces
+        data = json.loads(path_a.read_text())
+        del data["repro"]["trace_schema"]
+        legacy = tmp_path / "legacy.json"
+        legacy.write_text(json.dumps(data))
+        with pytest.raises(TraceDiffError) as err:
+            diff_traces(legacy, path_a)
+        assert "trace_schema" in str(err.value)
+        assert "\n" not in str(err.value)
+
+    def test_trace_without_migrations_is_rejected(self, tmp_path):
+        # A hand-scripted export has runs but no migration spans.
+        from repro.obs import Instrumentation, write_chrome
+
+        path = tmp_path / "empty.json"
+
+        obs = Instrumentation()
+        with obs.tracer.span("setup"):
+            pass
+        obs.finalize()
+        write_chrome(path, [("scripted", obs)])
+        with pytest.raises(TraceDiffError) as err:
+            diff_traces(path, path)
+        assert "no migrations" in str(err.value)
+
+    def test_disjoint_scenarios_do_not_align(self, tmp_path, traces):
+        path_a, _ = traces
+        other = tmp_path / "other.json"
+        code, _ = _cli([
+            "migrate", "minprog", "--trace", str(other),
+        ])
+        assert code == 0
+        with pytest.raises(TraceDiffError) as err:
+            diff_traces(path_a, other)
+        assert "no migrations align" in str(err.value)

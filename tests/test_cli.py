@@ -419,3 +419,177 @@ def test_health_stays_clean_when_a_trace_has_no_serving_data(tmp_path):
     page = html.read_text(encoding="utf-8")
     assert "Serving outcomes" not in page
     assert "Request latency" not in page
+
+
+def test_trial_commands_print_unified_run_metadata():
+    for argv in (
+        ["migrate", "minprog"],
+        ["sweep", "minprog"],
+        ["chain", "minprog", "--path", "a", "b", "c", "--run", "0.3"],
+        ["precopy", "minprog"],
+        ["balance", "minprog", "minprog", "--hosts", "3"],
+        ["stress", "--hosts", "3", "--procs", "4", "--seed", "5"],
+    ):
+        code, text = run_cli(argv)
+        assert code == 0, argv
+        assert "events dispatched" in text, argv
+        assert "wall clock" in text and "events/s" in text, argv
+
+
+def test_migrate_json_carries_host_block(tmp_path):
+    import json
+
+    artifact = tmp_path / "migrate.json"
+    code, _text = run_cli(["migrate", "minprog", "--json", str(artifact)])
+    assert code == 0
+    payload = json.loads(artifact.read_text(encoding="utf-8"))
+    assert payload["command"] == "migrate"
+    assert payload["outcome"] == "completed"
+    assert payload["verified"] is True
+    assert payload["host"]["events_dispatched"] > 0
+    assert payload["host"]["wall_s"] > 0
+
+
+def test_sweep_json_lists_all_trials(tmp_path):
+    import json
+
+    artifact = tmp_path / "sweep.json"
+    code, _text = run_cli(["sweep", "minprog", "--json", str(artifact)])
+    assert code == 0
+    payload = json.loads(artifact.read_text(encoding="utf-8"))
+    tags = {row["trial"] for row in payload["trials"]}
+    assert {"iou-pf0", "iou-pf15", "rs-pf0", "rs-pf15"} <= tags
+    assert payload["host"]["events_dispatched"] > 0
+
+
+def test_profile_flag_does_not_change_simulated_output():
+    code_off, text_off = run_cli(["migrate", "minprog"])
+    code_on, text_on = run_cli(["migrate", "minprog", "--profile"])
+    assert code_off == code_on == 0
+
+    def simulated(text):
+        return [
+            line for line in text.splitlines()
+            if not line.startswith("wall clock")
+            and "profile of" not in line
+            and "cost center" not in line
+        ]
+
+    # Every simulated-output line of the plain run appears verbatim in
+    # the profiled run (which then appends the profiler table).
+    plain = simulated(text_off)
+    assert plain == simulated(text_on)[: len(plain)]
+    assert "per-subsystem rollup" in text_on
+
+
+def test_profile_command_wraps_stress(tmp_path):
+    import json
+
+    flame = tmp_path / "stress.speedscope.json"
+    report = tmp_path / "profile.json"
+    code, text = run_cli(
+        ["profile", "--flamegraph", str(flame), "--json", str(report),
+         "stress", "--hosts", "3", "--procs", "4", "--seed", "5"]
+    )
+    assert code == 0
+    assert "profile of `repro stress" in text
+    assert "events dispatched" in text
+    data = json.loads(report.read_text(encoding="utf-8"))
+    assert data["coverage"] >= 0.95
+    assert data["cost_centers"]
+    scope = json.loads(flame.read_text(encoding="utf-8"))
+    assert scope["profiles"][0]["type"] == "sampled"
+
+
+def test_profile_without_a_command_is_a_usage_error():
+    code, text = run_cli(["profile"])
+    assert code == 2
+    assert "usage: repro profile" in text
+
+
+def test_profile_refuses_to_nest():
+    code, text = run_cli(["profile", "profile", "migrate", "minprog"])
+    assert code == 2
+    assert "cannot nest" in text
+
+
+def test_diff_self_reports_zero(tmp_path):
+    trace = tmp_path / "a.json"
+    code, _text = run_cli(["migrate", "minprog", "--trace", str(trace)])
+    assert code == 0
+    code, text = run_cli(["diff", str(trace), str(trace)])
+    assert code == 0
+    assert "no simulated differences" in text
+
+
+def test_diff_reports_strategy_change(tmp_path):
+    import json
+
+    trace_a = tmp_path / "a.json"
+    trace_b = tmp_path / "b.json"
+    report = tmp_path / "diff.json"
+    code, _ = run_cli(
+        ["migrate", "pm-mid", "--strategy", "pure-iou",
+         "--trace", str(trace_a)]
+    )
+    assert code == 0
+    code, _ = run_cli(
+        ["migrate", "pm-mid", "--strategy", "adaptive", "--batch", "8",
+         "--pipeline", "4", "--trace", str(trace_b)]
+    )
+    assert code == 0
+    code, text = run_cli(
+        ["diff", str(trace_a), str(trace_b), "--json", str(report)]
+    )
+    assert code == 1
+    assert "traces differ" in text
+    assert "pure-iou → adaptive" in text
+    payload = json.loads(report.read_text(encoding="utf-8"))
+    (row,) = payload["migrations"]
+    assert sum(
+        p["delta_s"] for p in row["phases"].values()
+    ) == row["duration_delta_s"]
+
+
+def test_diff_incompatible_traces_fail_cleanly(tmp_path):
+    code, text = run_cli(
+        ["diff", str(tmp_path / "a.json"), str(tmp_path / "b.json")]
+    )
+    assert code == 2
+    assert text.startswith("cannot diff:")
+    assert len([line for line in text.splitlines() if line.strip()]) == 1
+
+
+def test_analyze_rejects_unstamped_trace(tmp_path):
+    import json
+
+    trace = tmp_path / "stamped.json"
+    code, _ = run_cli(["migrate", "minprog", "--trace", str(trace)])
+    assert code == 0
+    data = json.loads(trace.read_text(encoding="utf-8"))
+    del data["repro"]["trace_schema"]
+    legacy = tmp_path / "legacy.json"
+    legacy.write_text(json.dumps(data), encoding="utf-8")
+
+    code, text = run_cli(["analyze", str(legacy)])
+    assert code == 2
+    assert "trace_schema" in text
+
+    code, text = run_cli(["health", str(legacy)])
+    assert code == 2
+    assert "trace_schema" in text
+
+
+def test_analyze_rejects_wrong_schema_version(tmp_path):
+    import json
+
+    trace = tmp_path / "stamped.json"
+    code, _ = run_cli(["migrate", "minprog", "--trace", str(trace)])
+    assert code == 0
+    data = json.loads(trace.read_text(encoding="utf-8"))
+    data["repro"]["trace_schema"] = 99
+    future = tmp_path / "future.json"
+    future.write_text(json.dumps(data), encoding="utf-8")
+    code, text = run_cli(["analyze", str(future)])
+    assert code == 2
+    assert "trace_schema" in text
