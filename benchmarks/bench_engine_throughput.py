@@ -11,9 +11,10 @@ per event), then repeats the reference shape under the
 :class:`~repro.obs.prof.EngineProfiler` to record the top-5
 profiler-attributed cost centers.  The artifact lands in
 ``BENCH_engine_throughput.json`` at the repo root; CI re-runs the bench
-and prints the events/s delta against the committed file as a
-report-only guard (host timing is machine-dependent, so the guard
-informs rather than fails).
+and **fails** on a >10% events/s regression against the committed file
+(and, unconditionally, on any determinism-hash divergence).  Host
+timing is machine-dependent but a 10% tolerance absorbs runner noise;
+the two-lane queue work showed real regressions land well past it.
 
 Run directly (writes the JSON artifact)::
 
@@ -113,14 +114,33 @@ def profile_shape(kwargs):
         }
         for row in engine_rows[:TOP_CENTERS]
     ]
+    queue = report["queue"]
+
+    def lane(stats):
+        row = {
+            "pushes": stats["pushes"],
+            "push_s": round(stats["push_s"], 6),
+            "pops": stats["pops"],
+            "pop_s": round(stats["pop_s"], 6),
+            "peak_depth": stats["peak_depth"],
+        }
+        if "rolls" in stats:
+            row["rolls"] = stats["rolls"]
+        return row
+
     return {
         "coverage": round(report["coverage"], 4),
         "profiler_overhead_share": round(
             overhead / report["engine_wall_s"], 4
         ) if report["engine_wall_s"] else 0.0,
-        "peak_queue_depth": report["queue"]["peak_depth"],
-        "queue_push_s": round(report["queue"]["push_s"], 6),
-        "queue_pop_s": round(report["queue"]["pop_s"], 6),
+        "peak_queue_depth": queue["peak_depth"],
+        "queue_push_s": round(queue["push_s"], 6),
+        "queue_pop_s": round(queue["pop_s"], 6),
+        "queue_skipped": queue["skipped"],
+        "queue_lanes": {
+            "near": lane(queue["near"]),
+            "far": lane(queue["far"]),
+        },
         "top_cost_centers": centers,
     }
 
@@ -168,6 +188,14 @@ def test_profiler_attributes_reference_shape():
     profile = profile_shape(dict(SHAPES)[PROFILED_SHAPE])
     assert profile["coverage"] >= 0.95
     assert len(profile["top_cost_centers"]) == TOP_CENTERS
+    lanes = profile["queue_lanes"]
+    # Every dispatch is a near-lane pop; far-lane pops happen in rolls.
+    assert lanes["near"]["pops"] > 0
+    assert lanes["far"]["rolls"] > 0
+    assert lanes["far"]["pops"] <= lanes["far"]["pushes"]
+    assert profile["peak_queue_depth"] >= max(
+        lanes["near"]["peak_depth"], lanes["far"]["peak_depth"]
+    )
 
 
 def main():

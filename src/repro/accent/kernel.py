@@ -109,10 +109,10 @@ class Kernel:
                 yield from cost
         """
         space = process.space
-        entry = space.entry(page_index)
+        entry = space.page_table.get(page_index)
         if entry is not None and entry.residency is Residency.RESIDENT:
             self.host.physical.touch((space.space_id, page_index))
-            entry.last_touch = self.engine.now
+            entry.last_touch = self.engine._now
             if entry.prefetched:
                 entry.prefetched = False
                 self.host.metrics.record_prefetch_hit()

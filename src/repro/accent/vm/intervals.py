@@ -40,6 +40,18 @@ class IntervalMap:
         """Set ``[start, end)`` to ``value``, overwriting overlaps."""
         if start >= end:
             raise ValueError(f"empty interval [{start}, {end})")
+        # Append fast path: builders and amap() insert in address order,
+        # so the new run usually lands at or beyond the current end —
+        # no carving, no mid-list insertion.
+        ends = self._ends
+        if not ends or start >= ends[-1]:
+            if ends and ends[-1] == start and self._values[-1] == value:
+                ends[-1] = end  # coalesce with the trailing run
+            else:
+                self._starts.append(start)
+                ends.append(end)
+                self._values.append(value)
+            return
         self._carve(start, end)
         index = bisect.bisect_left(self._starts, start)
         self._starts.insert(index, start)

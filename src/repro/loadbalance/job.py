@@ -114,33 +114,48 @@ class ManagedJob:
         )
         obs.push_phase(exec_span)
         try:
-            while self.position < len(self.steps):
+            # Loop-invariant bindings: the step list, slice length and
+            # process identity are fixed for the whole incarnation (a
+            # migration ends this generator and starts a fresh one), so
+            # only the externally-written pause flag and position are
+            # re-read through ``self`` each step.
+            steps = self.steps
+            nsteps = len(steps)
+            compute_slice = self.compute_slice_s
+            cpu = host.cpu
+            timeout = engine.timeout
+            touch = kernel.touch
+            process = self.process
+            space = process.space
+            result = self.result
+            while self.position < nsteps:
                 if self._pause_requested:
                     self._signal_paused()
                     return "paused"
-                step = self.steps[self.position]
-                if self.compute_slice_s > 0:
-                    with host.cpu.held() as grant:
+                step = steps[self.position]
+                if compute_slice > 0:
+                    grant = cpu.request()
+                    try:
                         yield grant
-                        yield engine.timeout(self.compute_slice_s)
-                cost = kernel.touch(
-                    self.process, step.page_index, write=step.write
-                )
+                        yield timeout(compute_slice)
+                    finally:
+                        cpu.release(grant)
+                cost = touch(process, step.page_index, write=step.write)
                 if cost is not None:
                     yield from cost
                 address = step.page_index * PAGE_SIZE
                 if step.kind == "real":
-                    actual = self.process.space.peek(address, head_len)
+                    actual = space.peek(address, head_len)
                     expected = page_head(expected_name, step.page_index)
                     if actual != expected and not actual.startswith(
                         WRITE_MARKER
                     ):
-                        self.result.mismatches.append(
+                        result.mismatches.append(
                             (step.page_index, expected, actual)
                         )
                 if step.write:
-                    self.process.space.poke(address, WRITE_MARKER)
-                self.result.steps_executed += 1
+                    space.poke(address, WRITE_MARKER)
+                result.steps_executed += 1
                 self.position += 1
 
             yield from kernel.terminate(self.process.name)

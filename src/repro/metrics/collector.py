@@ -55,6 +55,9 @@ class MetricsCollector:
         # category -> (bytes child, fragments child): the per-fragment
         # hot path skips the family's label resolution after first use.
         self._link_children = {}
+        # host name -> (busy child, messages child), same reason: every
+        # fragment hop records NMS busy time twice.
+        self._nms_children = {}
 
     # -- recording ----------------------------------------------------------
     def record_link(self, nbytes, category, source, dest, phase=_UNSET):
@@ -80,8 +83,14 @@ class MetricsCollector:
 
     def record_nms(self, host_name, busy_s):
         """The NetMsgServer at ``host_name`` spent ``busy_s`` on a hop."""
-        self._nms_busy.inc(busy_s, host=host_name)
-        self._nms_messages.inc(1, host=host_name)
+        children = self._nms_children.get(host_name)
+        if children is None:
+            children = self._nms_children[host_name] = (
+                self._nms_busy.labels(host=host_name),
+                self._nms_messages.labels(host=host_name),
+            )
+        children[0].inc(busy_s)
+        children[1].inc(1)
 
     def record_fault(self, kind):
         """Count one fault of ``kind`` (fill-zero / disk / imaginary)."""

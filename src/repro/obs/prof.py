@@ -30,6 +30,7 @@ speedscope-format flamegraph (:func:`write_speedscope`) loadable at
 https://www.speedscope.app or with ``speedscope FILE``.
 """
 
+import heapq
 import json
 import re
 import sys
@@ -96,15 +97,27 @@ class EngineProfiler:
         #: it is part of the measured wall time, so it must be
         #: attributed like everything else).
         self.overhead_s = 0.0
-        # Event-queue operation costs.  Pops are measured inside the
-        # dispatch loop; pushes via the schedule wrapper installed by
-        # :meth:`attach` (their cost is a subset of the enclosing
-        # handler's bucket, reported separately for visibility).
-        self.queue_pops = 0
-        self.queue_pop_s = 0.0
-        self.queue_pushes = 0
-        self.queue_push_s = 0.0
-        #: Deepest the event queue ever got.
+        # Event-queue operation costs, split per lane of the two-lane
+        # queue.  Near-lane pops are measured inside the dispatch loop
+        # (a subset of the enclosing handler's bucket, reported
+        # separately for visibility); far-lane pops happen during
+        # *rolls* — between events — so their time is attributed to a
+        # dedicated ``queue/far-lane roll`` cost center.  Pushes are
+        # timed via the schedule wrapper installed by :meth:`attach`.
+        self.near_pops = 0
+        self.near_pop_s = 0.0
+        self.near_pushes = 0
+        self.near_push_s = 0.0
+        self.far_pops = 0
+        self.far_pop_s = 0.0
+        self.far_pushes = 0
+        self.far_push_s = 0.0
+        self.rolls = 0
+        #: Cancelled entries dropped at pop time (never dispatched).
+        self.queue_skipped = 0
+        #: Deepest each lane — and the queue as a whole — ever got.
+        self.peak_near_depth = 0
+        self.peak_far_depth = 0
         self.peak_queue_depth = 0
         self.engines = 0
         self.run_calls = 0
@@ -119,12 +132,35 @@ class EngineProfiler:
             f"wall={self.run_wall_s:.3f}s>"
         )
 
+    # -- legacy whole-queue totals ----------------------------------------------
+    @property
+    def queue_pushes(self):
+        """Pushes across both lanes (legacy whole-queue total)."""
+        return self.near_pushes + self.far_pushes
+
+    @property
+    def queue_push_s(self):
+        return self.near_push_s + self.far_push_s
+
+    @property
+    def queue_pops(self):
+        """Pops across both lanes: near-lane dispatch pops plus
+        far-lane entries moved during rolls."""
+        return self.near_pops + self.far_pops
+
+    @property
+    def queue_pop_s(self):
+        return self.near_pop_s + self.far_pop_s
+
     # -- attachment -------------------------------------------------------------
     def attach(self, engine):
         """Adopt ``engine``: count it and time its queue pushes.
 
         The schedule wrapper calls the original method unchanged, so
-        scheduling semantics (ordering, validation) are identical.
+        scheduling semantics (ordering, validation, lane routing) are
+        identical; the wrapper then classifies the push by replaying
+        the routing test (same-instant → near lane, strictly future →
+        far-lane heap) and records per-lane depth peaks.
         """
         self.engines += 1
         original = type(engine).schedule
@@ -133,11 +169,23 @@ class EngineProfiler:
         def schedule(event, delay=0.0, priority=None):
             t0 = perf_counter()
             original(engine, event, delay, priority)
-            profiler.queue_push_s += perf_counter() - t0
-            profiler.queue_pushes += 1
-            depth = len(engine._queue)
-            if depth > profiler.peak_queue_depth:
-                profiler.peak_queue_depth = depth
+            elapsed = perf_counter() - t0
+            near_depth = (len(engine._lane_urgent) + len(engine._lane_normal)
+                          + len(engine._lane_deferred))
+            far_depth = len(engine._heap)
+            now = engine._now
+            if delay == 0.0 or now + delay == now:
+                profiler.near_pushes += 1
+                profiler.near_push_s += elapsed
+                if near_depth > profiler.peak_near_depth:
+                    profiler.peak_near_depth = near_depth
+            else:
+                profiler.far_pushes += 1
+                profiler.far_push_s += elapsed
+                if far_depth > profiler.peak_far_depth:
+                    profiler.peak_far_depth = far_depth
+            if near_depth + far_depth > profiler.peak_queue_depth:
+                profiler.peak_queue_depth = near_depth + far_depth
 
         engine.schedule = schedule
 
@@ -179,15 +227,24 @@ class EngineProfiler:
     def run_engine(self, engine, until=None):
         """``Engine.run`` with per-event wall-clock attribution.
 
-        Replays the engine's exact dispatch sequence — pop, advance
-        clock, count, kind-log, ``_process``, observers — so simulated
-        behaviour is bit-identical to the fast path.  The added work
-        per event is two ``perf_counter`` reads, two
-        ``getallocatedblocks`` reads and one dict update.
+        Replays the engine's exact two-lane dispatch sequence — serve
+        the near-lane FIFOs in priority order, roll the far-lane heap
+        when they drain, drop cancelled marks, count, kind-log,
+        ``_process``, observers — so simulated behaviour is
+        bit-identical to the fast path.  The added work per event is
+        two ``perf_counter`` reads, two ``getallocatedblocks`` reads
+        and one dict update; rolls add one timed window attributed to
+        the ``queue/far-lane roll`` cost center (they happen *between*
+        events, so no handler bucket could own them).
         """
         self.run_calls += 1
-        queue = engine._queue
-        pop = __import__("heapq").heappop
+        heap = engine._heap
+        lane_urgent = engine._lane_urgent
+        lane_normal = engine._lane_normal
+        lane_deferred = engine._lane_deferred
+        lanes = engine._lanes
+        cancelled = engine._cancelled
+        pop = heapq.heappop
         log = engine.kind_log
         observers = engine._observers
         blocks = sys.getallocatedblocks
@@ -205,30 +262,61 @@ class EngineProfiler:
         mark = entered
         try:
             while True:
-                # Mode-specific continuation test (mirrors the three
-                # inlined fast-path loops exactly).
-                if target_event is not None:
-                    if target_event.processed:
+                # Mode-specific continuation test (mirrors the inlined
+                # fast-path loops exactly).
+                if target_event is not None and target_event.processed:
+                    break
+                near_depth = (len(lane_urgent) + len(lane_normal)
+                              + len(lane_deferred))
+                far_depth = len(heap)
+                if near_depth > self.peak_near_depth:
+                    self.peak_near_depth = near_depth
+                if far_depth > self.peak_far_depth:
+                    self.peak_far_depth = far_depth
+                if near_depth + far_depth > self.peak_queue_depth:
+                    self.peak_queue_depth = near_depth + far_depth
+                if near_depth:
+                    if horizon is not None and engine._now >= horizon:
                         break
-                    if not queue:
+                    t0 = perf_counter()
+                    self.overhead_s += t0 - mark
+                    if lane_urgent:
+                        event = lane_urgent.popleft()
+                    elif lane_normal:
+                        event = lane_normal.popleft()
+                    else:
+                        event = lane_deferred.popleft()
+                    t1 = perf_counter()
+                    self.near_pops += 1
+                    self.near_pop_s += t1 - t0
+                elif heap:
+                    when = heap[0][0]
+                    if horizon is not None and when >= horizon:
+                        break
+                    t0 = perf_counter()
+                    self.overhead_s += t0 - mark
+                    while heap and heap[0][0] == when:
+                        entry = pop(heap)
+                        lanes[entry[1]].append(entry[3])
+                        self.far_pops += 1
+                    engine._now = when
+                    t1 = perf_counter()
+                    self.far_pop_s += t1 - t0
+                    self.rolls += 1
+                    mark = t1
+                    continue
+                else:
+                    if target_event is not None:
                         raise SimulationError(
                             "run(until=event) exhausted all events before "
                             "the target event triggered — deadlock?"
                         )
-                elif horizon is not None:
-                    if not queue or queue[0][0] >= horizon:
-                        break
-                elif not queue:
                     break
-
-                depth = len(queue)
-                if depth > self.peak_queue_depth:
-                    self.peak_queue_depth = depth
-                t0 = perf_counter()
-                self.overhead_s += t0 - mark
-                when, _, _, event = pop(queue)
-                t1 = perf_counter()
-                engine._now = when
+                if cancelled and event in cancelled:
+                    cancelled.discard(event)
+                    self.queue_skipped += 1
+                    mark = t1
+                    continue
                 dispatched += 1
                 if log is not None:
                     log.append(event.__class__)
@@ -239,6 +327,7 @@ class EngineProfiler:
                 before = blocks()
                 event._process()
                 if observers:
+                    when = engine._now
                     for fn in observers:
                         fn(when, event)
                 t2 = perf_counter()
@@ -250,8 +339,6 @@ class EngineProfiler:
                 bucket[0] += 1
                 bucket[1] += t2 - t0
                 bucket[2] += allocated
-                self.queue_pops += 1
-                self.queue_pop_s += t1 - t0
                 # Bookkeeping from here to the next iteration's t0 is
                 # profiler overhead; t2 is the hand-off point, so the
                 # timeline tiles with no unattributed gaps.
@@ -292,6 +379,18 @@ class EngineProfiler:
             for (kind, handler, subsystem), (count, self_s, alloc)
             in self.buckets.items()
         ]
+        if self.far_pop_s:
+            # Rolls happen between events, so no handler bucket can own
+            # them; a named row keeps the timeline tiling exactly.
+            rows.append({
+                "subsystem": "queue",
+                "handler": "far-lane roll",
+                "event": "-",
+                "count": self.rolls,
+                "self_s": self.far_pop_s,
+                "share": self.far_pop_s / total,
+                "alloc_blocks": 0,
+            })
         if self.overhead_s:
             rows.append({
                 "subsystem": "profiler",
@@ -319,9 +418,11 @@ class EngineProfiler:
 
     @property
     def attributed_s(self):
-        """Seconds attributed to named cost centers (incl. profiler)."""
+        """Seconds attributed to named cost centers (incl. the
+        far-lane roll and profiler rows)."""
         return (
             sum(self_s for _, self_s, _ in self.buckets.values())
+            + self.far_pop_s
             + self.overhead_s
         )
 
@@ -351,6 +452,22 @@ class EngineProfiler:
                 "pops": self.queue_pops,
                 "pop_s": self.queue_pop_s,
                 "peak_depth": self.peak_queue_depth,
+                "skipped": self.queue_skipped,
+                "near": {
+                    "pushes": self.near_pushes,
+                    "push_s": self.near_push_s,
+                    "pops": self.near_pops,
+                    "pop_s": self.near_pop_s,
+                    "peak_depth": self.peak_near_depth,
+                },
+                "far": {
+                    "pushes": self.far_pushes,
+                    "push_s": self.far_push_s,
+                    "pops": self.far_pops,
+                    "pop_s": self.far_pop_s,
+                    "peak_depth": self.peak_far_depth,
+                    "rolls": self.rolls,
+                },
             },
             "subsystems": self.subsystems(),
             "cost_centers": self.cost_centers(),
@@ -437,6 +554,17 @@ def render_profile(report, top=15):
         f"({queue['push_s'] * 1e3:.1f}ms), {queue['pops']:,} pops "
         f"({queue['pop_s'] * 1e3:.1f}ms), peak depth {queue['peak_depth']}"
     )
+    near, far = queue.get("near"), queue.get("far")
+    if near and far:
+        lines.append(
+            f"  near lane       {near['pushes']:,} pushes, "
+            f"{near['pops']:,} pops, peak depth {near['peak_depth']}"
+        )
+        lines.append(
+            f"  far lane        {far['pushes']:,} pushes, "
+            f"{far['pops']:,} pops over {far['rolls']:,} rolls, "
+            f"peak depth {far['peak_depth']}"
+        )
     lines.append(
         f"attributed        {report['attributed_s']:.3f}s "
         f"({100 * report['coverage']:.1f}% of engine wall time)"

@@ -479,6 +479,7 @@ class Family:
     def __init__(self, name, label_names, factory):
         self.name = name
         self.label_names = tuple(label_names)
+        self._label_set = frozenset(label_names)
         self._factory = factory
         self._children = {}
 
@@ -494,12 +495,12 @@ class Family:
 
     def labels(self, **labels):
         """The child instrument for this label combination."""
-        if set(labels) != set(self.label_names):
+        if labels.keys() != self._label_set:
             raise ValueError(
                 f"{self.name} takes labels {self.label_names}, "
                 f"got {tuple(sorted(labels))}"
             )
-        key = tuple(labels[name] for name in self.label_names)
+        key = tuple([labels[name] for name in self.label_names])
         child = self._children.get(key)
         if child is None:
             child = self._children[key] = self._factory()

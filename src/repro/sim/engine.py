@@ -1,11 +1,48 @@
-"""The simulation engine: event queue and simulated clock."""
+"""The simulation engine: two-lane event queue and simulated clock.
+
+The event queue is split into two lanes that together preserve the
+exact ``(time, priority, seq)`` total order of the original flat heap:
+
+* **Near lane** — three plain FIFO deques (URGENT / NORMAL / DEFERRED),
+  holding every event scheduled for the *current instant*.  Same-instant
+  scheduling dominates real workloads (``succeed``/``fail`` resumptions,
+  zero-delay timeouts, the DEFERRED batching window), and a deque append
+  or popleft is O(1) with no tuple allocation and no sequence-counter
+  traffic.
+* **Far lane** — the classic heap, holding only events strictly in the
+  future.  When every near-lane deque is empty, the engine *rolls* the
+  next instant: it pops every heap entry sharing the earliest timestamp
+  into the near-lane deques (heap pops at one timestamp come out in
+  ``(priority, seq)`` order, so each deque stays seq-sorted) and then
+  advances the clock once.
+
+Why the order is provably unchanged: near-lane entries always carry
+``time == now`` (they are pushed while an event at ``now`` is being
+dispatched, and the clock cannot advance while the near lane is
+non-empty because its entries are the global minimum), and far-lane
+entries always carry ``time > now`` (pushes compute ``now + delay`` and
+route ``== now`` results to the near lane).  A rolled entry was pushed
+at an earlier instant than any same-timestamp near-lane append that
+follows it, so the roll-then-append order *is* seq order.  The
+differential oracle in ``tests/sim/test_queue_oracle.py`` checks this
+against the original flat-heap implementation
+(:class:`repro.sim.refqueue.ReferenceEngine`) over randomized
+schedules.
+
+Cancellation is O(1) by mark: :meth:`Engine.cancel` records the event
+in a small set and the dispatch loop drops marked entries when they
+surface, without scanning either lane.  A cancelled event is never
+dispatched: it does not advance ``dispatched``, never reaches the
+``kind_log`` or observers, and its callbacks never run.
+"""
 
 import heapq
 from itertools import count
+from collections import deque
 from time import perf_counter
 
 from repro.sim.errors import EmptySchedule, SimulationError
-from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.events import AllOf, AnyOf, Event, PENDING, Timeout
 from repro.sim.process import Process
 
 #: Default scheduling priority.
@@ -23,6 +60,10 @@ DEFERRED = 2
 #: keeps the hot path entirely untouched: the only residue is one
 #: attribute read per :meth:`Engine.run` call.
 PROFILER = None
+
+_heappush = heapq.heappush
+_heappop = heapq.heappop
+_INF = float("inf")
 
 
 class Engine:
@@ -46,8 +87,22 @@ class Engine:
 
     def __init__(self, initial_time=0.0):
         self._now = float(initial_time)
-        self._queue = []
+        #: Far lane: (time, priority, seq, event) tuples, time > now.
+        self._heap = []
+        #: Near lane: one FIFO per priority, every entry at time == now.
+        self._lane_urgent = deque()
+        self._lane_normal = deque()
+        self._lane_deferred = deque()
+        #: Priority-indexed view of the near lane (URGENT=0 .. DEFERRED=2).
+        self._lanes = (self._lane_urgent, self._lane_normal,
+                       self._lane_deferred)
+        #: Heap-lane insertion sequence (near-lane FIFOs need no seq:
+        #: append order is seq order within a lane).
         self._seq = count()
+        #: Events cancelled by mark (see :meth:`cancel`); the dispatch
+        #: loop discards them when they surface.  Empty almost always,
+        #: so the per-event residue is one truthiness test.
+        self._cancelled = set()
         self.active_process = None
         #: Observers ``fn(now, event)`` invoked after each event is
         #: processed (see :class:`repro.sim.trace.TraceLog`).  Use
@@ -66,15 +121,17 @@ class Engine:
         self.profiler = PROFILER
         # kind -> last issued id (see :meth:`serial`).
         self._serials = {}
-        #: When set to a list, :meth:`step` appends each processed
-        #: event's class — the instrumentation layer's fast path
+        #: When set to a list, dispatch appends each processed event's
+        #: class — the instrumentation layer's fast path
         #: (``list.append`` is ~4x cheaper per event than a Counter
         #: increment, and an observer callback costs more still); the
         #: log is folded into per-kind counts at export time.
         self.kind_log = None
 
     def __repr__(self):
-        return f"<Engine t={self._now:.6f} pending={len(self._queue)}>"
+        pending = (len(self._heap) + len(self._lane_urgent)
+                   + len(self._lane_normal) + len(self._lane_deferred))
+        return f"<Engine t={self._now:.6f} pending={pending}>"
 
     @property
     def now(self):
@@ -164,33 +221,121 @@ class Engine:
 
     # -- scheduling ---------------------------------------------------------
     def schedule(self, event, delay=0.0, priority=None):
-        """Queue a triggered event for processing at ``now + delay``."""
-        if priority is None:
-            priority = NORMAL
+        """Queue a triggered event for processing at ``now + delay``.
+
+        Same-instant events (``delay == 0``, or a delay so small the
+        timestamp rounds back to ``now``) go to the near-lane FIFO for
+        their priority; strictly-future events go to the far-lane heap.
+        ``priority`` must be one of :data:`URGENT`, :data:`NORMAL`,
+        :data:`DEFERRED` (or ``None`` for NORMAL).
+        """
+        if delay == 0.0:
+            if priority is None:
+                self._lane_normal.append(event)
+            else:
+                self._lanes[priority].append(event)
+            return
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        heapq.heappush(
-            self._queue, (self._now + delay, priority, next(self._seq), event)
-        )
+        now = self._now
+        when = now + delay
+        if when == now:
+            # A denormal-small delay that rounds back to the current
+            # instant — near-lane, so the far lane stays strictly future.
+            if priority is None:
+                self._lane_normal.append(event)
+            else:
+                self._lanes[priority].append(event)
+            return
+        if priority is None:
+            priority = NORMAL
+        elif not 0 <= priority <= 2:
+            raise SimulationError(f"unknown scheduling priority {priority!r}")
+        _heappush(self._heap, (when, priority, next(self._seq), event))
+
+    def cancel(self, event):
+        """Cancel a scheduled event in O(1): mark it; the dispatch loop
+        drops it when its queue entry surfaces.
+
+        The event must be triggered (scheduled) and not yet processed.
+        A cancelled event never fires: its callbacks never run, it is
+        not counted in :attr:`dispatched`, and it never reaches the
+        ``kind_log`` or observers — in either lane, including entries
+        that have already rolled from the far-lane heap into the
+        near-lane FIFOs.  A cancelled *failed* event will not re-raise
+        at the end of the run.
+        """
+        if event._value is PENDING:
+            raise SimulationError(f"cannot cancel untriggered {event!r}")
+        if event.callbacks is None:
+            raise SimulationError(f"cannot cancel processed {event!r}")
+        self._cancelled.add(event)
 
     def peek(self):
-        """Time of the next scheduled event, or ``inf`` if none remain."""
-        return self._queue[0][0] if self._queue else float("inf")
+        """Time of the next scheduled event, or ``inf`` if none remain.
+
+        Cancelled-but-unpopped entries still occupy their slot, so
+        ``peek`` may report the instant of an event that will be
+        dropped rather than dispatched.
+        """
+        if self._lane_urgent or self._lane_normal or self._lane_deferred:
+            return self._now
+        return self._heap[0][0] if self._heap else _INF
+
+    def _roll(self):
+        """Advance to the next scheduled instant: move every far-lane
+        entry sharing the earliest timestamp into the near-lane FIFOs.
+
+        Heap pops at a fixed timestamp come out in ``(priority, seq)``
+        order, so each FIFO receives its entries seq-sorted, and every
+        same-instant append that follows carries a later seq — the
+        flat-heap total order is preserved exactly.
+        """
+        heap = self._heap
+        when = heap[0][0]
+        lanes = self._lanes
+        while heap and heap[0][0] == when:
+            entry = _heappop(heap)
+            lanes[entry[1]].append(entry[3])
+        self._now = when
+
+    def _next_live(self):
+        """Pop the next non-cancelled event, or raise EmptySchedule.
+
+        Rolls the far lane as needed; the clock may advance past
+        instants whose every entry was cancelled.
+        """
+        lane_urgent = self._lane_urgent
+        lane_normal = self._lane_normal
+        lane_deferred = self._lane_deferred
+        cancelled = self._cancelled
+        while True:
+            if lane_urgent:
+                event = lane_urgent.popleft()
+            elif lane_normal:
+                event = lane_normal.popleft()
+            elif lane_deferred:
+                event = lane_deferred.popleft()
+            elif self._heap:
+                self._roll()
+                continue
+            else:
+                raise EmptySchedule("no scheduled events remain") from None
+            if cancelled and event in cancelled:
+                cancelled.discard(event)
+                continue
+            return event
 
     def step(self):
         """Process exactly one event; raise :class:`EmptySchedule` if none."""
-        try:
-            when, _, _, event = heapq.heappop(self._queue)
-        except IndexError:
-            raise EmptySchedule("no scheduled events remain") from None
-        self._now = when
+        event = self._next_live()
         self.dispatched += 1
         log = self.kind_log
         if log is not None:
             log.append(event.__class__)
         event._process()
         for fn in self._observers:
-            fn(when, event)
+            fn(self._now, event)
 
     def run(self, until=None):
         """Run the simulation.
@@ -204,79 +349,227 @@ class Engine:
             event scheduled strictly before that time, then set the clock
             to it.
 
-        The dispatch loops below inline :meth:`step` with the queue,
-        ``heappop`` and the kind log hoisted into locals, and fold the
-        dispatch count in once at the end — at cluster scale (tens of
-        thousands of events per run) the per-event method call and
-        attribute traffic are the single largest simulator overhead.
-        The pop-assign-dispatch sequence is kept identical to
-        :meth:`step`, so event order never changes.
+        The dispatch mode is pre-computed once at entry: with no
+        ``kind_log`` and no observers installed — the common case — the
+        inlined loops below do *zero* per-event conditional work beyond
+        the queue mechanics themselves (lane selection and the
+        cancelled-mark truthiness test); the instrumented variant with
+        the kind-log append and observer fan-out lives in
+        :meth:`_run_observed`.  Both replay the identical
+        pop-assign-dispatch sequence, so event order never changes.
+        ``Event._process`` is inlined into the loops (events do not
+        override it).
 
         When a profiler is attached (``repro profile``) the dispatch
         loop is delegated to :meth:`EngineProfiler.run_engine
         <repro.obs.prof.EngineProfiler.run_engine>`, which replays the
-        exact same pop-assign-dispatch sequence with per-event
-        wall-clock attribution — event order, and therefore every
-        simulated output, is identical either way.
+        exact same sequence with per-event wall-clock attribution —
+        event order, and therefore every simulated output, is identical
+        either way.
         """
         if self.profiler is not None:
             return self.profiler.run_engine(self, until)
+        if self.kind_log is not None or self._observers:
+            return self._run_observed(until)
         entered = perf_counter()
-        queue = self._queue
-        pop = heapq.heappop
-        log = self.kind_log
+        heap = self._heap
+        lane_urgent = self._lane_urgent
+        lane_normal = self._lane_normal
+        lane_deferred = self._lane_deferred
+        lanes = self._lanes
+        cancelled = self._cancelled
+        pop = _heappop
         dispatched = 0
         try:
             if until is None:
-                while queue:
-                    when, _, _, event = pop(queue)
-                    self._now = when
+                while True:
+                    if lane_urgent:
+                        event = lane_urgent.popleft()
+                    elif lane_normal:
+                        event = lane_normal.popleft()
+                    elif lane_deferred:
+                        event = lane_deferred.popleft()
+                    elif heap:
+                        when = heap[0][0]
+                        while heap and heap[0][0] == when:
+                            entry = pop(heap)
+                            lanes[entry[1]].append(entry[3])
+                        self._now = when
+                        continue
+                    else:
+                        return None
+                    if cancelled and event in cancelled:
+                        cancelled.discard(event)
+                        continue
                     dispatched += 1
-                    if log is not None:
-                        log.append(event.__class__)
-                    event._process()
-                    if self._observers:
-                        for fn in self._observers:
-                            fn(when, event)
-                return None
+                    callbacks = event.callbacks
+                    event.callbacks = None
+                    for callback in callbacks:
+                        callback(event)
+                    if not event._ok and not event._defused:
+                        raise event._value
 
             if isinstance(until, Event):
-                while not until.processed:
-                    if not queue:
+                while until.callbacks is not None:
+                    if lane_urgent:
+                        event = lane_urgent.popleft()
+                    elif lane_normal:
+                        event = lane_normal.popleft()
+                    elif lane_deferred:
+                        event = lane_deferred.popleft()
+                    elif heap:
+                        when = heap[0][0]
+                        while heap and heap[0][0] == when:
+                            entry = pop(heap)
+                            lanes[entry[1]].append(entry[3])
+                        self._now = when
+                        continue
+                    else:
                         raise SimulationError(
                             "run(until=event) exhausted all events before "
                             "the target event triggered — deadlock?"
                         )
-                    when, _, _, event = pop(queue)
-                    self._now = when
+                    if cancelled and event in cancelled:
+                        cancelled.discard(event)
+                        continue
                     dispatched += 1
-                    if log is not None:
-                        log.append(event.__class__)
-                    event._process()
-                    if self._observers:
-                        for fn in self._observers:
-                            fn(when, event)
-                if until.ok:
-                    return until.value
+                    callbacks = event.callbacks
+                    event.callbacks = None
+                    for callback in callbacks:
+                        callback(event)
+                    if not event._ok and not event._defused:
+                        raise event._value
+                if until._ok:
+                    return until._value
                 until.defuse()
-                raise until.value
+                raise until._value
 
             horizon = float(until)
             if horizon < self._now:
                 raise SimulationError(
                     f"until={horizon} is in the past (now={self._now})"
                 )
-            while queue and queue[0][0] < horizon:
-                when, _, _, event = pop(queue)
-                self._now = when
+            while True:
+                if lane_urgent or lane_normal or lane_deferred:
+                    if self._now >= horizon:
+                        break
+                    if lane_urgent:
+                        event = lane_urgent.popleft()
+                    elif lane_normal:
+                        event = lane_normal.popleft()
+                    else:
+                        event = lane_deferred.popleft()
+                elif heap:
+                    when = heap[0][0]
+                    if when >= horizon:
+                        break
+                    while heap and heap[0][0] == when:
+                        entry = pop(heap)
+                        lanes[entry[1]].append(entry[3])
+                    self._now = when
+                    continue
+                else:
+                    break
+                if cancelled and event in cancelled:
+                    cancelled.discard(event)
+                    continue
+                dispatched += 1
+                callbacks = event.callbacks
+                event.callbacks = None
+                for callback in callbacks:
+                    callback(event)
+                if not event._ok and not event._defused:
+                    raise event._value
+            self._now = horizon
+            return None
+        finally:
+            self.dispatched += dispatched
+            self.wall_s += perf_counter() - entered
+
+    def _run_observed(self, until):
+        """The dispatch loops with kind-log / observer instrumentation.
+
+        Identical pop-assign-dispatch sequence to the fast loops in
+        :meth:`run` — only the per-event kind-log append and observer
+        fan-out are added, so simulated outputs match byte for byte.
+        """
+        entered = perf_counter()
+        heap = self._heap
+        lane_urgent = self._lane_urgent
+        lane_normal = self._lane_normal
+        lane_deferred = self._lane_deferred
+        lanes = self._lanes
+        cancelled = self._cancelled
+        pop = _heappop
+        log = self.kind_log
+        observers = self._observers
+        dispatched = 0
+        try:
+            if until is None:
+                target = None
+                horizon = None
+            elif isinstance(until, Event):
+                target = until
+                horizon = None
+            else:
+                target = None
+                horizon = float(until)
+                if horizon < self._now:
+                    raise SimulationError(
+                        f"until={horizon} is in the past (now={self._now})"
+                    )
+            while True:
+                if target is not None and target.callbacks is None:
+                    break
+                if lane_urgent or lane_normal or lane_deferred:
+                    if horizon is not None and self._now >= horizon:
+                        break
+                    if lane_urgent:
+                        event = lane_urgent.popleft()
+                    elif lane_normal:
+                        event = lane_normal.popleft()
+                    else:
+                        event = lane_deferred.popleft()
+                elif heap:
+                    when = heap[0][0]
+                    if horizon is not None and when >= horizon:
+                        break
+                    while heap and heap[0][0] == when:
+                        entry = pop(heap)
+                        lanes[entry[1]].append(entry[3])
+                    self._now = when
+                    continue
+                else:
+                    if target is not None:
+                        raise SimulationError(
+                            "run(until=event) exhausted all events before "
+                            "the target event triggered — deadlock?"
+                        )
+                    break
+                if cancelled and event in cancelled:
+                    cancelled.discard(event)
+                    continue
                 dispatched += 1
                 if log is not None:
                     log.append(event.__class__)
-                event._process()
-                if self._observers:
-                    for fn in self._observers:
-                        fn(when, event)
-            self._now = horizon
+                callbacks = event.callbacks
+                event.callbacks = None
+                for callback in callbacks:
+                    callback(event)
+                if not event._ok and not event._defused:
+                    raise event._value
+                if observers:
+                    now = self._now
+                    for fn in observers:
+                        fn(now, event)
+            if horizon is not None:
+                self._now = horizon
+                return None
+            if target is not None:
+                if target._ok:
+                    return target._value
+                target.defuse()
+                raise target._value
             return None
         finally:
             self.dispatched += dispatched

@@ -61,11 +61,11 @@ class Event:
 
     def succeed(self, value=None, priority=None):
         """Trigger the event successfully with ``value``."""
-        if self.triggered:
+        if self._value is not PENDING:
             raise SimulationError(f"{self!r} already triggered")
         self._ok = True
         self._value = value
-        self.engine.schedule(self, priority=priority)
+        self.engine.schedule(self, 0.0, priority)
         return self
 
     def fail(self, exception, priority=None):
@@ -78,16 +78,16 @@ class Event:
         """
         if not isinstance(exception, BaseException):
             raise TypeError(f"{exception!r} is not an exception")
-        if self.triggered:
+        if self._value is not PENDING:
             raise SimulationError(f"{self!r} already triggered")
         self._ok = False
         self._value = exception
-        self.engine.schedule(self, priority=priority)
+        self.engine.schedule(self, 0.0, priority)
         return self
 
     def trigger(self, event):
         """Trigger this event with the state of another (for chaining)."""
-        if self.triggered:
+        if self._value is not PENDING:
             raise SimulationError(f"{self!r} already triggered")
         self._ok = event._ok
         self._value = event._value
@@ -97,6 +97,14 @@ class Event:
     def defuse(self):
         """Mark a failed event as handled so the engine won't re-raise it."""
         self._defused = True
+
+    def cancel(self):
+        """Cancel this scheduled event (O(1) mark; it will never fire).
+
+        Delegates to :meth:`Engine.cancel
+        <repro.sim.engine.Engine.cancel>` — see there for semantics.
+        """
+        self.engine.cancel(self)
 
     # -- engine interface -------------------------------------------------
     def _process(self):
@@ -109,18 +117,25 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that fires after a fixed simulated delay."""
+    """An event that fires after a fixed simulated delay.
+
+    Born triggered: the constructor inlines ``Event.__init__`` plus the
+    succeed-and-schedule sequence (timeouts are the single most common
+    event on the engine hot path, so the two extra calls matter).
+    """
 
     __slots__ = ("delay",)
 
     def __init__(self, engine, delay, value=None):
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
-        super().__init__(engine)
-        self.delay = delay
-        self._ok = True
+        self.engine = engine
+        self.callbacks = []
         self._value = value
-        engine.schedule(self, delay=delay)
+        self._ok = True
+        self._defused = False
+        self.delay = delay
+        engine.schedule(self, delay)
 
     def __repr__(self):
         return f"<Timeout delay={self.delay}>"

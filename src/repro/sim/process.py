@@ -71,27 +71,29 @@ class Process(Event):
     # -- engine interface ----------------------------------------------------
     def _resume(self, event):
         """Advance the generator with ``event``'s outcome."""
-        self.engine.active_process = self
+        engine = self.engine
+        engine.active_process = self
         self._target = None
+        generator = self._generator
+        send = generator.send
         try:
             while True:
                 try:
                     if event is None or event._ok:
-                        value = None if event is None else event._value
-                        target = self._generator.send(value)
+                        target = send(None if event is None else event._value)
                     else:
                         event.defuse()
-                        target = self._generator.throw(event._value)
+                        target = generator.throw(event._value)
                 except StopIteration as stop:
-                    if not self.triggered:
+                    if self._value is PENDING:
                         self.succeed(stop.value)
                     return
                 except StopProcess as stop:
-                    if not self.triggered:
+                    if self._value is PENDING:
                         self.succeed(stop.value)
                     return
                 except BaseException as error:
-                    if not self.triggered:
+                    if self._value is PENDING:
                         self.fail(error)
                         return
                     raise
@@ -105,7 +107,7 @@ class Process(Event):
                         )
                     )
                     return
-                if target.engine is not self.engine:
+                if target.engine is not engine:
                     self.fail(
                         SimulationError(
                             f"process {self.name!r} yielded an event from "
@@ -114,12 +116,13 @@ class Process(Event):
                     )
                     return
 
-                if target.processed:
+                callbacks = target.callbacks
+                if callbacks is None:
                     # Already resolved — continue synchronously.
                     event = target
                     continue
-                target.callbacks.append(self._resume)
+                callbacks.append(self._resume)
                 self._target = target
                 return
         finally:
-            self.engine.active_process = None
+            engine.active_process = None

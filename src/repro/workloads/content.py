@@ -13,16 +13,31 @@ from repro.accent.constants import PAGE_SIZE
 _DIGEST_BYTES = 32
 _REPEATS = PAGE_SIZE // _DIGEST_BYTES
 
+# Both functions are pure in (workload_name, page_index) and the results
+# are immutable bytes, so they memoise safely.  Job verification hashes
+# the same heads once per trace step — caching turns the dominant
+# sha256 cost into a dict hit.
+_HEADS = {}
+_PAYLOADS = {}
+
 
 def page_payload(workload_name, page_index):
     """The full 512-byte content of one page."""
-    return page_head(workload_name, page_index) * _REPEATS
+    key = (workload_name, page_index)
+    payload = _PAYLOADS.get(key)
+    if payload is None:
+        payload = _PAYLOADS[key] = page_head(workload_name, page_index) * _REPEATS
+    return payload
 
 
 def page_head(workload_name, page_index):
     """The leading 32 bytes (enough to verify identity cheaply)."""
-    material = f"{workload_name}:{page_index}".encode("utf-8")
-    return hashlib.sha256(material).digest()
+    key = (workload_name, page_index)
+    head = _HEADS.get(key)
+    if head is None:
+        material = f"{workload_name}:{page_index}".encode("utf-8")
+        head = _HEADS[key] = hashlib.sha256(material).digest()
+    return head
 
 
 #: Marker bytes a remote write stamps at the start of a written page.

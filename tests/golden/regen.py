@@ -1,0 +1,24 @@
+"""Regenerate the golden determinism corpus.
+
+Usage::
+
+    PYTHONPATH=src python -m tests.golden.regen
+
+Only run this when a trace change is *intentional* (a new exported
+field, a deliberate scheduling-semantics change) — and say why in the
+commit message.  A regeneration that "fixes" a failing corpus test
+without an intentional trace change is hiding a determinism regression.
+"""
+
+from tests.golden import SCENARIOS, corpus_path, run_scenario, write_golden
+
+
+def main():
+    for name in SCENARIOS:
+        blob = run_scenario(name)
+        write_golden(name, blob)
+        print(f"{corpus_path(name)}: {len(blob):,} bytes uncompressed")
+
+
+if __name__ == "__main__":
+    main()

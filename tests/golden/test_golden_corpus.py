@@ -1,0 +1,39 @@
+"""Byte-compare every golden scenario against its committed trace.
+
+These tests close the gap the randomized queue oracle cannot: the
+oracle proves the two-lane queue orders synthetic schedules identically
+to the flat-heap reference, while the corpus proves the *whole system*
+— kernel, pager, NetMsgServer, scheduler, telemetry, serving — still
+replays byte-for-byte on real scenarios.  See ``tests/golden/__init__``
+for the scenario table and the regeneration procedure.
+"""
+
+import pytest
+
+from tests.golden import SCENARIOS, read_golden, run_scenario
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_scenario_replays_byte_identical(name):
+    try:
+        golden = read_golden(name)
+    except FileNotFoundError:
+        pytest.fail(
+            f"golden corpus file for {name!r} is missing — regenerate "
+            "with: PYTHONPATH=src python -m tests.golden.regen"
+        )
+    fresh = run_scenario(name)
+    if fresh != golden:
+        golden_lines = golden.decode("utf-8").splitlines()
+        fresh_lines = fresh.decode("utf-8").splitlines()
+        for index, (a, b) in enumerate(zip(golden_lines, fresh_lines)):
+            if a != b:
+                pytest.fail(
+                    f"{name}: first divergence at line {index + 1}:\n"
+                    f"  golden: {a[:200]}\n"
+                    f"  fresh:  {b[:200]}"
+                )
+        pytest.fail(
+            f"{name}: line count changed "
+            f"({len(golden_lines)} -> {len(fresh_lines)})"
+        )

@@ -137,10 +137,11 @@ class TestAttribution:
         report = profiler.report()
         counted = sum(
             row["count"] for row in report["cost_centers"]
-            if row["subsystem"] != "profiler"
+            if row["subsystem"] not in ("profiler", "queue")
         )
         assert counted == report["events"] == profiler.events
-        assert report["queue"]["pops"] == report["events"]
+        # Every dispatched event is one near-lane pop (no cancels here).
+        assert report["queue"]["near"]["pops"] == report["events"]
 
     def test_queue_costs_and_peak_depth_recorded(self):
         profiler = self._profiled_stress()
@@ -150,6 +151,28 @@ class TestAttribution:
         assert queue["push_s"] > 0
         assert queue["pop_s"] > 0
         assert queue["peak_depth"] > 1
+
+    def test_per_lane_queue_stats_are_consistent(self):
+        """The whole-queue totals are exactly the per-lane sums, every
+        far-lane push eventually rolls back out through the near lane,
+        and nothing was skipped in a cancel-free run."""
+        profiler = self._profiled_stress()
+        report = profiler.report()
+        queue = report["queue"]
+        near, far = queue["near"], queue["far"]
+        assert queue["pushes"] == near["pushes"] + far["pushes"]
+        assert queue["pops"] == near["pops"] + far["pops"]
+        assert queue["push_s"] == pytest.approx(
+            near["push_s"] + far["push_s"])
+        assert queue["pop_s"] == pytest.approx(near["pop_s"] + far["pop_s"])
+        assert queue["skipped"] == 0
+        # A stress run schedules real (strictly-future) timeouts: both
+        # lanes see traffic, and every far push is eventually rolled.
+        assert near["pushes"] > 0 and far["pushes"] > 0
+        assert far["pops"] == far["pushes"]
+        assert far["rolls"] > 0
+        assert near["peak_depth"] > 0 and far["peak_depth"] > 1
+        assert queue["peak_depth"] <= near["peak_depth"] + far["peak_depth"]
 
     def test_subsystems_cover_the_scenario(self):
         profiler = self._profiled_stress()
