@@ -6,6 +6,7 @@ from repro.accent.pager import Pager
 from repro.accent.vm.address_space import Residency
 from repro.accent.vm.physical import PhysicalMemory
 from repro.sim import Resource
+from repro.store.source import PageResolver
 
 
 class Host:
@@ -35,6 +36,13 @@ class Host:
         self.fault_injector = None
         #: The residual-dependency flusher daemon, when enabled.
         self.flusher = None
+        #: This host's content-addressed page cache, attached by
+        #: ``TestbedWorld.enable_store`` (None = store off).
+        self.store = None
+        #: The unified page-source resolver — *every* page fetch on
+        #: this host routes through it; origin-only until a store
+        #: directory is attached.
+        self.resolver = PageResolver(self)
         self.pager = Pager(self)
         self.kernel = Kernel(self)
 
@@ -46,6 +54,11 @@ class Host:
     def crash(self):
         """Take the machine down: all its traffic drops from now on."""
         self.crashed = True
+        # The content cache is volatile memory: a crash empties it and
+        # withdraws this host from the store directory, so resolvers
+        # stop routing faults here.
+        if self.store is not None:
+            self.store.clear()
 
     def recover(self):
         """Bring the machine back (volatile state was already lost)."""

@@ -10,6 +10,7 @@ on the link.
 from itertools import count
 
 from repro.accent.constants import PAGE_SIZE
+from repro.accent.vm.page import CONTENT_ID_BYTES
 
 _message_ids = count(1)
 
@@ -87,6 +88,9 @@ class RegionSection(Section):
     #: Per-page descriptor overhead (target index).
     PAGE_DESCRIPTOR_BYTES = 4
 
+    #: Per-deduped-page wire overhead: target index + content id.
+    CONTENT_REF_BYTES = 4 + CONTENT_ID_BYTES
+
     def __init__(self, pages, force_copy=False, label=None,
                  transfer_window=None):
         self.pages = dict(pages)
@@ -97,6 +101,12 @@ class RegionSection(Section):
         #: the window travels onto the cached segment, widening batched
         #: fault replies against it.
         self.transfer_window = transfer_window
+        #: Dedup substitutions: target page index -> content id, filled
+        #: by a dedup-aware NetMsgServer when the destination already
+        #: holds the contents.  Such pages ride the wire as a reference
+        #: and are rematerialised from the destination's content store
+        #: at reassembly, so downstream consumers still see ``pages``.
+        self.content_refs = {}
 
     def __repr__(self):
         return (
@@ -106,13 +116,14 @@ class RegionSection(Section):
 
     @property
     def byte_size(self):
-        return len(self.pages) * PAGE_SIZE
+        return (len(self.pages) + len(self.content_refs)) * PAGE_SIZE
 
     @property
     def wire_bytes(self):
         return (
             self.DESCRIPTOR_BYTES
             + len(self.pages) * (PAGE_SIZE + self.PAGE_DESCRIPTOR_BYTES)
+            + len(self.content_refs) * self.CONTENT_REF_BYTES
         )
 
     def share_pages(self):
@@ -164,7 +175,13 @@ class IOUSection(Section):
 
     @property
     def wire_bytes(self):
-        return self.DESCRIPTOR_BYTES + len(self.runs()) * self.RUN_BYTES
+        base = self.DESCRIPTOR_BYTES + len(self.runs()) * self.RUN_BYTES
+        # When the backing segment carries content ids (store-enabled
+        # worlds only), the IOU ships one id per owed page so any
+        # holder of the contents can service the eventual fault.
+        if getattr(self.handle, "content_ids", None):
+            base += len(self.page_indices) * CONTENT_ID_BYTES
+        return base
 
 
 class Message:

@@ -15,9 +15,10 @@ network — other faults proceed meanwhile, as in Accent.
 
 from repro.accent.ipc.message import InlineSection, Message, RegionSection
 from repro.accent.vm.address_space import Residency
-from repro.accent.vm.page import Page
+from repro.accent.vm.page import CONTENT_ID_BYTES, Page
 from repro.faults.errors import ResidualDependencyError, TransportError
 from repro.obs import causal
+from repro.obs.span import NULL_SPAN
 from repro.sim import Resource
 
 #: Message operation names for the copy-on-reference protocol.
@@ -31,6 +32,13 @@ OP_IMAG_READ_REPLY_PART = "imag.read.reply.part"
 #: ... and for the residual-dependency flusher (repro.cor.flusher).
 OP_IMAG_PUSH = "imag.push"
 OP_FLUSH_REGISTER = "flush.register"
+#: ... and for the content-addressed store's multi-source fault
+#: service (repro.store.server; replies reuse the imag reply ops).
+OP_STORE_READ = "store.read"
+OP_STORE_READ_BATCH = "store.read.batch"
+
+#: Histogram buckets for peer-source topology distance.
+SOURCE_DISTANCE_BUCKETS = (1, 2, 4, 8, 16, 32)
 
 #: Wire bytes of an Imaginary Read Request's payload.
 IMAG_REQUEST_PAYLOAD_BYTES = 16
@@ -182,77 +190,157 @@ class Pager:
                 yield req
                 yield self.engine.timeout(calibration.pager_overhead_s)
 
-            request = Message(
-                dest=mapping.handle.backing_port,
-                op=OP_IMAG_READ,
-                sections=[InlineSection(bytes(IMAG_REQUEST_PAYLOAD_BYTES))],
-                reply_port=self.reply_port,
-                meta={
-                    "fault_id": fault_id,
-                    "page_index": index,
-                    "segment_id": mapping.handle.segment_id,
-                },
-            )
-            causal.attach(request, fault_span)
-            reply_event = self.engine.event()
-            self._pending_replies[fault_id] = reply_event
-            request_sent = self.engine.now
-            try:
-                yield from self.host.kernel.send(request)
-            except TransportError as error:
-                self._pending_replies.pop(fault_id, None)
+            # Every fetch resolves through the unified PageSource API;
+            # store-off it degenerates to the single origin source and
+            # the request below is byte-identical to the pre-store
+            # protocol.
+            resolution = self.host.resolver.resolve(mapping.handle, (index,))
+            local_page = resolution.local.get(index)
+            if local_page is not None:
+                # Local content-store hit: no wire round trip at all.
+                with self.cpu.held() as req:
+                    yield req
+                    yield self.engine.timeout(calibration.store_lookup_s)
+                yield from self._install_resident(space, index, local_page)
+                with self.cpu.held() as req:
+                    yield req
+                    yield self.engine.timeout(calibration.map_in_s)
+                rtt = 0.0
+                self._note_store_service("local", None, fault_span)
                 if lifecycle is not None:
-                    lifecycle.failed(fault_id, str(error), now=self.engine.now)
-                raise self._residual_dependency(space, index, error) from error
-            if lifecycle is not None:
-                lifecycle.request_done(fault_id, now=self.engine.now)
-            if self.host.fault_injector is not None:
-                # The request arrived, but the backing host may die
-                # before the reply escapes it — arm a deadline so a
-                # fault in a faulty world surfaces as a kill, never a
-                # hang.
-                deadline = self.engine.timeout(
-                    calibration.imag_reply_deadline_s
-                )
-                yield self.engine.any_of([reply_event, deadline])
-                if not reply_event.processed:
-                    self._pending_replies.pop(fault_id, None)
-                    error = TransportError(
-                        f"no imaginary read reply within "
-                        f"{calibration.imag_reply_deadline_s}s"
-                    )
-                    if lifecycle is not None:
-                        lifecycle.failed(
-                            fault_id, str(error), now=self.engine.now
-                        )
-                    raise self._residual_dependency(space, index, error)
-                reply = reply_event.value
+                    lifecycle.request_done(fault_id, now=self.engine.now)
+                    lifecycle.reply_done(fault_id, now=self.engine.now)
             else:
-                reply = yield reply_event
-            rtt = self.engine.now - request_sent
-            if lifecycle is not None:
-                lifecycle.reply_done(fault_id, now=self.engine.now)
+                reply = None
+                served_by = None
+                requested = False
+                sources = resolution.sources
+                for position, source in enumerate(sources):
+                    last = position == len(sources) - 1
+                    if source.kind == "origin":
+                        request = Message(
+                            dest=source.port,
+                            op=OP_IMAG_READ,
+                            sections=[
+                                InlineSection(
+                                    bytes(IMAG_REQUEST_PAYLOAD_BYTES)
+                                )
+                            ],
+                            reply_port=self.reply_port,
+                            meta={
+                                "fault_id": fault_id,
+                                "page_index": index,
+                                "segment_id": mapping.handle.segment_id,
+                            },
+                        )
+                    else:
+                        request = Message(
+                            dest=source.port,
+                            op=OP_STORE_READ,
+                            sections=[
+                                InlineSection(
+                                    bytes(
+                                        IMAG_REQUEST_PAYLOAD_BYTES
+                                        + CONTENT_ID_BYTES
+                                    )
+                                )
+                            ],
+                            reply_port=self.reply_port,
+                            meta={
+                                "fault_id": fault_id,
+                                "page_index": index,
+                                "cid": resolution.content_ids[index],
+                            },
+                        )
+                    causal.attach(request, fault_span)
+                    reply_event = self.engine.event()
+                    self._pending_replies[fault_id] = reply_event
+                    request_sent = self.engine.now
+                    try:
+                        yield from self.host.kernel.send(request)
+                    except TransportError as error:
+                        self._pending_replies.pop(fault_id, None)
+                        if not last:
+                            continue  # fall through to the next source
+                        if lifecycle is not None:
+                            lifecycle.failed(
+                                fault_id, str(error), now=self.engine.now
+                            )
+                        raise self._residual_dependency(
+                            space, index, error
+                        ) from error
+                    if not requested and lifecycle is not None:
+                        lifecycle.request_done(fault_id, now=self.engine.now)
+                    requested = True
+                    if self.host.fault_injector is not None:
+                        # The request arrived, but the serving host may
+                        # die before the reply escapes it — arm a
+                        # deadline so a fault in a faulty world surfaces
+                        # as a fallback (or, at the origin, a kill),
+                        # never a hang.
+                        deadline = self.engine.timeout(
+                            calibration.imag_reply_deadline_s
+                        )
+                        yield self.engine.any_of([reply_event, deadline])
+                        if not reply_event.processed:
+                            self._pending_replies.pop(fault_id, None)
+                            if not last:
+                                continue
+                            error = TransportError(
+                                f"no imaginary read reply within "
+                                f"{calibration.imag_reply_deadline_s}s"
+                            )
+                            if lifecycle is not None:
+                                lifecycle.failed(
+                                    fault_id, str(error), now=self.engine.now
+                                )
+                            raise self._residual_dependency(
+                                space, index, error
+                            )
+                        candidate = reply_event.value
+                    else:
+                        candidate = yield reply_event
+                    if candidate.meta.get("miss"):
+                        # The peer no longer holds the contents
+                        # (volatile cache); fall through.  The origin
+                        # backer never replies with a miss.
+                        if last:
+                            raise PagerError(
+                                f"origin reply for page {index} "
+                                "reported a miss"
+                            )
+                        continue
+                    reply = candidate
+                    served_by = source
+                    break
+                rtt = self.engine.now - request_sent
+                if lifecycle is not None:
+                    lifecycle.reply_done(fault_id, now=self.engine.now)
 
-            region = reply.first_section(RegionSection)
-            if region is None or index not in region.pages:
-                raise PagerError(
-                    f"imaginary read reply for page {index} lacks the page"
-                )
-            # Install the demanded page and any prefetched companions
-            # that are still owed (they may have raced with other
-            # faults).
-            for page_index in sorted(region.pages):
-                if space.entry(page_index) is not None:
-                    continue
-                page = region.pages[page_index]
-                yield from self._install_resident(space, page_index, page)
-                if page_index != index:
-                    # Mark prefetched arrivals so later touches count
-                    # hits.
-                    space.page_table[page_index].prefetched = True
-            with self.cpu.held() as req:
-                yield req
-                yield self.engine.timeout(calibration.map_in_s)
+                region = reply.first_section(RegionSection)
+                if region is None or index not in region.pages:
+                    raise PagerError(
+                        f"imaginary read reply for page {index} lacks the page"
+                    )
+                # Install the demanded page and any prefetched companions
+                # that are still owed (they may have raced with other
+                # faults).
+                for page_index in sorted(region.pages):
+                    if space.entry(page_index) is not None:
+                        continue
+                    page = region.pages[page_index]
+                    yield from self._install_resident(space, page_index, page)
+                    if page_index != index:
+                        # Mark prefetched arrivals so later touches count
+                        # hits.
+                        space.page_table[page_index].prefetched = True
+                with self.cpu.held() as req:
+                    yield req
+                    yield self.engine.timeout(calibration.map_in_s)
+                if resolution.store_enabled:
+                    self._note_store_service(
+                        served_by.kind, served_by, fault_span
+                    )
             self.host.metrics.record_imag_latency(
                 self.engine.now - fault_started, rtt
             )
@@ -260,6 +348,27 @@ class Pager:
                 lifecycle.resumed(fault_id, now=self.engine.now)
         finally:
             fault_span.finish()
+
+    def _note_store_service(self, kind, source, fault_span):
+        """Store-gated bookkeeping for one cache-involved fault.
+
+        Only ever called when the content store is enabled, so store-off
+        runs register none of these metric families or span args.
+        """
+        registry = self.host.metrics.obs.registry
+        registry.counter(
+            "store_fault_served_total", labels=("host", "source")
+        ).inc(1, host=self.host.name, source=kind)
+        if fault_span is not NULL_SPAN:
+            fault_span.attrs["source"] = kind
+        if source is not None and source.host_name:
+            if fault_span is not NULL_SPAN:
+                fault_span.attrs["source_host"] = source.host_name
+            if source.distance is not None:
+                registry.histogram(
+                    "store_source_distance",
+                    buckets=SOURCE_DISTANCE_BUCKETS,
+                ).observe(source.distance)
 
     # -- batched fault path (batch/pipeline > 1; docs/transfer-plans.md) --------
     def _imaginary_fault_batched(self, space, index, mapping):
@@ -348,76 +457,28 @@ class Pager:
         lifecycle = obs.lifecycle
         request_id = engine.serial("batch")
         demanded = sorted(collector.page_events)
+        # The coalescing window is sized from the *original* demand set
+        # — store-off this makes the request byte-identical to the
+        # pre-store protocol, and store-on a local split must not
+        # shrink the backer's prefetch reach.
         window = max(self.batch, len(demanded))
-        payload = (
-            IMAG_REQUEST_PAYLOAD_BYTES
-            + IMAG_BATCH_PAGE_BYTES * (len(demanded) - 1)
-        )
-        request = Message(
-            dest=mapping.handle.backing_port,
-            op=OP_IMAG_READ_BATCH,
-            sections=[InlineSection(bytes(payload))],
-            reply_port=self.reply_port,
-            meta={
-                "request_id": request_id,
-                "faults": [(fid, idx) for fid, idx, _ in collector.faults],
-                "segment_id": mapping.handle.segment_id,
-                "window": window,
-                "pipeline": self.pipeline,
-            },
-        )
-        causal.attach(request, collector.faults[0][2])
-        state = {"queue": [], "event": engine.event()}
-        self._pending_batches[request_id] = state
-        request_sent = engine.now
-        try:
-            yield from self.host.kernel.send(request)
-        except TransportError as error:
-            self._pending_batches.pop(request_id, None)
-            self._fail_batch(space, collector, error)
-            return
-        if lifecycle is not None:
-            for fid, _idx, _span in collector.faults:
-                lifecycle.request_done(fid, now=engine.now)
-
-        received = 0
-        parts_total = None
         pending_wakeups = dict(collector.page_events)
-        while parts_total is None or received < parts_total:
-            if not state["queue"]:
-                if self.host.fault_injector is not None:
-                    deadline = engine.timeout(
-                        calibration.imag_reply_deadline_s
+        resolution = self.host.resolver.resolve(mapping.handle, demanded)
+        if resolution.local:
+            # Local content-store hits: install them in one lookup
+            # charge and wake their faulters without any wire traffic.
+            with self.cpu.held() as req:
+                yield req
+                yield engine.timeout(calibration.store_lookup_s)
+            for page_index in sorted(resolution.local):
+                if space.entry(page_index) is None:
+                    yield from self._install_resident(
+                        space, page_index, resolution.local[page_index]
                     )
-                    yield engine.any_of([state["event"], deadline])
-                    if not state["event"].processed:
-                        self._pending_batches.pop(request_id, None)
-                        error = TransportError(
-                            f"no batched imaginary read reply within "
-                            f"{calibration.imag_reply_deadline_s}s"
-                        )
-                        self._fail_batch(space, collector, error)
-                        return
-                else:
-                    yield state["event"]
-                state["event"] = engine.event()
-            reply = state["queue"].pop(0)
-            received += 1
-            parts_total = reply.meta["parts"]
-            if collector.rtt is None:
-                collector.rtt = engine.now - request_sent
-            region = reply.first_section(RegionSection)
-            for page_index in sorted(region.pages):
-                if space.entry(page_index) is not None:
-                    continue
-                page = region.pages[page_index]
-                yield from self._install_resident(space, page_index, page)
-                if page_index not in pending_wakeups:
-                    space.page_table[page_index].prefetched = True
             with self.cpu.held() as req:
                 yield req
                 yield engine.timeout(calibration.map_in_s)
-            for page_index in sorted(region.pages):
+            for page_index in sorted(resolution.local):
                 waiter = pending_wakeups.pop(page_index, None)
                 if waiter is not None:
                     if lifecycle is not None:
@@ -425,9 +486,154 @@ class Pager:
                             f for f, i, _ in collector.faults
                             if i == page_index
                         )
+                        lifecycle.request_done(fid, now=engine.now)
                         lifecycle.reply_done(fid, now=engine.now)
                     waiter.succeed()
-        self._pending_batches.pop(request_id, None)
+            for _ in resolution.local:
+                self._note_store_service(
+                    "local", None, collector.faults[0][2]
+                )
+            if not pending_wakeups:
+                if collector.rtt is None:
+                    collector.rtt = 0.0
+                return
+
+        requested = False
+        sources = resolution.sources
+        for position, source in enumerate(sources):
+            last = position == len(sources) - 1
+            remaining = sorted(pending_wakeups)
+            remaining_set = set(remaining)
+            remaining_faults = [
+                (fid, idx)
+                for fid, idx, _ in collector.faults
+                if idx in remaining_set
+            ]
+            if source.kind == "origin":
+                payload = (
+                    IMAG_REQUEST_PAYLOAD_BYTES
+                    + IMAG_BATCH_PAGE_BYTES * (len(remaining) - 1)
+                )
+                request = Message(
+                    dest=source.port,
+                    op=OP_IMAG_READ_BATCH,
+                    sections=[InlineSection(bytes(payload))],
+                    reply_port=self.reply_port,
+                    meta={
+                        "request_id": request_id,
+                        "faults": remaining_faults,
+                        "segment_id": mapping.handle.segment_id,
+                        "window": window,
+                        "pipeline": self.pipeline,
+                    },
+                )
+            else:
+                payload = IMAG_REQUEST_PAYLOAD_BYTES + (
+                    IMAG_BATCH_PAGE_BYTES + CONTENT_ID_BYTES
+                ) * len(remaining)
+                request = Message(
+                    dest=source.port,
+                    op=OP_STORE_READ_BATCH,
+                    sections=[InlineSection(bytes(payload))],
+                    reply_port=self.reply_port,
+                    meta={
+                        "request_id": request_id,
+                        "faults": remaining_faults,
+                        "cids": {
+                            idx: resolution.content_ids[idx]
+                            for idx in remaining
+                        },
+                        "pipeline": self.pipeline,
+                    },
+                )
+            causal.attach(request, collector.faults[0][2])
+            state = {"queue": [], "event": engine.event()}
+            self._pending_batches[request_id] = state
+            request_sent = engine.now
+            try:
+                yield from self.host.kernel.send(request)
+            except TransportError as error:
+                self._pending_batches.pop(request_id, None)
+                if not last:
+                    continue  # fall through to the next source
+                self._fail_batch(space, collector, error)
+                return
+            if not requested and lifecycle is not None:
+                for fid, _idx in remaining_faults:
+                    lifecycle.request_done(fid, now=engine.now)
+            requested = True
+
+            received = 0
+            parts_total = None
+            missed = False
+            timed_out = False
+            while parts_total is None or received < parts_total:
+                if not state["queue"]:
+                    if self.host.fault_injector is not None:
+                        deadline = engine.timeout(
+                            calibration.imag_reply_deadline_s
+                        )
+                        yield engine.any_of([state["event"], deadline])
+                        if not state["event"].processed:
+                            self._pending_batches.pop(request_id, None)
+                            timed_out = True
+                            break
+                    else:
+                        yield state["event"]
+                    state["event"] = engine.event()
+                reply = state["queue"].pop(0)
+                received += 1
+                parts_total = reply.meta["parts"]
+                if reply.meta.get("miss"):
+                    # The peer no longer holds some requested contents;
+                    # retry the whole remainder at the next source.
+                    self._pending_batches.pop(request_id, None)
+                    missed = True
+                    break
+                if collector.rtt is None:
+                    collector.rtt = engine.now - request_sent
+                region = reply.first_section(RegionSection)
+                for page_index in sorted(region.pages):
+                    if space.entry(page_index) is not None:
+                        continue
+                    page = region.pages[page_index]
+                    yield from self._install_resident(space, page_index, page)
+                    if page_index not in pending_wakeups:
+                        space.page_table[page_index].prefetched = True
+                with self.cpu.held() as req:
+                    yield req
+                    yield engine.timeout(calibration.map_in_s)
+                for page_index in sorted(region.pages):
+                    waiter = pending_wakeups.pop(page_index, None)
+                    if waiter is not None:
+                        if lifecycle is not None:
+                            fid = next(
+                                f for f, i, _ in collector.faults
+                                if i == page_index
+                            )
+                            lifecycle.reply_done(fid, now=engine.now)
+                        waiter.succeed()
+                if resolution.store_enabled:
+                    for _ in region.pages:
+                        self._note_store_service(
+                            source.kind, source, collector.faults[0][2]
+                        )
+            if timed_out or missed:
+                if not last:
+                    continue
+                if missed:
+                    raise PagerError(
+                        "origin reply for batched imaginary read "
+                        "reported a miss"
+                    )
+                error = TransportError(
+                    f"no batched imaginary read reply within "
+                    f"{calibration.imag_reply_deadline_s}s"
+                )
+                self._fail_batch(space, collector, error)
+                return
+            self._pending_batches.pop(request_id, None)
+            break
         if pending_wakeups:
             missing = sorted(pending_wakeups)
             raise PagerError(

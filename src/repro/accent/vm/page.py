@@ -6,9 +6,29 @@ must observe exactly the bytes the source process wrote.  Sharing with a
 reference count implements Accent's copy-on-write message transfer.
 """
 
+import hashlib
+
 from repro.accent.constants import PAGE_SIZE
 
 _ZERO = bytes(PAGE_SIZE)
+
+#: Bytes of a page content id (the content-addressed store's key).
+CONTENT_ID_BYTES = 16
+
+
+def content_id_of(data):
+    """The content id of ``data``: a 16-byte blake2b digest.
+
+    Content ids name page *bytes*, not page locations — two pages with
+    equal contents (fork siblings, zero pages, shared code) share one
+    id, which is what lets the cluster store dedup them on the wire and
+    serve them from any holder (docs/content-store.md).
+    """
+    return hashlib.blake2b(data, digest_size=CONTENT_ID_BYTES).digest()
+
+
+#: The (precomputed) content id of an all-zero page.
+ZERO_CONTENT_ID = content_id_of(_ZERO)
 
 
 class Page:
@@ -33,6 +53,12 @@ class Page:
     def data(self):
         """The page contents (immutable bytes)."""
         return self._data
+
+    @property
+    def content_id(self):
+        """Content id of the current bytes (never cached: ``write``
+        mutates ``_data`` in place when the page is unshared)."""
+        return content_id_of(self._data)
 
     @property
     def shared(self):

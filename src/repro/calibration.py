@@ -112,6 +112,12 @@ class Calibration:
     #: ... plus this much per contiguous real run cached.
     iou_cache_per_run_s: float = 0.1 * MS
 
+    # ------------------------------------------------- content-addressed store --
+    #: Content-store lookup per request — local cache hits and
+    #: StoreServer reads both charge it (hashing itself is treated as
+    #: free metadata maintenance, like AMap bookkeeping).
+    store_lookup_s: float = 2.0 * MS
+
     # ------------------------------------------------------------ migration --
     #: Connection setup + Core-message handling overhead per migration
     #: (drives the paper's "approximately one second" Core phase).

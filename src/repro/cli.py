@@ -68,8 +68,9 @@ def _add_transfer(parser, prefetch=True):
 
     Every migration-running command accepts the same
     ``--prefetch/--batch/--pipeline`` trio (``sweep`` omits
-    ``--prefetch`` because it sweeps that axis itself); the values feed
-    one :class:`~repro.migration.plan.TransferOptions` record.
+    ``--prefetch`` because it sweeps that axis itself) plus the
+    content-store pair ``--store/--dedup``; the values feed one
+    :class:`~repro.migration.plan.TransferOptions` record.
     """
     if prefetch:
         parser.add_argument(
@@ -88,6 +89,21 @@ def _add_transfer(parser, prefetch=True):
         help=(
             "reply/shipment pipeline depth "
             "(1 = serial whole-message transfers)"
+        ),
+    )
+    parser.add_argument(
+        "--store", action="store_true",
+        help=(
+            "enable the cluster content-addressed page store "
+            "(multi-source imaginary-fault service; "
+            "see docs/content-store.md)"
+        ),
+    )
+    parser.add_argument(
+        "--dedup", action="store_true",
+        help=(
+            "also dedup shipped pages on the wire against the "
+            "destination's content store (implies --store)"
         ),
     )
 
@@ -153,6 +169,8 @@ def _load_transfer(args, out):
         "prefetch": getattr(args, "prefetch", 0),
         "batch": args.batch,
         "pipeline": args.pipeline,
+        "store": getattr(args, "store", False),
+        "dedup": getattr(args, "dedup", False),
     }
     try:
         TransferOptions(**knobs)
@@ -635,6 +653,8 @@ def cmd_migrate(args, out):
     knob_report = f"prefetch {result.prefetch}"
     if result.options.batched:
         knob_report += f", batch {result.batch}, pipeline {result.pipeline}"
+    if result.options.store_enabled:
+        knob_report += ", dedup" if result.options.dedup else ", store"
     out(f"strategy          {result.strategy} ({knob_report})")
     if result.outcome == "completed":
         out(f"excise            {result.excise_s:.2f}s  "
@@ -664,6 +684,8 @@ def cmd_migrate(args, out):
                 "prefetch": result.prefetch,
                 "batch": result.batch,
                 "pipeline": result.pipeline,
+                "store": result.options.store,
+                "dedup": result.options.dedup,
             },
             "outcome": result.outcome,
             "bytes_total": result.bytes_total,
@@ -889,7 +911,8 @@ def cmd_balance(args, out):
     if code:
         return code
     options = knobs if any(
-        (knobs["prefetch"], knobs["batch"] > 1, knobs["pipeline"] > 1)
+        (knobs["prefetch"], knobs["batch"] > 1, knobs["pipeline"] > 1,
+         knobs["store"], knobs["dedup"])
     ) else None
     scenario = Scenario(
         args.workloads, hosts=args.hosts, seed=args.seed,
@@ -965,6 +988,8 @@ def cmd_stress(args, out):
             prefetch=args.prefetch,
             batch=args.batch,
             pipeline=args.pipeline,
+            store=args.store,
+            dedup=args.dedup,
             sample_period=args.sample_period,
             slo=slo_raw,
         )
@@ -1041,6 +1066,8 @@ def cmd_serve(args, out):
             prefetch=args.prefetch,
             batch=args.batch,
             pipeline=args.pipeline,
+            store=args.store,
+            dedup=args.dedup,
             sample_period=args.sample_period,
             slo=slo_raw,
             services=args.services,

@@ -31,6 +31,7 @@ class StressConfig:
                  queue_limit=None, arrival="uniform", rate_per_s=2.0,
                  burst_size=4, workloads=("minprog",), strategy="pure-iou",
                  job_seconds=20.0, seed=7, prefetch=0, batch=1, pipeline=1,
+                 store=False, dedup=False,
                  sample_period=0.0, slo=None, services=(),
                  clients_per_service=2, requests_per_client=60,
                  request_arrival="poisson", request_rate_per_s=16.0,
@@ -46,7 +47,10 @@ class StressConfig:
             raise ValueError("rate_per_s must be positive")
         # Range-checks prefetch/batch/pipeline so a bad trio fails here,
         # with the other configuration errors, not mid-run.
-        TransferOptions(prefetch=prefetch, batch=batch, pipeline=pipeline)
+        TransferOptions(
+            prefetch=prefetch, batch=batch, pipeline=pipeline,
+            store=store, dedup=dedup,
+        )
         self.hosts = hosts
         self.procs = procs
         #: Migration requests to issue (default: one per process).
@@ -65,6 +69,10 @@ class StressConfig:
         self.prefetch = prefetch
         self.batch = batch
         self.pipeline = pipeline
+        #: Content-store knobs (docs/content-store.md); ``dedup``
+        #: implies the store, matching TransferOptions.
+        self.store = store
+        self.dedup = dedup
         if sample_period < 0:
             raise ValueError("sample_period must be >= 0")
         #: Continuous-telemetry cadence in simulated seconds (0 = off).
@@ -120,6 +128,7 @@ class StressConfig:
         return TransferOptions(
             strategy=self.strategy, prefetch=self.prefetch,
             batch=self.batch, pipeline=self.pipeline,
+            store=self.store, dedup=self.dedup,
         )
 
     def to_dict(self):
@@ -149,6 +158,12 @@ class StressConfig:
             data["batch"] = self.batch
         if self.pipeline != 1:
             data["pipeline"] = self.pipeline
+        # Store knobs likewise appear only when switched on, so hashes
+        # recorded before the content store existed stay valid.
+        if self.store:
+            data["store"] = True
+        if self.dedup:
+            data["dedup"] = True
         # Telemetry knobs likewise appear only when switched on, so
         # hashes recorded before sampling existed stay valid.
         if self.sample_period:

@@ -63,6 +63,16 @@ class BackingServer:
                                    trace_ctx=trace_ctx)
         segment.window = window
         segment.created_at = self.engine.now
+        store = self.host.store
+        if store is not None:
+            # Content-store world: register the stash and stamp the
+            # segment with content ids so receivers can resolve faults
+            # against any holder, and chained re-migrations collapse
+            # residual dependencies onto cached copies.
+            segment.content_ids = {
+                index: store.put_page(page)
+                for index, page in segment.stash.items()
+            }
         self.segments[segment.segment_id] = segment
         self.note_progress(segment)
         return segment

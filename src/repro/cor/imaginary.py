@@ -16,14 +16,20 @@ class ImaginaryHandle:
     ``segment_id``.
     """
 
-    __slots__ = ("segment_id", "backing_port", "trace_id")
+    __slots__ = ("segment_id", "backing_port", "trace_id", "content_ids")
 
-    def __init__(self, segment_id, backing_port, trace_id=None):
+    def __init__(self, segment_id, backing_port, trace_id=None,
+                 content_ids=None):
         self.segment_id = segment_id
         self.backing_port = backing_port
         #: The causal trace (migration) that owes these pages; residual
         #: fault spans carry it so they stitch back into that trace.
         self.trace_id = trace_id
+        #: page index -> content id for the owed pages, when the world
+        #: runs a content store (None otherwise).  Lets the receiver's
+        #: resolver service faults from *any* holder of the contents,
+        #: not just the backing port.
+        self.content_ids = content_ids
 
     def __repr__(self):
         return f"<ImaginaryHandle seg={self.segment_id} via={self.backing_port!r}>"
@@ -62,6 +68,9 @@ class ImaginarySegment:
         #: owed page drains (demand fault, prefetch, or flusher push).
         self.created_at = None
         self.drained_at = None
+        #: page index -> content id, stamped at creation when the host
+        #: runs a content store (None otherwise); travels on handles.
+        self.content_ids = None
 
     def __repr__(self):
         return (
@@ -75,6 +84,7 @@ class ImaginarySegment:
         return ImaginaryHandle(
             self.segment_id, self.backing_port,
             trace_id=ctx.trace_id if ctx is not None else None,
+            content_ids=self.content_ids,
         )
 
     @property

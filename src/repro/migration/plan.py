@@ -44,12 +44,23 @@ class TransferOptions:
         streams per batched request, and whether the Core and RIMAS
         context messages ship concurrently.  ``1`` keeps the serial
         whole-message behaviour.
+    ``store``
+        Enable the cluster content-addressed page store: per-host
+        content caches, multi-source imaginary-fault service through
+        the PageSource resolver, and content ids on IOUs.  ``False``
+        keeps every trial byte-identical to the pre-store protocol.
+    ``dedup``
+        Additionally dedup pages on the wire: shipments replace pages
+        the destination already holds with content references.
+        Implies the store.
     """
 
     strategy: object = "pure-iou"
     prefetch: int = 0
     batch: int = 1
     pipeline: int = 1
+    store: bool = False
+    dedup: bool = False
 
     def __post_init__(self):
         if self.prefetch < 0:
@@ -63,6 +74,11 @@ class TransferOptions:
     def batched(self):
         """True when the batched/pipelined residual-fault path engages."""
         return self.batch > 1 or self.pipeline > 1
+
+    @property
+    def store_enabled(self):
+        """True when the content store engages (dedup implies store)."""
+        return self.store or self.dedup
 
     @classmethod
     def coerce(cls, options=None, **defaults):
@@ -281,23 +297,3 @@ class PlanContext:
     def excised_at(self):
         """Simulated time of the excision."""
         return self.meta.get("excised_at", self.engine.now)
-
-
-class LegacyPreparePlan(TransferPlan):
-    """Adapter plan for strategies that only implement ``prepare``.
-
-    Executing it simply drives the legacy generator, so pre-plan
-    subclasses keep working unchanged (after a one-time deprecation
-    warning from :meth:`Strategy.plan`).
-    """
-
-    def __init__(self, strategy):
-        super().__init__()
-        self.strategy = strategy
-
-    def __repr__(self):
-        return f"<LegacyPreparePlan for {self.strategy!r}>"
-
-    def execute(self, manager, rimas):
-        """Generator: delegate to the legacy ``prepare`` hook."""
-        yield from self.strategy.prepare(manager, rimas)

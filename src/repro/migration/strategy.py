@@ -19,21 +19,15 @@
 
 A strategy *describes* its transfer as a
 :class:`~repro.migration.plan.TransferPlan` returned from
-:meth:`Strategy.plan`; the MigrationManager executes the plan.  The
-older imperative ``prepare(manager, rimas)`` generator hook still
-works for out-of-tree subclasses (a deprecation shim warns once per
-class), and the base class keeps ``prepare`` as a thin driver over
-``plan`` so existing callers of ``strategy.prepare(...)`` behave
-identically.  See docs/transfer-plans.md.
+:meth:`Strategy.plan`; the MigrationManager executes the plan.  (The
+imperative ``prepare(manager, rimas)`` generator hook of the pre-plan
+API is gone; subclasses must implement ``plan``.)  See
+docs/transfer-plans.md.
 """
-
-import warnings
 
 from repro.migration.plan import (
     IOU,
     SHIP,
-    LegacyPreparePlan,
-    PlanContext,
     RegionDecision,
     TransferPlan,
 )
@@ -50,9 +44,6 @@ class Strategy:
 
     name = None
     _registry = {}
-    #: Classes already warned about relying on the legacy ``prepare``
-    #: hook (one DeprecationWarning per class, not per migration).
-    _legacy_warned = set()
 
     def __init_subclass__(cls, **kwargs):
         super().__init_subclass__(**kwargs)
@@ -81,36 +72,10 @@ class Strategy:
         """Return the :class:`TransferPlan` for this transfer.
 
         ``context`` is a :class:`~repro.migration.plan.PlanContext`.
-        Subclasses that predate the plan protocol and only override
-        ``prepare`` are adapted via :class:`LegacyPreparePlan` after a
-        one-time deprecation warning.
         """
-        if type(self).prepare is not Strategy.prepare:
-            cls = type(self)
-            if cls not in Strategy._legacy_warned:
-                Strategy._legacy_warned.add(cls)
-                warnings.warn(
-                    f"{cls.__name__} overrides Strategy.prepare(), which is "
-                    f"deprecated; implement plan(context) -> TransferPlan "
-                    f"instead (see docs/transfer-plans.md)",
-                    DeprecationWarning,
-                    stacklevel=2,
-                )
-            return LegacyPreparePlan(self)
         raise NotImplementedError(
             f"{type(self).__name__} must implement plan(context)"
         )
-
-    def prepare(self, manager, rimas):
-        """Generator: adjust ``rimas`` (flags/sections) before shipment.
-
-        Back-compat driver: builds a :class:`PlanContext`, asks
-        :meth:`plan` for the transfer plan, and executes it — so code
-        that still calls ``strategy.prepare(manager, rimas)`` directly
-        sees exactly the same mutations and timing as the plan path.
-        """
-        plan = self.plan(PlanContext(manager, rimas))
-        yield from plan.execute(manager, rimas)
 
     def __repr__(self):
         return f"<Strategy {self.name}>"

@@ -13,6 +13,7 @@ passes an IOU in the data's place.  This is the mechanism the
 MigrationManager leans on for pure-IOU context transfers (§3.2).
 """
 
+from repro.accent.constants import PAGE_SIZE
 from repro.accent.ipc.message import (
     IOUSection,
     Message,
@@ -48,6 +49,10 @@ class NetMsgServer:
         self.backing = BackingServer(host, prefetch=prefetch, name=f"{host.name}-nms-backer")
         #: host name -> (Link, peer NetMsgServer)
         self._routes = {}
+        #: Wire dedup: when True (set by ``TestbedWorld.enable_store``
+        #: with the dedup knob) outgoing real-memory sections replace
+        #: pages the destination already holds with content references.
+        self.dedup = False
         self.messages_shipped = 0
         self.messages_delivered = 0
         #: Pages physically shipped, per message op (Table 4-3 input).
@@ -130,6 +135,13 @@ class NetMsgServer:
                 ship_span.add("iou_sections", len(cached))
                 with ship_span.child("iou-cache"):
                     yield from self._cache_cost(cached)
+
+            if (
+                self.dedup
+                and self.host.store is not None
+                and peer.host.store is not None
+            ):
+                self._dedup_sections(message, peer, ship_span)
 
             calibration = self.calibration
             payload = message.wire_bytes
@@ -312,6 +324,54 @@ class NetMsgServer:
             cached.append(iou)
         return cached
 
+    # -- wire dedup -----------------------------------------------------------------
+    def _dedup_sections(self, message, peer, ship_span):
+        """Replace pages the peer already holds with content references.
+
+        Every outgoing page's contents are registered in the source
+        store (making this host a holder for later multi-source fault
+        service); pages whose content id the destination holds — or
+        that an earlier page of this same message already ships — ride
+        the wire as a (index, content id) reference instead of bytes
+        and are rematerialised from the destination's store at
+        reassembly.
+        """
+        source_store = self.host.store
+        directory = source_store.directory
+        dest_name = peer.host.name
+        shipping_now = set()
+        deduped_pages = 0
+        for section in message.sections_of(RegionSection):
+            refs = {}
+            for index, page in list(section.pages.items()):
+                content_id = source_store.put_page(page)
+                if (
+                    dest_name in directory.holders(content_id)
+                    or content_id in shipping_now
+                ):
+                    refs[index] = content_id
+                    del section.pages[index]
+                else:
+                    shipping_now.add(content_id)
+            if refs:
+                section.content_refs.update(refs)
+                deduped_pages += len(refs)
+        if deduped_pages:
+            saved_bytes = deduped_pages * (
+                PAGE_SIZE
+                + RegionSection.PAGE_DESCRIPTOR_BYTES
+                - RegionSection.CONTENT_REF_BYTES
+            )
+            ship_span.add("dedup_pages", deduped_pages)
+            ship_span.add("dedup_bytes_saved", saved_bytes)
+            registry = self.host.metrics.obs.registry
+            registry.counter(
+                "store_dedup_pages_total", labels=("host",)
+            ).inc(deduped_pages, host=self.host.name)
+            registry.counter(
+                "store_dedup_bytes_saved_total", labels=("host",)
+            ).inc(saved_bytes, host=self.host.name)
+
     def _cache_cost(self, cached):
         """Charge the (small) cost of having cached sections just now."""
         calibration = self.calibration
@@ -333,14 +393,25 @@ class NetMsgServer:
         the receiver will fault pages in from the backing site.
         """
         sections = []
+        store = self.host.store
         for section in message.sections:
             if isinstance(section, RegionSection):
+                pages = {
+                    index: page.fork_copy()
+                    for index, page in section.pages.items()
+                }
+                if store is not None:
+                    # Arrived bytes enter the local content store (this
+                    # host becomes a holder), and deduped references
+                    # rematerialise from it — bit-identical to the
+                    # bytes the sender held, or the id would differ.
+                    for page in pages.values():
+                        store.put_page(page)
+                    for index, content_id in section.content_refs.items():
+                        pages[index] = store.get_page(content_id)
                 sections.append(
                     RegionSection(
-                        {
-                            index: page.fork_copy()
-                            for index, page in section.pages.items()
-                        },
+                        pages,
                         force_copy=section.force_copy,
                         label=section.label,
                     )

@@ -70,10 +70,16 @@ def _wire_totals(runs):
     carry no trace id but name their process, so they bucket under
     ``(run, process)`` — together the two buckets give a migration its
     full wire/fault footprint.
+
+    ``dedup_saved`` sums the ``dedup_bytes_saved`` stamp the ship path
+    records when the content store substitutes content references for
+    pages (docs/content-store.md), so a dedup-on trace diffed against a
+    dedup-off one reports the savings explicitly rather than leaving a
+    bare, unexplained bytes delta.
     """
     per_trace = {}
     per_process = {}
-    total = {"bytes": 0, "faults": 0}
+    total = {"bytes": 0, "faults": 0, "dedup_saved": 0}
     for index, run in enumerate(runs):
         for root in run.roots:
             for span in root.walk():
@@ -81,14 +87,16 @@ def _wire_totals(runs):
                 if args is None:
                     args = getattr(span, "attrs", {})
                 nbytes = args.get("bytes", 0)
+                nsaved = args.get("dedup_bytes_saved", 0)
                 nfaults = sum(
                     value for key, value in args.items()
                     if key.startswith("faults.")
                 )
-                if not nbytes and not nfaults:
+                if not nbytes and not nfaults and not nsaved:
                     continue
                 total["bytes"] += nbytes
                 total["faults"] += nfaults
+                total["dedup_saved"] += nsaved
                 if span.trace_id is not None:
                     key = (index, span.trace_id)
                     bucket = per_trace
@@ -97,9 +105,12 @@ def _wire_totals(runs):
                     bucket = per_process
                 else:
                     continue
-                entry = bucket.setdefault(key, {"bytes": 0, "faults": 0})
+                entry = bucket.setdefault(
+                    key, {"bytes": 0, "faults": 0, "dedup_saved": 0}
+                )
                 entry["bytes"] += nbytes
                 entry["faults"] += nfaults
+                entry["dedup_saved"] += nsaved
     return per_trace, per_process, total
 
 
@@ -216,17 +227,19 @@ def diff_traces(path_a, path_b):
 
     counts_a = _proc_counts(migrations_a)
     counts_b = _proc_counts(migrations_b)
-    empty = {"bytes": 0, "faults": 0}
+    empty = {"bytes": 0, "faults": 0, "dedup_saved": 0}
 
     def _footprint(migration, wire, proc, counts):
         key = (migration["run_index"], migration.get("trace_id"))
         entry = dict(wire.get(key, empty))
+        entry.setdefault("dedup_saved", 0)
         proc_key = (migration["run_index"], migration.get("process"))
         if counts[proc_key] == 1:
             residual = proc.get(proc_key)
             if residual:
                 entry["bytes"] += residual["bytes"]
                 entry["faults"] += residual["faults"]
+                entry["dedup_saved"] += residual.get("dedup_saved", 0)
         return entry
 
     rows = []
@@ -275,6 +288,11 @@ def diff_traces(path_a, path_b):
             "faults_a": faults_a,
             "faults_b": faults_b,
             "faults_delta": faults_b - faults_a,
+            "dedup_saved_a": footprint_a["dedup_saved"],
+            "dedup_saved_b": footprint_b["dedup_saved"],
+            "dedup_saved_delta": (
+                footprint_b["dedup_saved"] - footprint_a["dedup_saved"]
+            ),
         })
 
     host_a = _host_totals(runs_a)
@@ -313,6 +331,7 @@ def diff_traces(path_a, path_b):
             row["duration_delta_s"] == 0.0
             and row["bytes_delta"] == 0
             and row["faults_delta"] == 0
+            and row["dedup_saved_delta"] == 0
             and all(p["delta_s"] == 0.0 for p in row["phases"].values())
             for row in rows
         )
@@ -326,6 +345,7 @@ def diff_traces(path_a, path_b):
             "migrations": len(migrations_a),
             "bytes": total_wire_a["bytes"],
             "faults": total_wire_a["faults"],
+            "dedup_saved": total_wire_a["dedup_saved"],
             "host": host_a,
         },
         "b": {
@@ -334,6 +354,7 @@ def diff_traces(path_a, path_b):
             "migrations": len(migrations_b),
             "bytes": total_wire_b["bytes"],
             "faults": total_wire_b["faults"],
+            "dedup_saved": total_wire_b["dedup_saved"],
             "host": host_b,
         },
         "host": host,
@@ -351,15 +372,17 @@ def _delta_s(value):
 
 def render_diff(report):
     """Human-readable text for one :func:`diff_traces` report."""
-    lines = [
-        f"diff: {report['a']['path']}  →  {report['b']['path']}",
-        f"  A: {report['a']['migrations']} migration(s) over "
-        f"{report['a']['runs']} run(s), {report['a']['bytes']:,} bytes "
-        f"on wire, {report['a']['faults']} fault(s)",
-        f"  B: {report['b']['migrations']} migration(s) over "
-        f"{report['b']['runs']} run(s), {report['b']['bytes']:,} bytes "
-        f"on wire, {report['b']['faults']} fault(s)",
-    ]
+    lines = [f"diff: {report['a']['path']}  →  {report['b']['path']}"]
+    for which in ("a", "b"):
+        side = report[which]
+        line = (
+            f"  {which.upper()}: {side['migrations']} migration(s) over "
+            f"{side['runs']} run(s), {side['bytes']:,} bytes "
+            f"on wire, {side['faults']} fault(s)"
+        )
+        if side.get("dedup_saved"):
+            line += f", dedup saved {side['dedup_saved']:,} bytes"
+        lines.append(line)
     host = report.get("host")
     if host:
         lines.append(
@@ -396,6 +419,15 @@ def render_diff(report):
             f"    faults           {row['faults_a']:>9,} → "
             f"{row['faults_b']:>9,}  Δ {row['faults_delta']:+,}"
         )
+        if row["dedup_saved_a"] or row["dedup_saved_b"]:
+            # Only one side deduping is the common case (store-on vs
+            # store-off comparison); the explicit column says how much
+            # of the bytes delta the content store accounts for.
+            lines.append(
+                f"    dedup savings    {row['dedup_saved_a']:>9,} → "
+                f"{row['dedup_saved_b']:>9,}  "
+                f"Δ {row['dedup_saved_delta']:+,}"
+            )
     if report["unmatched_a"]:
         lines.append("  only in A:")
         lines.extend(f"    {text}" for text in report["unmatched_a"])

@@ -1,0 +1,34 @@
+"""The cluster-wide content-addressed page store (``repro.store``).
+
+Pages become *named content*: every page's bytes hash to a 16-byte
+content id, each host keeps a :class:`ContentStore` of the contents it
+holds, and a world-level :class:`StoreDirectory` tracks which hosts
+hold which ids.  On top of that sit the two services:
+
+* :class:`~repro.store.source.PageResolver` — the unified
+  ``PageSource`` resolution API every page fetch goes through (pager,
+  backer registration, flusher pushes all arrive here): given an
+  imaginary handle and page indices it yields local cache hits plus an
+  ordered list of remote sources (nearest cache peers first, origin
+  backer last).
+* :class:`~repro.store.server.StoreServer` — the per-host service that
+  fields ``store.read``/``store.read.batch`` requests from remote
+  pagers, replying in the same wire shape as the origin backer so the
+  pager's reply machinery is source-agnostic.
+
+With the store disabled (the default) none of this exists: no ports
+are created, no metrics registered, no wire formats change — store-off
+runs stay byte-identical to the pre-store protocol.  See
+docs/content-store.md.
+"""
+
+from repro.store.store import ContentStore, StoreDirectory
+from repro.store.source import PageResolver, PageSource, Resolution
+
+__all__ = [
+    "ContentStore",
+    "StoreDirectory",
+    "PageResolver",
+    "PageSource",
+    "Resolution",
+]

@@ -1,0 +1,173 @@
+"""The per-host store server: serves faults from the content cache.
+
+One :class:`StoreServer` runs on each host when the world enables the
+content store.  Remote pagers whose resolver picked this host as a
+nearer source mail it ``store.read`` / ``store.read.batch`` requests;
+it answers in exactly the wire shape of the origin backer
+(``imag.read.reply`` / ``imag.read.reply.part``), so the pager's reply
+dispatch is source-agnostic.  A request for contents this host no
+longer holds (crash wiped the cache, eviction raced the directory)
+gets an explicit *miss* reply — the pager falls through to its next
+source, never corrupting or losing the page.
+"""
+
+from repro.accent.ipc.message import InlineSection, Message, RegionSection
+from repro.accent.pager import (
+    OP_IMAG_READ_REPLY,
+    OP_IMAG_READ_REPLY_PART,
+    OP_STORE_READ,
+    OP_STORE_READ_BATCH,
+)
+from repro.obs import causal
+
+
+class StoreServerError(Exception):
+    """A malformed store request."""
+
+
+class StoreServer:
+    """Fields content-store read requests through one port."""
+
+    def __init__(self, host):
+        self.host = host
+        self.engine = host.engine
+        self.name = f"{host.name}-store"
+        self.port = host.create_port(name=self.name)
+        registry = host.metrics.obs.registry
+        self._served = registry.counter(
+            "store_server_pages_total", labels=("host",)
+        )
+        self._misses = registry.counter(
+            "store_server_misses_total", labels=("host",)
+        )
+        self._server = self.engine.process(self._serve(), name=self.name)
+
+    def __repr__(self):
+        return f"<StoreServer {self.name}>"
+
+    def _serve(self):
+        while True:
+            message = yield self.port.receive()
+            if message.op == OP_STORE_READ:
+                yield from self._handle_read(message)
+            elif message.op == OP_STORE_READ_BATCH:
+                yield from self._handle_read_batch(message)
+            else:
+                raise StoreServerError(f"unexpected op {message.op!r}")
+
+    def _lookup(self, content_ids):
+        """index -> fresh Page for every id held, or None on any miss."""
+        store = self.host.store
+        if store is None:
+            return None
+        pages = {}
+        for index, content_id in content_ids.items():
+            if not store.has(content_id):
+                return None
+            pages[index] = store.get_page(content_id)
+        return pages
+
+    def _handle_read(self, message):
+        obs = self.host.metrics.obs
+        serve_span = obs.tracer.span(
+            "store-serve",
+            parent=causal.parent_of(message),
+            track=f"store/{self.host.name}",
+            page=message.meta["page_index"],
+        )
+        try:
+            yield self.engine.timeout(self.host.calibration.store_lookup_s)
+            index = message.meta["page_index"]
+            pages = self._lookup({index: message.meta["cid"]})
+            if pages is None:
+                self._misses.inc(1, host=self.host.name)
+                serve_span.add("miss", 1)
+                reply = Message(
+                    dest=message.reply_port,
+                    op=OP_IMAG_READ_REPLY,
+                    sections=[InlineSection(bytes(4))],
+                    meta={"fault_id": message.meta["fault_id"],
+                          "miss": True},
+                )
+            else:
+                self._served.inc(1, host=self.host.name)
+                serve_span.add("pages", 1)
+                reply = Message(
+                    dest=message.reply_port,
+                    op=OP_IMAG_READ_REPLY,
+                    sections=[
+                        RegionSection(
+                            pages, force_copy=True, label="store-reply"
+                        )
+                    ],
+                    meta={"fault_id": message.meta["fault_id"]},
+                )
+            causal.attach(reply, serve_span)
+            self.host.kernel.post(reply)
+        finally:
+            serve_span.finish()
+
+    def _handle_read_batch(self, message):
+        """Serve one batched store read, streamed like the backer.
+
+        All-or-nothing: a single missing content id turns the whole
+        request into one miss reply, and the pager retries the batch at
+        its next source — partial installs from a half-hit would
+        complicate conservation for no simulated win.
+        """
+        obs = self.host.metrics.obs
+        content_ids = message.meta["cids"]
+        serve_span = obs.tracer.span(
+            "store-serve-batch",
+            parent=causal.parent_of(message),
+            track=f"store/{self.host.name}",
+            demanded=len(content_ids),
+        )
+        try:
+            yield self.engine.timeout(self.host.calibration.store_lookup_s)
+            pages = self._lookup(content_ids)
+            if pages is None:
+                self._misses.inc(1, host=self.host.name)
+                serve_span.add("miss", 1)
+                reply = Message(
+                    dest=message.reply_port,
+                    op=OP_IMAG_READ_REPLY_PART,
+                    sections=[InlineSection(bytes(4))],
+                    meta={"request_id": message.meta["request_id"],
+                          "part": 1, "parts": 1, "miss": True},
+                )
+                causal.attach(reply, serve_span)
+                self.host.kernel.post(reply)
+                return
+            self._served.inc(len(pages), host=self.host.name)
+            serve_span.add("pages", len(pages))
+            ordered = sorted(pages)
+            depth = max(
+                1, min(message.meta.get("pipeline", 1), len(ordered))
+            )
+            size = -(-len(ordered) // depth)  # ceil division
+            chunks = [
+                ordered[start:start + size]
+                for start in range(0, len(ordered), size)
+            ]
+            for part_number, chunk in enumerate(chunks, start=1):
+                reply = Message(
+                    dest=message.reply_port,
+                    op=OP_IMAG_READ_REPLY_PART,
+                    sections=[
+                        RegionSection(
+                            {index: pages[index] for index in chunk},
+                            force_copy=True,
+                            label="store-reply-part",
+                        )
+                    ],
+                    meta={
+                        "request_id": message.meta["request_id"],
+                        "part": part_number,
+                        "parts": len(chunks),
+                    },
+                )
+                causal.attach(reply, serve_span)
+                self.host.kernel.post(reply)
+        finally:
+            serve_span.finish()

@@ -1,0 +1,133 @@
+"""The unified ``PageSource`` resolution API.
+
+Every page fetch in the system — a pager resolving an imaginary fault,
+single-page or batched — goes through one entry point:
+:meth:`PageResolver.resolve`.  The resolver answers with a
+:class:`Resolution`: pages it can satisfy from the *local* content
+store immediately (no wire traffic at all), plus an ordered list of
+:class:`PageSource` descriptors for the rest — nearest content-cache
+peers first, the origin backer always last.  The pager walks the list:
+a source that misses, times out, or sits on a crashed host falls
+through to the next; only when the *origin* is unreachable does the
+fault become a residual-dependency kill, exactly as before the store
+existed.
+
+With the store disabled the resolver still fronts every fetch, but
+degenerates to the single origin source and performs no lookups — the
+resolved request is byte-identical to the pre-store protocol.
+"""
+
+
+class PageSource:
+    """One place a set of owed pages can be fetched from.
+
+    ``kind`` is ``"peer"`` (a remote host's StoreServer) or
+    ``"origin"`` (the imaginary segment's backing port — the paper's
+    protocol).  ``port`` is where the request goes; ``distance`` is the
+    directory's topology distance (None for the origin, which is
+    addressed by port, not by host).
+    """
+
+    __slots__ = ("kind", "port", "host_name", "distance")
+
+    def __init__(self, kind, port, host_name=None, distance=None):
+        self.kind = kind
+        self.port = port
+        self.host_name = host_name
+        self.distance = distance
+
+    def __repr__(self):
+        where = self.host_name or getattr(self.port, "name", self.port)
+        return f"<PageSource {self.kind} via={where!r}>"
+
+
+class Resolution:
+    """The answer to one resolve call.
+
+    ``local`` maps page index -> fresh :class:`Page` for local-store
+    hits; ``sources`` is the ordered fallback chain for the remaining
+    indices; ``content_ids`` maps the remaining indices to their ids
+    (empty when the store is off or the handle predates it);
+    ``store_enabled`` gates all store-only metrics and span args so
+    store-off runs register nothing new.
+    """
+
+    __slots__ = ("local", "sources", "content_ids", "store_enabled")
+
+    def __init__(self, local, sources, content_ids, store_enabled):
+        self.local = local
+        self.sources = tuple(sources)
+        self.content_ids = content_ids
+        self.store_enabled = store_enabled
+
+    def __repr__(self):
+        chain = "→".join(s.kind for s in self.sources)
+        return f"<Resolution local={len(self.local)} chain={chain}>"
+
+
+class PageResolver:
+    """Per-host front door for all page-source resolution.
+
+    Constructed with every :class:`~repro.accent.host.Host`; the
+    directory is attached only when the world enables the content
+    store, so the store-off fast path is a tuple build and nothing
+    else.
+    """
+
+    def __init__(self, host, directory=None):
+        self.host = host
+        self.directory = directory
+
+    def __repr__(self):
+        state = "store" if self.directory is not None else "origin-only"
+        return f"<PageResolver {self.host.name} {state}>"
+
+    def attach(self, directory):
+        """Enable store-aware resolution (world.enable_store path)."""
+        self.directory = directory
+
+    def resolve(self, handle, indices):
+        """Resolve a fetch of ``indices`` owed through ``handle``.
+
+        Returns a :class:`Resolution`.  The origin backer is always the
+        final source, so the resolver can only ever *add* ways to
+        satisfy a fault, never remove the paper's protocol.
+        """
+        origin = PageSource("origin", handle.backing_port)
+        directory = self.directory
+        store = self.host.store
+        content_ids = getattr(handle, "content_ids", None)
+        if directory is None or store is None:
+            return Resolution({}, (origin,), {}, False)
+        if not content_ids:
+            return Resolution({}, (origin,), {}, True)
+
+        local = {}
+        remaining = {}
+        for index in indices:
+            content_id = content_ids.get(index)
+            if content_id is not None and store.has(content_id):
+                local[index] = store.get_page(content_id)
+            else:
+                remaining[index] = content_id
+        sources = []
+        if remaining and all(
+            content_id is not None for content_id in remaining.values()
+        ):
+            origin_host = getattr(handle.backing_port, "home_host", None)
+            origin_name = getattr(origin_host, "name", None)
+            exclude = (origin_name,) if origin_name else ()
+            for name in directory.nearest_holders(
+                self.host.name, set(remaining.values()), exclude=exclude
+            ):
+                port = directory.server_ports.get(name)
+                if port is None:
+                    continue
+                sources.append(
+                    PageSource(
+                        "peer", port, host_name=name,
+                        distance=directory.distance(self.host.name, name),
+                    )
+                )
+        sources.append(origin)
+        return Resolution(local, sources, remaining, True)

@@ -82,6 +82,9 @@ class TestbedWorld:
             for peer in servers:
                 if peer is not nms:
                     nms.connect(self.link, peer)
+        #: The cluster :class:`~repro.store.StoreDirectory`, built by
+        #: :meth:`enable_store` (None = content store off).
+        self.store_directory = None
         #: Attached only when a fault plan is supplied, so perfect-net
         #: worlds keep the paper-calibrated cost model to the event.
         self.fault_injector = None
@@ -162,8 +165,9 @@ class TestbedWorld:
         """Install one :class:`TransferOptions` on every host.
 
         Sets the backer prefetch knob and the pager's batch/pipeline
-        windows host-wide, and makes the options each manager's default
-        so direct ``manager.migrate(...)`` calls inherit them.
+        windows host-wide, makes the options each manager's default
+        so direct ``manager.migrate(...)`` calls inherit them, and
+        enables the content store when the options ask for it.
         """
         options = TransferOptions.coerce(options)
         for host in self.hosts.values():
@@ -172,7 +176,35 @@ class TestbedWorld:
             host.pager.pipeline = options.pipeline
         for manager in self.managers.values():
             manager.default_options = options
+        if options.store_enabled:
+            self.enable_store(dedup=options.dedup)
         return options
+
+    def enable_store(self, dedup=False):
+        """Build the cluster content-addressed page store (idempotent).
+
+        Gives every host a :class:`~repro.store.ContentStore` and a
+        :class:`~repro.store.server.StoreServer`, attaches the shared
+        :class:`~repro.store.StoreDirectory` to every resolver, and —
+        with ``dedup`` — turns on wire dedup at every NetMsgServer.
+        Store-off worlds never reach this method, so they create none
+        of these ports, metrics or span arguments.
+        """
+        from repro.store import ContentStore, StoreDirectory
+        from repro.store.server import StoreServer
+
+        if self.store_directory is None:
+            directory = StoreDirectory(self.hosts)
+            self.store_directory = directory
+            for host in self.hosts.values():
+                host.store = ContentStore(host, directory)
+                server = StoreServer(host)
+                directory.register_server(host.name, server.port)
+                host.resolver.attach(directory)
+        if dedup:
+            for host in self.hosts.values():
+                host.nms.dedup = True
+        return self.store_directory
 
 
 class MigrationResult:
@@ -375,14 +407,55 @@ class Testbed:
         world.begin_trial()
         return world
 
+    def run_migration(self, workload, *, mode="direct", strategy=PURE_IOU,
+                      prefetch=0, run_remote=True, options=None,
+                      path=("alpha", "beta", "gamma"), run_fractions=None,
+                      dirty_rate_pps=None, stop_threshold=32, max_rounds=5):
+        """Run one migration trial of any ``mode`` — the single
+        keyword-driven entry point all trial shapes share.
+
+        ``mode`` selects the trial shape: ``"direct"`` (one two-host
+        migration, a :class:`MigrationResult`), ``"precopy"`` (the §5
+        iterative V-system baseline, a :class:`PrecopyResult`) or
+        ``"chain"`` (multi-hop over ``path``, a :class:`ChainResult`).
+        ``options`` is the unified :class:`TransferOptions` record —
+        including the content-store knobs — and the remaining keywords
+        are per-mode parameters; the classic
+        ``migrate``/``migrate_precopy``/``migrate_chain`` methods are
+        thin wrappers over this.
+        """
+        if mode == "direct":
+            return self._run_direct(
+                workload, strategy=strategy, prefetch=prefetch,
+                run_remote=run_remote, options=options,
+            )
+        if mode == "precopy":
+            return self._run_precopy(
+                workload, dirty_rate_pps=dirty_rate_pps,
+                stop_threshold=stop_threshold, max_rounds=max_rounds,
+                run_remote=run_remote, options=options,
+            )
+        if mode == "chain":
+            return self._run_chain(
+                workload, path=path, strategy=strategy, prefetch=prefetch,
+                run_fractions=run_fractions, options=options,
+            )
+        raise ValueError(
+            f"mode must be 'direct', 'precopy' or 'chain', got {mode!r}"
+        )
+
     def migrate(self, workload, strategy=PURE_IOU, prefetch=0, run_remote=True,
                 options=None):
-        """Run one full trial; returns a :class:`MigrationResult`.
+        """Run one full two-host trial; returns a
+        :class:`MigrationResult`.  Thin wrapper over
+        :meth:`run_migration` with ``mode="direct"``."""
+        return self.run_migration(
+            workload, mode="direct", strategy=strategy, prefetch=prefetch,
+            run_remote=run_remote, options=options,
+        )
 
-        ``options`` is the unified :class:`TransferOptions` record; the
-        legacy ``strategy``/``prefetch`` kwargs remain as shorthand and
-        fill in its fields when it is omitted.
-        """
+    def _run_direct(self, workload, strategy=PURE_IOU, prefetch=0,
+                    run_remote=True, options=None):
         options = TransferOptions.coerce(
             options, strategy=strategy, prefetch=prefetch
         )
@@ -452,13 +525,28 @@ class Testbed:
     ):
         """Run one iterative pre-copy trial (the §5 V-system baseline).
 
-        Returns a :class:`PrecopyResult`.  ``dirty_rate_pps`` defaults
-        to the workload's own write intensity (see
-        :func:`repro.migration.precopy.default_dirty_rate`).  ``options``
-        carries the unified transfer knobs; pre-copy ships everything
-        physically so only the prefetch/batch/pipeline settings that
-        govern any residual traffic apply.
+        Returns a :class:`PrecopyResult`.  Thin wrapper over
+        :meth:`run_migration` with ``mode="precopy"``.
         """
+        return self.run_migration(
+            workload, mode="precopy", dirty_rate_pps=dirty_rate_pps,
+            stop_threshold=stop_threshold, max_rounds=max_rounds,
+            run_remote=run_remote, options=options,
+        )
+
+    def _run_precopy(
+        self,
+        workload,
+        dirty_rate_pps=None,
+        stop_threshold=32,
+        max_rounds=5,
+        run_remote=True,
+        options=None,
+    ):
+        # ``dirty_rate_pps`` defaults to the workload's own write
+        # intensity (repro.migration.precopy.default_dirty_rate).
+        # Pre-copy ships everything physically, so of the unified knobs
+        # only those governing residual traffic apply.
         from repro.migration.precopy import default_dirty_rate
 
         options = TransferOptions.coerce(options, strategy="pre-copy")
@@ -516,17 +604,32 @@ class Testbed:
     ):
         """Migrate a process along several hosts (§6's dispersed spaces).
 
-        The process starts at ``path[0]`` and hops host to host.  At
-        each intermediate host it may execute part of its reference
-        trace (``run_fractions``: one fraction per intermediate host;
-        default 0 — all execution happens at the final host).  Under
-        lazy strategies, re-excision produces *inherited IOUs*: after
-        two IOU hops the space is physically dispersed, with faults at
-        the final host routing back to whichever host still holds each
-        page.
-
-        Returns a :class:`ChainResult`.
+        Returns a :class:`ChainResult`.  Thin wrapper over
+        :meth:`run_migration` with ``mode="chain"``.
         """
+        return self.run_migration(
+            workload, mode="chain", path=path, strategy=strategy,
+            prefetch=prefetch, run_fractions=run_fractions, options=options,
+        )
+
+    def _run_chain(
+        self,
+        workload,
+        path=("alpha", "beta", "gamma"),
+        strategy=PURE_IOU,
+        prefetch=0,
+        run_fractions=None,
+        options=None,
+    ):
+        # The process starts at ``path[0]`` and hops host to host.  At
+        # each intermediate host it may execute part of its reference
+        # trace (``run_fractions``: one fraction per intermediate host;
+        # default 0 — all execution happens at the final host).  Under
+        # lazy strategies, re-excision produces *inherited IOUs*: after
+        # two IOU hops the space is physically dispersed, with faults
+        # at the final host routing back to whichever host still holds
+        # each page — or, with the content store on, to the *nearest*
+        # cached copy, collapsing the residual chain.
         options = TransferOptions.coerce(
             options, strategy=strategy, prefetch=prefetch
         )

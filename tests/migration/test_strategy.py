@@ -4,6 +4,7 @@ import pytest
 
 from repro.accent.ipc.message import Message, RegionSection
 from repro.accent.vm.page import Page
+from repro.migration.plan import PlanContext
 from repro.migration.strategy import (
     ADAPTIVE,
     Adaptive,
@@ -55,22 +56,28 @@ def run(world, generator):
     return world.engine.run(until=proc)
 
 
+def execute(world, strategy, rimas):
+    """Plan the transfer and execute it, as the manager does."""
+    plan = strategy.plan(PlanContext(world.source_manager, rimas))
+    return run(world, plan.execute(world.source_manager, rimas))
+
+
 def test_pure_copy_sets_no_ious(world):
     rimas = make_rimas(world, [])
-    run(world, PureCopy().prepare(world.source_manager, rimas))
+    execute(world, PureCopy(), rimas)
     assert rimas.no_ious is True
 
 
 def test_pure_iou_clears_no_ious(world):
     rimas = make_rimas(world, [])
     rimas.no_ious = True
-    run(world, PureIOU().prepare(world.source_manager, rimas))
+    execute(world, PureIOU(), rimas)
     assert rimas.no_ious is False
 
 
 def test_resident_set_splits_sections(world):
     rimas = make_rimas(world, [0, 1, 2])
-    run(world, ResidentSet().prepare(world.source_manager, rimas))
+    execute(world, ResidentSet(), rimas)
     regions = rimas.sections_of(RegionSection)
     assert len(regions) == 2
     resident, owed = regions
@@ -81,7 +88,7 @@ def test_resident_set_splits_sections(world):
 def test_resident_set_charges_carve_time_per_owed_page(world):
     rimas = make_rimas(world, [0, 1, 2])
     before = world.engine.now
-    run(world, ResidentSet().prepare(world.source_manager, rimas))
+    execute(world, ResidentSet(), rimas)
     elapsed = world.engine.now - before
     assert elapsed == pytest.approx(
         7 * world.calibration.rs_carve_per_owed_page_s
@@ -90,7 +97,7 @@ def test_resident_set_charges_carve_time_per_owed_page(world):
 
 def test_resident_set_with_everything_resident(world):
     rimas = make_rimas(world, range(10))
-    run(world, ResidentSet().prepare(world.source_manager, rimas))
+    execute(world, ResidentSet(), rimas)
     regions = rimas.sections_of(RegionSection)
     assert len(regions) == 1
     assert regions[0].force_copy
@@ -99,7 +106,7 @@ def test_resident_set_with_everything_resident(world):
 
 def test_resident_set_with_nothing_resident(world):
     rimas = make_rimas(world, [])
-    run(world, ResidentSet().prepare(world.source_manager, rimas))
+    execute(world, ResidentSet(), rimas)
     regions = rimas.sections_of(RegionSection)
     assert len(regions) == 1
     assert not regions[0].force_copy
@@ -109,5 +116,5 @@ def test_resident_set_without_region_section_is_noop(world):
     rimas = Message(
         world.dest_manager.port, "migrate.rimas", sections=[], meta={}
     )
-    run(world, ResidentSet().prepare(world.source_manager, rimas))
+    execute(world, ResidentSet(), rimas)
     assert rimas.sections == []

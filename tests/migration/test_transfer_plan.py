@@ -1,14 +1,11 @@
 """Unit tests for the declarative transfer-plan layer."""
 
-import warnings
-
 import pytest
 
 from repro.accent.ipc.message import Message, RegionSection
 from repro.accent.vm.page import Page
 from repro.migration.plan import (
     IOU,
-    LegacyPreparePlan,
     PlanContext,
     RegionDecision,
     SHIP,
@@ -178,8 +175,11 @@ def test_context_exposes_touch_statistics(world):
     assert context.options == TransferOptions()
 
 
-# -- legacy prepare shim -----------------------------------------------------
-def test_legacy_prepare_subclass_warns_once_and_still_works(world):
+# -- strategies must implement plan() ----------------------------------------
+def test_prepare_only_subclass_is_not_adapted(world):
+    """The PR-5 legacy ``prepare`` shim is gone: a subclass that only
+    overrides the old hook gets NotImplementedError from plan()."""
+
     class LegacyOnly(Strategy):
         """A pre-plan subclass that only overrides ``prepare``."""
 
@@ -187,19 +187,9 @@ def test_legacy_prepare_subclass_warns_once_and_still_works(world):
             rimas.no_ious = True
             yield manager.engine.timeout(0.25)
 
-    strategy = LegacyOnly()
     rimas = make_rimas(world)
-    with pytest.warns(DeprecationWarning, match="plan\\(context\\)"):
-        plan = strategy.plan(PlanContext(world.source_manager, rimas))
-    assert isinstance(plan, LegacyPreparePlan)
-    before = world.engine.now
-    run(world, plan.execute(world.source_manager, rimas))
-    assert rimas.no_ious is True
-    assert world.engine.now - before == pytest.approx(0.25)
-    # Only the first plan() call warns for a given class.
-    with warnings.catch_warnings():
-        warnings.simplefilter("error")
-        strategy.plan(PlanContext(world.source_manager, rimas))
+    with pytest.raises(NotImplementedError, match="plan"):
+        LegacyOnly().plan(PlanContext(world.source_manager, rimas))
 
 
 def test_base_strategy_requires_plan(world):

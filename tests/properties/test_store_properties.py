@@ -1,0 +1,128 @@
+"""Property-based tests for content-store invariants.
+
+The store's contract: reads are bit-identical to the bytes originally
+stored, under any interleaving of puts and crashes — a cache can lose
+entries (crash) but never corrupt them — and nearest-source selection
+always returns live holders of *all* requested ids, nearest first.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.accent.vm.page import Page, ZERO_CONTENT_ID, content_id_of
+from repro.store import ContentStore, StoreDirectory
+
+
+class FakeHost:
+    def __init__(self, name, crashed=False):
+        self.name = name
+        self.crashed = crashed
+        self.store = None
+
+
+def make_cluster(names):
+    hosts = {name: FakeHost(name) for name in names}
+    directory = StoreDirectory(hosts)
+    for host in hosts.values():
+        host.store = ContentStore(host, directory)
+    return hosts, directory
+
+
+page_data = st.binary(min_size=0, max_size=512)
+
+
+@given(st.lists(page_data, min_size=1, max_size=30))
+@settings(max_examples=100)
+def test_reads_are_bit_identical_to_what_was_stored(payloads):
+    hosts, _ = make_cluster(["a"])
+    store = hosts["a"].store
+    expected = {}
+    for data in payloads:
+        page = Page(data)
+        content_id = store.put_page(page)
+        expected[content_id] = page.data
+    for content_id, data in expected.items():
+        copy = store.get_page(content_id)
+        assert copy.data == data
+        # Ids name bytes: equal contents collapse to one entry.
+        assert content_id == content_id_of(data)
+    assert len(store) == len(expected | {ZERO_CONTENT_ID: None})
+
+
+@given(
+    st.lists(
+        st.one_of(
+            page_data.map(lambda data: ("put", data)),
+            st.just(("crash", None)),
+        ),
+        min_size=1,
+        max_size=40,
+    )
+)
+@settings(max_examples=100)
+def test_crashes_lose_entries_but_never_corrupt_them(ops):
+    """After any put/crash interleaving, every id the store still
+    holds reads back exactly the bytes originally stored under it."""
+    hosts, directory = make_cluster(["a", "b"])
+    store = hosts["a"].store
+    live = {}
+    for op, data in ops:
+        if op == "put":
+            page = Page(data)
+            live[store.put_page(page)] = page.data
+        else:
+            store.clear()
+            live = {}
+    assert store.has(ZERO_CONTENT_ID)
+    for content_id, data in live.items():
+        assert store.has(content_id)
+        assert store.get_page(content_id).data == data
+        assert "a" in directory.holders(content_id)
+    assert len(store) == len(live) + (ZERO_CONTENT_ID not in live)
+
+
+@st.composite
+def cluster_with_placement(draw):
+    size = draw(st.integers(3, 6))
+    names = [f"n{i}" for i in range(size)]
+    payloads = draw(
+        st.lists(page_data, min_size=1, max_size=4, unique=True)
+    )
+    placement = {
+        data: draw(st.sets(st.sampled_from(names), max_size=size))
+        for data in payloads
+    }
+    crashed = draw(st.sets(st.sampled_from(names), max_size=size - 1))
+    asker = draw(st.sampled_from(names))
+    return names, placement, crashed, asker
+
+
+@given(cluster_with_placement())
+@settings(max_examples=100)
+def test_nearest_holders_is_sound_and_nearest_first(scenario):
+    names, placement, crashed, asker = scenario
+    hosts, directory = make_cluster(names)
+    for data, holders in placement.items():
+        for name in holders:
+            hosts[name].store.put_page(Page(data))
+    for name in crashed:
+        hosts[name].crashed = True
+    content_ids = [content_id_of(Page(data).data) for data in placement]
+    result = directory.nearest_holders(asker, content_ids)
+    for name in result:
+        # Soundness: every candidate is live, remote, and holds all
+        # requested ids (conservation — no source that would miss).
+        assert name != asker
+        assert not hosts[name].crashed
+        assert all(hosts[name].store.has(cid) for cid in content_ids)
+    # Completeness: no qualifying host was skipped.
+    qualifying = {
+        name for name in names
+        if name != asker
+        and not hosts[name].crashed
+        and all(hosts[name].store.has(cid) for cid in content_ids)
+    }
+    assert set(result) == qualifying
+    # Ordering: nearest first, name-tiebreak — deterministic.
+    keys = [(directory.distance(asker, name), name) for name in result]
+    assert keys == sorted(keys)

@@ -1,0 +1,96 @@
+"""Fixtures for the content-store suite.
+
+The sibling scenario is the store's target case: several processes
+built from the same workload spec share every page's bytes (exact
+forks), so migrating them in one world exercises local-cache hits,
+peer service, and wire dedup.  Each sibling builds from a *fresh*
+``SeededStreams(seed)`` so layouts and traces are identical.
+"""
+
+import pytest
+
+from repro.migration.plan import TransferOptions
+from repro.migration.strategy import Strategy
+from repro.sim import SeededStreams
+from repro.testbed import Testbed
+from repro.workloads.builder import build_process
+from repro.workloads.registry import workload_by_name
+from repro.workloads.runner import RemoteRunResult, remote_body
+
+
+class SiblingRun:
+    """One finished sibling scenario, with its measurement surface."""
+
+    def __init__(self, world, results):
+        self.world = world
+        self.results = results
+
+    @property
+    def verified(self):
+        return all(result.verified for result in self.results)
+
+    @property
+    def bytes_total(self):
+        return self.world.metrics.total_link_bytes
+
+    def served_by(self):
+        """(host, source) -> fault count from the store counters."""
+        family = self.world.obs.registry.get("store_fault_served_total")
+        if family is None:
+            return {}
+        return {labels: child.value for labels, child in family.items()}
+
+
+def build_siblings(options, routes=(("alpha", "beta"), ("alpha", "beta")),
+                   hosts=("alpha", "beta"), workload="minprog", seed=11,
+                   faults=None, instrument=False):
+    """Migrate same-spec siblings along per-sibling routes.
+
+    ``routes`` is a list of (source, dest) host-name pairs, one sibling
+    per entry; each sibling migrates and then runs its full reference
+    trace at the destination.
+    """
+    options = TransferOptions.coerce(options)
+    bed = Testbed(seed=seed, faults=faults, instrument=instrument)
+    world = bed.world(host_names=tuple(hosts))
+    spec = workload_by_name(workload)
+    strategy = Strategy.by_name(options.strategy)
+    builts = [
+        (
+            f"{spec.name}-s{i}",
+            src,
+            dst,
+            build_process(
+                world.host(src), spec, SeededStreams(seed),
+                name=f"{spec.name}-s{i}",
+            ),
+        )
+        for i, (src, dst) in enumerate(routes)
+    ]
+    world.apply_options(options)
+    results = []
+
+    def trial():
+        for name, src, dst, built in builts:
+            insertion = world.manager(dst).expect_insertion(name)
+            yield from world.manager(src).migrate(
+                name, world.manager(dst), strategy, options=options
+            )
+            inserted = yield insertion
+            run_result = RemoteRunResult(name)
+            yield from remote_body(
+                world.host(dst), inserted, built.trace, run_result
+            )
+            results.append(run_result)
+
+    process = world.engine.process(trial(), name="siblings")
+    world.engine.run(until=process)
+    world.stop_telemetry()
+    world.engine.run()
+    return SiblingRun(world, results)
+
+
+@pytest.fixture
+def run_siblings():
+    """Factory fixture over :func:`build_siblings`."""
+    return build_siblings

@@ -1,0 +1,190 @@
+"""Unit tests for the content store, directory, and PageSource resolver."""
+
+import pytest
+
+from repro.accent.vm.page import (
+    CONTENT_ID_BYTES,
+    Page,
+    ZERO_CONTENT_ID,
+    content_id_of,
+)
+from repro.store import ContentStore, PageResolver, StoreDirectory
+
+
+class FakeHost:
+    def __init__(self, name, crashed=False):
+        self.name = name
+        self.crashed = crashed
+        self.store = None
+
+
+def make_cluster(*names):
+    hosts = {name: FakeHost(name) for name in names}
+    directory = StoreDirectory(hosts)
+    for host in hosts.values():
+        host.store = ContentStore(host, directory)
+    return hosts, directory
+
+
+# -- ContentStore ------------------------------------------------------------
+def test_zero_page_preseeded_everywhere():
+    hosts, directory = make_cluster("a", "b")
+    for host in hosts.values():
+        assert host.store.has(ZERO_CONTENT_ID)
+        assert host.store.get_page(ZERO_CONTENT_ID).data == bytes(512)
+    assert set(directory.holders(ZERO_CONTENT_ID)) == {"a", "b"}
+
+
+def test_put_get_roundtrip_is_bit_identical():
+    hosts, _ = make_cluster("a")
+    page = Page(b"hello content store")
+    content_id = hosts["a"].store.put_page(page)
+    assert len(content_id) == CONTENT_ID_BYTES
+    assert content_id == content_id_of(page.data)
+    copy = hosts["a"].store.get_page(content_id)
+    assert copy.data == page.data
+    # A fresh frame every read: the cache is never aliased, so writers
+    # cannot corrupt it.
+    assert copy is not page
+    assert hosts["a"].store.get_page(content_id) is not copy
+
+
+def test_get_missing_id_raises():
+    hosts, _ = make_cluster("a")
+    with pytest.raises(KeyError):
+        hosts["a"].store.get_page(content_id_of(b"never stored"))
+
+
+def test_put_registers_holder_and_is_idempotent():
+    hosts, directory = make_cluster("a", "b")
+    page = Page(b"shared bytes")
+    cid_a = hosts["a"].store.put_page(page)
+    cid_b = hosts["b"].store.put_page(Page(b"shared bytes"))
+    assert cid_a == cid_b
+    assert set(directory.holders(cid_a)) == {"a", "b"}
+    assert len(hosts["a"].store) == 2  # zero seed + one entry
+    hosts["a"].store.put_page(page)
+    assert len(hosts["a"].store) == 2
+
+
+def test_clear_drops_contents_and_directory_entries():
+    hosts, directory = make_cluster("a", "b")
+    content_id = hosts["a"].store.put_page(Page(b"volatile"))
+    hosts["a"].store.clear()
+    assert not hosts["a"].store.has(content_id)
+    assert len(hosts["a"].store) == 1  # back to the zero seed
+    assert "a" not in directory.holders(content_id)
+    # The zero page survives a crash (re-seeded, re-registered).
+    assert hosts["a"].store.has(ZERO_CONTENT_ID)
+    assert "a" in directory.holders(ZERO_CONTENT_ID)
+
+
+# -- StoreDirectory ----------------------------------------------------------
+def test_distance_is_linear_rack():
+    _, directory = make_cluster("n0", "n1", "n2", "n3")
+    assert directory.distance("n0", "n3") == 3
+    assert directory.distance("n2", "n1") == 1
+    assert directory.distance("n1", "n1") == 0
+
+
+def test_nearest_holders_orders_by_distance_then_name():
+    hosts, directory = make_cluster("n0", "n1", "n2", "n3")
+    page = Page(b"popular")
+    for name in ("n0", "n1", "n3"):
+        hosts[name].store.put_page(page)
+    content_id = content_id_of(page.data)
+    assert directory.nearest_holders("n2", [content_id]) == [
+        "n1", "n3", "n0",
+    ]
+    # The asking host itself and explicit exclusions never appear.
+    assert directory.nearest_holders("n1", [content_id]) == ["n0", "n3"]
+    assert directory.nearest_holders(
+        "n2", [content_id], exclude=("n1",)
+    ) == ["n3", "n0"]
+
+
+def test_nearest_holders_requires_all_ids():
+    hosts, directory = make_cluster("n0", "n1", "n2")
+    cid_a = hosts["n1"].store.put_page(Page(b"one"))
+    cid_b = hosts["n1"].store.put_page(Page(b"two"))
+    hosts["n2"].store.put_page(Page(b"one"))
+    # Only n1 holds both; n2 holds just cid_a.
+    assert directory.nearest_holders("n0", [cid_a, cid_b]) == ["n1"]
+    assert directory.nearest_holders(
+        "n0", [cid_a, content_id_of(b"missing" + bytes(505))]
+    ) == []
+
+
+def test_nearest_holders_skips_crashed_hosts():
+    hosts, directory = make_cluster("n0", "n1", "n2")
+    page = Page(b"cached")
+    hosts["n1"].store.put_page(page)
+    hosts["n2"].store.put_page(page)
+    content_id = content_id_of(page.data)
+    assert directory.nearest_holders("n0", [content_id]) == ["n1", "n2"]
+    hosts["n1"].crashed = True
+    assert directory.nearest_holders("n0", [content_id]) == ["n2"]
+
+
+# -- PageResolver ------------------------------------------------------------
+class FakePort:
+    def __init__(self, home_host=None):
+        self.home_host = home_host
+
+
+class FakeHandle:
+    def __init__(self, backing_port, content_ids=None):
+        self.backing_port = backing_port
+        self.content_ids = content_ids
+
+
+def test_resolver_without_directory_is_origin_only():
+    host = FakeHost("a")
+    resolver = PageResolver(host)
+    handle = FakeHandle(FakePort(), {0: b"x" * 16})
+    resolution = resolver.resolve(handle, (0,))
+    assert resolution.store_enabled is False
+    assert resolution.local == {}
+    assert [s.kind for s in resolution.sources] == ["origin"]
+    assert resolution.sources[0].port is handle.backing_port
+
+
+def test_resolver_handle_without_ids_degenerates_to_origin():
+    hosts, directory = make_cluster("a", "b")
+    resolver = PageResolver(hosts["a"], directory)
+    resolution = resolver.resolve(FakeHandle(FakePort()), (0, 1))
+    assert resolution.store_enabled is True
+    assert resolution.content_ids == {}
+    assert [s.kind for s in resolution.sources] == ["origin"]
+
+
+def test_resolver_splits_local_hits_from_remote_chain():
+    hosts, directory = make_cluster("a", "b", "c")
+    directory.register_server("b", object())
+    directory.register_server("c", object())
+    local_page = Page(b"already here")
+    local_id = hosts["a"].store.put_page(local_page)
+    remote_page = Page(b"elsewhere")
+    remote_id = hosts["c"].store.put_page(remote_page)
+    origin = FakePort(home_host=FakeHost("b"))
+    handle = FakeHandle(origin, {0: local_id, 1: remote_id})
+    resolution = PageResolver(hosts["a"], directory).resolve(handle, (0, 1))
+    assert set(resolution.local) == {0}
+    assert resolution.local[0].data == local_page.data
+    assert resolution.content_ids == {1: remote_id}
+    # Peer c first (it holds the bytes), origin always last.
+    assert [s.kind for s in resolution.sources] == ["peer", "origin"]
+    assert resolution.sources[0].host_name == "c"
+    assert resolution.sources[0].distance == 2
+
+
+def test_resolver_never_offers_the_origin_host_as_peer():
+    hosts, directory = make_cluster("a", "b")
+    directory.register_server("b", object())
+    page = Page(b"origin holds this")
+    content_id = hosts["b"].store.put_page(page)
+    origin = FakePort(home_host=hosts["b"])
+    handle = FakeHandle(origin, {0: content_id})
+    resolution = PageResolver(hosts["a"], directory).resolve(handle, (0,))
+    # b holds the bytes but *is* the origin: one source, not two.
+    assert [s.kind for s in resolution.sources] == ["origin"]

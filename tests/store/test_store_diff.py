@@ -1,0 +1,62 @@
+"""``repro diff`` must explain dedup savings, not leave a bare delta.
+
+A dedup-on trace diffed against a dedup-off one carries asymmetric
+bytes-on-wire numbers; the per-migration ``dedup savings`` column and
+the summary line attribute the difference to the content store.
+"""
+
+import pytest
+
+from repro.migration.plan import TransferOptions
+from repro.obs import write_chrome
+from repro.obs.diff import diff_traces, render_diff
+
+
+@pytest.fixture(scope="module")
+def dedup_traces(tmp_path_factory):
+    """Exported sibling traces, dedup off and on (built once: the
+    simulations are the expensive part of this module)."""
+    from tests.store.conftest import build_siblings
+
+    root = tmp_path_factory.mktemp("dedup-traces")
+    path_off = root / "off.json"
+    path_on = root / "on.json"
+    off = build_siblings(
+        TransferOptions(strategy="pure-copy"), instrument=True
+    )
+    on = build_siblings(
+        TransferOptions(strategy="pure-copy", dedup=True), instrument=True
+    )
+    assert off.verified and on.verified
+    write_chrome(path_off, [("siblings-off", off.world.obs)])
+    write_chrome(path_on, [("siblings-on", on.world.obs)])
+    return path_off, path_on
+
+
+def test_diff_reports_dedup_savings_per_migration(dedup_traces):
+    report = diff_traces(*dedup_traces)
+    assert report["a"]["dedup_saved"] == 0
+    assert report["b"]["dedup_saved"] > 0
+    # Sibling 1 ships into an empty store (no savings); sibling 2's
+    # shipment is where dedup bites.
+    deltas = [row["dedup_saved_delta"] for row in report["migrations"]]
+    assert any(delta > 0 for delta in deltas)
+    assert all(row["dedup_saved_a"] == 0 for row in report["migrations"])
+    assert sum(deltas) == report["b"]["dedup_saved"]
+
+
+def test_render_shows_dedup_column_and_summary(dedup_traces):
+    report = diff_traces(*dedup_traces)
+    text = render_diff(report)
+    assert "dedup saved" in text      # summary line, B side only
+    assert "dedup savings" in text    # per-migration column
+    assert text.count("dedup saved") == 1
+
+
+def test_dedup_self_diff_is_still_zero(dedup_traces):
+    _, path_on = dedup_traces
+    report = diff_traces(path_on, path_on)
+    assert report["zero"] is True
+    assert all(
+        row["dedup_saved_delta"] == 0 for row in report["migrations"]
+    )
